@@ -1,0 +1,50 @@
+//! Figure 2 as a criterion bench: one page load per arm (bare replay,
+//! +DelayShell 0 ms, +LinkShell 1000 Mbit/s). Wall-clock here measures the
+//! *toolkit's* speed; the virtual-time overheads are printed by the `fig2`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec};
+use mm_corpus::{materialize, plan_site, SiteParams};
+use mm_sim::RngStream;
+use mm_trace::constant_rate;
+
+fn bench_fig2_arms(c: &mut Criterion) {
+    let plan = plan_site(
+        5,
+        &SiteParams {
+            servers: Some(15),
+            median_objects: 40.0,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(1),
+    );
+    let site = materialize(&plan);
+    let trace = constant_rate(1000.0, 1000);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("replayshell_bare", |b| {
+        b.iter(|| run_page_load(&LoadSpec::new(&site)))
+    });
+    g.bench_function("delayshell_0ms", |b| {
+        b.iter(|| {
+            let mut spec = LoadSpec::new(&site);
+            spec.net = NetSpec::delay_ms(0);
+            run_page_load(&spec)
+        })
+    });
+    g.bench_function("linkshell_1000mbps", |b| {
+        b.iter(|| {
+            let mut spec = LoadSpec::new(&site);
+            spec.net = NetSpec {
+                link: Some(LinkSpec::symmetric(trace.clone())),
+                ..NetSpec::default()
+            };
+            run_page_load(&spec)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2_arms);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Micro-benchmarks of the toolkit's machinery: HTTP parsing, trace
+//! handling, queue disciplines, request matching, and raw TCP transfer
+//! through the simulated stack.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mm_http::{write_request, write_response, Request, RequestParser, Response, ResponseParser};
+use mm_net::{Host, IpAddr, Namespace, PacketIdGen, SocketAddr, TcpFlags, TcpSegment};
+use mm_replay::{Matcher, StoreIndex};
+use mm_shells::{DropTail, Qdisc};
+use mm_sim::{RngStream, Timestamp};
+use mm_trace::{constant_rate, Trace};
+
+fn bench_http(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http");
+    let req_wire = write_request(&Request::get("/a/b/c?x=1&y=2", "example.com"));
+    g.throughput(Throughput::Bytes(req_wire.len() as u64));
+    g.bench_function("parse_request", |b| {
+        b.iter_batched(
+            RequestParser::new,
+            |mut p| p.feed(&req_wire).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let resp = Response::ok(Bytes::from(vec![0u8; 64 * 1024]), "image/jpeg");
+    let resp_wire = write_response(&resp);
+    g.throughput(Throughput::Bytes(resp_wire.len() as u64));
+    g.bench_function("parse_64k_response", |b| {
+        b.iter_batched(
+            || {
+                let mut p = ResponseParser::new();
+                p.expect_head(false);
+                p
+            },
+            |mut p| p.feed(&resp_wire).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("serialize_response", |b| b.iter(|| write_response(&resp)));
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    let t = constant_rate(100.0, 10_000);
+    let text = t.to_file_format();
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_100mbps_10s", |b| {
+        b.iter(|| Trace::parse(&text).unwrap())
+    });
+    g.bench_function("opportunity_search", |b| {
+        let mut q = 0u64;
+        b.iter(|| {
+            q = (q + 7919) % 1_000_000;
+            t.first_opportunity_at_or_after(q)
+        })
+    });
+    g.finish();
+}
+
+fn bench_qdisc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc");
+    let pkt = mm_net::Packet {
+        id: 0,
+        src: SocketAddr::new(IpAddr::new(1, 1, 1, 1), 1),
+        dst: SocketAddr::new(IpAddr::new(2, 2, 2, 2), 2),
+        segment: TcpSegment {
+            flags: TcpFlags::ACK,
+            seq: 0,
+            ack: 0,
+            window: 0,
+            payload: Bytes::from(vec![0u8; 1460]),
+        },
+        corrupted: false,
+    };
+    g.bench_function("droptail_enqueue_dequeue", |b| {
+        let mut q = DropTail::infinite();
+        b.iter(|| {
+            q.enqueue(Timestamp::ZERO, pkt.clone());
+            q.dequeue(Timestamp::from_millis(1))
+        })
+    });
+    g.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    // A 200-pair store, matching exact and prefix queries.
+    let origin = SocketAddr::new(IpAddr::new(1, 1, 1, 1), 80);
+    let mut site = mm_record::StoredSite::new("s", "http://1.1.1.1:80/");
+    for i in 0..200 {
+        site.push(mm_record::RequestResponsePair {
+            origin,
+            scheme: mm_record::Scheme::Http,
+            request: Request::get(format!("/asset/{i}?v={i}"), "s.example"),
+            response: Response::ok(Bytes::from_static(b"x"), "text/plain"),
+        });
+    }
+    let m = Matcher::new(StoreIndex::build(&site));
+    let exact = Request::get("/asset/150?v=150", "s.example");
+    let prefix = Request::get("/asset/150?v=999", "s.example");
+    let mut g = c.benchmark_group("matcher");
+    g.bench_function("exact_hit", |b| b.iter(|| m.lookup(&exact)));
+    g.bench_function("prefix_hit", |b| b.iter(|| m.lookup(&prefix)));
+    g.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    use mm_net::{Listener, SocketApp, SocketEvent, TcpHandle};
+    use std::cell::RefCell;
+    struct Echo;
+    impl Listener for Echo {
+        fn on_connection(&self, _s: &mut mm_sim::Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+            struct Sink;
+            impl SocketApp for Sink {
+                fn on_event(&self, _s: &mut mm_sim::Simulator, _h: &TcpHandle, _e: SocketEvent) {}
+            }
+            Rc::new(Sink)
+        }
+    }
+    struct SendOnce {
+        data: RefCell<Option<Bytes>>,
+    }
+    impl SocketApp for SendOnce {
+        fn on_event(&self, sim: &mut mm_sim::Simulator, h: &TcpHandle, ev: SocketEvent) {
+            if matches!(ev, SocketEvent::Connected) {
+                if let Some(d) = self.data.borrow_mut().take() {
+                    h.send(sim, d);
+                }
+            }
+        }
+    }
+    let mut g = c.benchmark_group("tcp");
+    let payload = Bytes::from(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("transfer_1mb_simulated", |b| {
+        b.iter(|| {
+            let mut sim = mm_sim::Simulator::new();
+            let ns = Namespace::root("w");
+            let ids = PacketIdGen::new();
+            let client = Host::new_in(IpAddr::new(10, 0, 0, 1), ids.clone(), &ns);
+            let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+            server.listen(80, Rc::new(Echo));
+            client.connect(
+                &mut sim,
+                SocketAddr::new(server.ip(), 80),
+                Rc::new(SendOnce {
+                    data: RefCell::new(Some(payload.clone())),
+                }),
+            );
+            sim.run();
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table 2 as a criterion bench: multi-origin vs single-server page loads
+//! under a 14 Mbit/s / 60 ms RTT path, plus qdisc ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec, QdiscKind};
+use mm_corpus::{materialize, plan_site, SiteParams};
+use mm_replay::ReplayMode;
+use mm_sim::{RngStream, SimDuration};
+use mm_trace::constant_rate;
+
+fn bench_modes(c: &mut Criterion) {
+    let plan = plan_site(
+        6,
+        &SiteParams {
+            servers: Some(20),
+            median_objects: 60.0,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(2),
+    );
+    let site = materialize(&plan);
+    let net = NetSpec {
+        delay: Some(SimDuration::from_millis(30)),
+        link: Some(LinkSpec::symmetric(constant_rate(14.0, 1000))),
+        ..NetSpec::default()
+    };
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("multi_origin", |b| {
+        b.iter(|| {
+            let mut spec = LoadSpec::new(&site);
+            spec.net = net.clone();
+            run_page_load(&spec)
+        })
+    });
+    g.bench_function("single_server", |b| {
+        b.iter(|| {
+            let mut spec = LoadSpec::new(&site);
+            spec.net = net.clone();
+            spec.replay.mode = ReplayMode::SingleServer;
+            run_page_load(&spec)
+        })
+    });
+    for (name, q) in [
+        ("qdisc_codel", QdiscKind::Codel),
+        ("qdisc_droptail_150", QdiscKind::DropTailPackets(150)),
+        ("qdisc_pie", QdiscKind::Pie(14.0)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut spec = LoadSpec::new(&site);
+                spec.net = net.clone();
+                if let Some(l) = spec.net.link.as_mut() {
+                    l.qdisc = q;
+                }
+                run_page_load(&spec)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 2 / §3 "Low overhead": CDF of page load time for bare
+//! ReplayShell vs nested DelayShell-0ms vs nested LinkShell-1000Mbit/s
+//! over the synthetic Alexa-like corpus.
+//!
+//! Paper: DelayShell 0 ms adds 0.15% to median PLT; LinkShell at
+//! 1000 Mbit/s adds 1.5%.
+
+use bench::fig2;
+use bench::report::{header, ms, paper_vs_measured, pct, plot_cdfs};
+
+fn main() {
+    let n_sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    header(&format!(
+        "Figure 2 — shell overhead on page load time ({n_sites} sites)"
+    ));
+    let mut r = fig2(n_sites, 2014);
+    println!(
+        "  bare ReplayShell:       median {}",
+        ms(r.replay.median())
+    );
+    println!(
+        "  + DelayShell 0 ms:      median {}",
+        ms(r.delay0.median())
+    );
+    println!(
+        "  + LinkShell 1000 Mbps:  median {}",
+        ms(r.link1000.median())
+    );
+    println!();
+    paper_vs_measured(
+        "DelayShell 0 ms overhead at median",
+        "+0.15%",
+        &pct(r.delay0_overhead_pct()),
+    );
+    paper_vs_measured(
+        "LinkShell 1000 Mbit/s overhead at median",
+        "+1.5%",
+        &pct(r.link1000_overhead_pct()),
+    );
+    println!();
+    let (mut a, mut b, mut c) = (r.replay, r.delay0, r.link1000);
+    plot_cdfs(&mut [
+        ("ReplayShell", &mut a),
+        ("DelayShell 0 ms", &mut b),
+        ("LinkShell 1000 Mbits/s", &mut c),
+    ]);
+}

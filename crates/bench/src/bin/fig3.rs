@@ -1,0 +1,41 @@
+//! Figure 3 / §4: CDF of page load time for an nytimes-like page loaded
+//! on the "actual web" versus inside ReplayShell with and without
+//! multi-origin preservation.
+//!
+//! Paper: multi-origin replay's median PLT is 7.9% above the web;
+//! single-server replay's is 29.6% above.
+
+use bench::fig3;
+use bench::report::{header, ms, paper_vs_measured, pct, plot_cdfs};
+
+fn main() {
+    let loads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    header(&format!(
+        "Figure 3 — multi-origin preservation vs the real web ({loads} loads/arm)"
+    ));
+    let mut r = fig3(loads, 2014);
+    println!("  actual web:             median {}", ms(r.web.median()));
+    println!("  replay multi-origin:    median {}", ms(r.multi.median()));
+    println!("  replay single-server:   median {}", ms(r.single.median()));
+    println!();
+    paper_vs_measured(
+        "multi-origin replay vs web at median",
+        "+7.9%",
+        &pct(r.multi_gap_pct()),
+    );
+    paper_vs_measured(
+        "single-server replay vs web at median",
+        "+29.6%",
+        &pct(r.single_gap_pct()),
+    );
+    println!();
+    let (mut w, mut m, mut s) = (r.web, r.multi, r.single);
+    plot_cdfs(&mut [
+        ("Actual Web", &mut w),
+        ("Replay Multi-origin", &mut m),
+        ("Replay Single Server", &mut s),
+    ]);
+}

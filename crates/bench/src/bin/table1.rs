@@ -1,0 +1,39 @@
+//! Table 1 / §3 "Reproducibility": mean ± σ page load time for
+//! CNBC-like and wikiHow-like pages, 100 loads each on two machines.
+//!
+//! Paper: means within 0.5% across machines; σ within 1.6% of the mean.
+
+use bench::report::{header, paper_vs_measured};
+use bench::table1;
+
+fn main() {
+    let loads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    header(&format!(
+        "Table 1 — reproducibility across host machines ({loads} loads/cell)"
+    ));
+    let r = table1(loads, 2014);
+    println!("  {:<18} {:>14} {:>14}", "", "Machine 1", "Machine 2");
+    for site in ["www.cnbc.com", "www.wikihow.com"] {
+        let row: Vec<String> = r
+            .cells
+            .iter()
+            .filter(|(s, _, _)| s == site)
+            .map(|(_, _, sum)| format!("{:.0}±{:.0} ms", sum.mean(), sum.std_dev()))
+            .collect();
+        println!("  {:<18} {:>14} {:>14}", site, row[0], row[1]);
+    }
+    println!();
+    paper_vs_measured(
+        "worst cross-machine mean difference",
+        "< 0.5%",
+        &format!("{:.3}%", r.worst_cross_machine_mean_diff() * 100.0),
+    );
+    paper_vs_measured(
+        "worst σ / mean",
+        "≤ 1.6%",
+        &format!("{:.3}%", r.worst_cv() * 100.0),
+    );
+}

@@ -1,0 +1,277 @@
+//! The experiment drivers, one per paper artifact.
+
+use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec};
+use mm_corpus::{
+    cnbc_like, generate_plans, materialize, nytimes_like, server_distribution, wikihow_like,
+    CorpusConfig, ServerDistribution, SitePlan,
+};
+use mm_replay::{ReplayConfig, ReplayMode};
+use mm_sim::{RngStream, SimDuration, Summary};
+use mm_trace::constant_rate;
+use mm_web::{HostProfile, LiveWebConfig};
+
+/// E1/E6 — Figure 2: PLT CDFs for bare ReplayShell, ReplayShell inside
+/// DelayShell 0 ms, and ReplayShell inside LinkShell at 1000 Mbit/s.
+pub struct Fig2Result {
+    pub replay: Summary,
+    pub delay0: Summary,
+    pub link1000: Summary,
+}
+
+impl Fig2Result {
+    /// Median overhead of DelayShell-0 over bare replay, percent.
+    pub fn delay0_overhead_pct(&mut self) -> f64 {
+        (self.delay0.median() - self.replay.median()) / self.replay.median() * 100.0
+    }
+
+    /// Median overhead of LinkShell-1000 over bare replay, percent.
+    pub fn link1000_overhead_pct(&mut self) -> f64 {
+        (self.link1000.median() - self.replay.median()) / self.replay.median() * 100.0
+    }
+}
+
+/// Run Figure 2 over the first `n_sites` corpus sites (500 = the paper).
+pub fn fig2(n_sites: usize, seed: u64) -> Fig2Result {
+    let plans = corpus_subset(n_sites, seed);
+    let trace_1000 = constant_rate(1000.0, 1000);
+    let mut replay = Summary::new();
+    let mut delay0 = Summary::new();
+    let mut link1000 = Summary::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let site = materialize(plan);
+        let mut spec = LoadSpec::new(&site);
+        spec.seed = seed.wrapping_add(i as u64);
+        // Arm 1: bare ReplayShell.
+        replay.add(run_page_load(&spec).plt.as_millis_f64());
+        // Arm 2: DelayShell 0 ms.
+        spec.net = NetSpec::delay_ms(0);
+        delay0.add(run_page_load(&spec).plt.as_millis_f64());
+        // Arm 3: LinkShell 1000 Mbit/s, infinite droptail.
+        spec.net = NetSpec {
+            link: Some(LinkSpec::symmetric(trace_1000.clone())),
+            ..NetSpec::default()
+        };
+        link1000.add(run_page_load(&spec).plt.as_millis_f64());
+    }
+    Fig2Result {
+        replay,
+        delay0,
+        link1000,
+    }
+}
+
+/// E2 — Table 1: mean ± σ PLT for CNBC-like and wikiHow-like pages, 100
+/// loads each, on two host machines.
+pub struct Table1Result {
+    /// (site name, machine name, summary)
+    pub cells: Vec<(String, String, Summary)>,
+}
+
+impl Table1Result {
+    /// Largest cross-machine difference of means, as a fraction of the
+    /// smaller mean, per site. Paper: < 0.5%.
+    pub fn worst_cross_machine_mean_diff(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for site in ["www.cnbc.com", "www.wikihow.com"] {
+            let means: Vec<f64> = self
+                .cells
+                .iter()
+                .filter(|(s, _, _)| s == site)
+                .map(|(_, _, sum)| sum.mean())
+                .collect();
+            if means.len() == 2 {
+                let lo = means[0].min(means[1]);
+                let hi = means[0].max(means[1]);
+                worst = worst.max((hi - lo) / lo);
+            }
+        }
+        worst
+    }
+
+    /// Largest coefficient of variation across cells. Paper: σ within
+    /// 1.6% of the mean.
+    pub fn worst_cv(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|(_, _, s)| s.cv())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run Table 1. The paper's setup loads each page 100 times per machine
+/// under the same emulated conditions (30 ms delay shell here).
+pub fn table1(loads: usize, seed: u64) -> Table1Result {
+    let mut cells = Vec::new();
+    for (plan, site_seed) in [(cnbc_like(seed), 1u64), (wikihow_like(seed), 2u64)] {
+        let site = materialize(&plan);
+        for (machine, profile) in [
+            ("Machine 1", HostProfile::machine_1()),
+            ("Machine 2", HostProfile::machine_2()),
+        ] {
+            let mut spec = LoadSpec::new(&site);
+            spec.net = NetSpec::delay_ms(30);
+            spec.host_profile = Some(profile);
+            // Machine identity changes the noise realization only; the
+            // seed series per machine must differ.
+            spec.seed = seed
+                .wrapping_mul(31)
+                .wrapping_add(site_seed)
+                .wrapping_add(if machine == "Machine 2" { 1 << 32 } else { 0 });
+            let plts = mahimahi::harness::run_loads(&spec, loads);
+            cells.push((
+                plan.name.clone(),
+                machine.to_string(),
+                Summary::from_samples(plts),
+            ));
+        }
+    }
+    Table1Result { cells }
+}
+
+/// E3 — Table 2: {50th, 95th} percentile PLT difference between
+/// single-server and multi-origin replay, across 9 (rate × delay)
+/// configurations.
+pub struct Table2Cell {
+    pub mbps: f64,
+    pub delay_ms: u64,
+    pub median_diff_pct: f64,
+    pub p95_diff_pct: f64,
+}
+
+pub struct Table2Result {
+    pub cells: Vec<Table2Cell>,
+}
+
+/// Run Table 2 over `n_sites` corpus sites.
+pub fn table2(n_sites: usize, seed: u64) -> Table2Result {
+    let plans = corpus_subset(n_sites, seed);
+    let mut cells = Vec::new();
+    for &mbps in &[1.0, 14.0, 25.0] {
+        let trace = constant_rate(mbps, 1000);
+        for &delay_ms in &[30u64, 120, 300] {
+            let mut diffs = Vec::new();
+            for (i, plan) in plans.iter().enumerate() {
+                let site = materialize(plan);
+                let net = NetSpec {
+                    delay: Some(SimDuration::from_millis(delay_ms)),
+                    link: Some(LinkSpec::symmetric(trace.clone())),
+                    ..NetSpec::default()
+                };
+                let mut multi = LoadSpec::new(&site);
+                multi.net = net.clone();
+                multi.seed = seed.wrapping_add(i as u64);
+                let m = run_page_load(&multi).plt.as_millis_f64();
+                let mut single = LoadSpec::new(&site);
+                single.net = net;
+                single.replay = ReplayConfig {
+                    mode: ReplayMode::SingleServer,
+                    ..ReplayConfig::default()
+                };
+                single.seed = multi.seed;
+                let s = run_page_load(&single).plt.as_millis_f64();
+                diffs.push((s - m) / m * 100.0);
+            }
+            let mut summary = Summary::from_samples(diffs);
+            cells.push(Table2Cell {
+                mbps,
+                delay_ms,
+                median_diff_pct: summary.percentile(50.0),
+                p95_diff_pct: summary.percentile(95.0),
+            });
+        }
+    }
+    Table2Result { cells }
+}
+
+/// E4 — Figure 3: PLT CDFs for an nytimes-like page on the "actual web"
+/// versus multi-origin and single-server replay.
+pub struct Fig3Result {
+    pub web: Summary,
+    pub multi: Summary,
+    pub single: Summary,
+}
+
+impl Fig3Result {
+    /// Median gap of multi-origin replay vs the web, percent.
+    pub fn multi_gap_pct(&mut self) -> f64 {
+        (self.multi.median() - self.web.median()) / self.web.median() * 100.0
+    }
+
+    /// Median gap of single-server replay vs the web, percent.
+    pub fn single_gap_pct(&mut self) -> f64 {
+        (self.single.median() - self.web.median()) / self.web.median() * 100.0
+    }
+}
+
+/// Run Figure 3 with `loads` page loads per arm.
+pub fn fig3(loads: usize, seed: u64) -> Fig3Result {
+    let plan = nytimes_like(seed);
+    let site = materialize(&plan);
+    let mut web = Summary::new();
+    let mut multi = Summary::new();
+    let mut single = Summary::new();
+    let mut rtt_rng = RngStream::from_seed(seed).fork("min-rtt");
+    for i in 0..loads {
+        // "For fair comparison, we record the minimum round trip time to
+        // www.nytimes.com for each page load on the Web and use DelayShell
+        // to emulate this for each page load with ReplayShell."
+        let min_rtt_ms = 8 + rtt_rng.gen_range_inclusive(0, 6);
+        let delay = NetSpec::delay_ms(min_rtt_ms);
+        let load_seed = seed.wrapping_mul(97).wrapping_add(i as u64);
+
+        // Arm 1: the live web — same servers plus real-world variability:
+        // per-origin path latency above the minimum and fast CDN think
+        // time (lower than replay's CGI matcher).
+        let mut web_spec = LoadSpec::new(&site);
+        web_spec.net = delay.clone();
+        web_spec.live_web = Some(LiveWebConfig::default());
+        web_spec.replay.think_time = mm_web::live_think_time(&LiveWebConfig::default());
+        web_spec.seed = load_seed;
+        web.add(run_page_load(&web_spec).plt.as_millis_f64());
+
+        // Arm 2: multi-origin replay.
+        let mut multi_spec = LoadSpec::new(&site);
+        multi_spec.net = delay.clone();
+        multi_spec.seed = load_seed;
+        multi.add(run_page_load(&multi_spec).plt.as_millis_f64());
+
+        // Arm 3: single-server replay.
+        let mut single_spec = LoadSpec::new(&site);
+        single_spec.net = delay;
+        single_spec.replay.mode = ReplayMode::SingleServer;
+        single_spec.seed = load_seed;
+        single.add(run_page_load(&single_spec).plt.as_millis_f64());
+    }
+    Fig3Result { web, multi, single }
+}
+
+/// E5 — §4's corpus statistic: the distribution of physical servers per
+/// website across the 500-site corpus.
+pub fn corpus_stats(n_sites: usize, seed: u64) -> ServerDistribution {
+    let plans = generate_plans(&CorpusConfig {
+        n_sites,
+        seed,
+        single_server_sites: if n_sites >= 500 { 9 } else { n_sites / 55 },
+        ..CorpusConfig::default()
+    });
+    server_distribution(&plans)
+}
+
+/// Deterministic corpus subset used by multi-site experiments: sites are
+/// drawn evenly across the corpus so the subset spans small and large
+/// sites.
+pub fn corpus_subset(n_sites: usize, seed: u64) -> Vec<SitePlan> {
+    let full = generate_plans(&CorpusConfig {
+        n_sites: 500,
+        seed,
+        ..CorpusConfig::default()
+    });
+    if n_sites >= full.len() {
+        return full;
+    }
+    let stride = full.len() / n_sites;
+    full.into_iter()
+        .step_by(stride.max(1))
+        .take(n_sites)
+        .collect()
+}

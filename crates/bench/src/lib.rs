@@ -1,0 +1,10 @@
+//! Experiment implementations reproducing every table and figure in the
+//! paper's evaluation. Each experiment is a plain function so the same
+//! code runs from the `fig2`/`table1`/`table2`/`fig3`/`corpus_stats`
+//! binaries, from criterion benches, and (in reduced form) from the smoke
+//! tests in `tests/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

@@ -1,0 +1,36 @@
+//! Shared terminal reporting for the experiment binaries: paper-vs-measured
+//! tables and ASCII CDF plots.
+
+use mm_sim::stats::ascii_cdf_plot;
+use mm_sim::Summary;
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}
+
+/// Print a paper-vs-measured row.
+pub fn paper_vs_measured(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:<14} measured: {measured}");
+}
+
+/// Print CDF curves for several summaries.
+pub fn plot_cdfs(series: &mut [(&str, &mut Summary)]) {
+    let curves: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter_mut()
+        .map(|(name, s)| (*name, s.cdf(40)))
+        .collect();
+    println!("{}", ascii_cdf_plot(&curves, 64, 16));
+}
+
+/// Format milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    format!("{v:.0} ms")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}

@@ -1,0 +1,497 @@
+//! The browser page-load model.
+//!
+//! Loads a page the way an HTTP/1.1 browser of the paper's era does:
+//! fetch the root document, scan it for subresources, fetch those over
+//! per-origin connection pools (at most 6 persistent connections per
+//! origin, one request at a time per connection, no pipelining), scanning
+//! every textual body for further references until the dependency closure
+//! is exhausted. Page load time is navigation start → last resource
+//! complete, the paper's metric.
+//!
+//! Connection pools are keyed by *URL authority* (host:port), exactly as
+//! real browsers key by origin. Under the single-server ablation the
+//! resolver maps every authority to one server address: the browser still
+//! opens up to 6 connections per origin name, but they all land on a
+//! single machine, whose serialized request matching (one Apache + CGI)
+//! becomes the bottleneck Table 2 and Figure 3 quantify.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mm_http::{write_request, Request, Response, ResponseParser, Url};
+use mm_net::{Host, SocketAddr, SocketApp, SocketEvent, TcpHandle};
+use mm_sim::{SimDuration, Simulator, Timestamp};
+
+use crate::scan::{extract_urls, is_scannable};
+
+/// Browser configuration.
+///
+/// The parse/decode costs model the renderer's single main thread: each
+/// fetched resource occupies the CPU for `parse_delay_base` plus
+/// `parse_delay_per_kb` × size before its subresources are discovered.
+/// Resources queue for the CPU serially, as on a real renderer — this is
+/// what makes bare-ReplayShell page loads land at the multi-second scale
+/// the paper's Figure 2 shows, with network emulation adding on top.
+#[derive(Clone)]
+pub struct BrowserConfig {
+    /// Maximum persistent connections per origin (6, like Chrome/Firefox).
+    pub max_conns_per_origin: usize,
+    /// Fixed main-thread cost per resource (parse/decode/layout share).
+    pub parse_delay_base: SimDuration,
+    /// Additional main-thread cost per KiB of body.
+    pub parse_delay_per_kb: SimDuration,
+    /// Cap on resources fetched per page (runaway guard; real pages in the
+    /// corpus stay far below it).
+    pub max_resources: usize,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        BrowserConfig {
+            max_conns_per_origin: 6,
+            parse_delay_base: SimDuration::from_millis(18),
+            parse_delay_per_kb: SimDuration::from_micros(150),
+            max_resources: 10_000,
+        }
+    }
+}
+
+/// Maps a URL's origin to the address actually serving it (the browser's
+/// stand-in for DNS). Identity in multi-origin replay; all-to-one in the
+/// single-server ablation; arbitrary for live-web models.
+pub type Resolver = Rc<dyn Fn(&Url) -> SocketAddr>;
+
+/// Outcome of one resource fetch.
+#[derive(Debug, Clone)]
+pub struct ResourceTiming {
+    pub url: String,
+    /// When the fetch was queued.
+    pub queued_at: Timestamp,
+    /// When the response completed (or failed).
+    pub finished_at: Timestamp,
+    pub status: u16,
+    pub body_bytes: u64,
+    pub failed: bool,
+}
+
+/// Result of a complete page load.
+#[derive(Debug, Clone)]
+pub struct PageLoadResult {
+    /// Navigation start → last resource complete.
+    pub plt: SimDuration,
+    pub resources: Vec<ResourceTiming>,
+    pub total_body_bytes: u64,
+    pub failures: u64,
+}
+
+impl PageLoadResult {
+    /// Number of resources fetched.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+}
+
+/// The host header a URL implies (port elided when default).
+fn host_header(url: &Url) -> String {
+    let default = (url.scheme == "http" && url.port == 80)
+        || (url.scheme == "https" && url.port == 443);
+    if default {
+        url.host.clone()
+    } else {
+        format!("{}:{}", url.host, url.port)
+    }
+}
+
+struct FetchJob {
+    url: Url,
+    timing_idx: usize,
+}
+
+struct Conn {
+    /// None only during the instant between allocation and `connect`.
+    handle: Option<TcpHandle>,
+    /// In-flight jobs in request order (HTTP/1.1: one at a time here).
+    active: VecDeque<FetchJob>,
+    connected: bool,
+    dead: bool,
+}
+
+type ConnRef = Rc<RefCell<Conn>>;
+
+struct Pool {
+    /// Where this origin's connections actually go (post-resolver).
+    addr: SocketAddr,
+    conns: Vec<ConnRef>,
+    queue: VecDeque<FetchJob>,
+}
+
+struct LoadState {
+    started: Timestamp,
+    seen: HashSet<String>,
+    outstanding: usize,
+    /// Pools keyed by URL authority (`host:port`).
+    pools: HashMap<String, Pool>,
+    timings: Vec<ResourceTiming>,
+    finished_at: Timestamp,
+    /// The renderer main thread is busy until this instant; parse jobs
+    /// serialize behind it.
+    cpu_busy_until: Timestamp,
+    done: Option<Box<dyn FnOnce(&mut Simulator, PageLoadResult)>>,
+}
+
+struct BrowserInner {
+    host: Host,
+    resolver: Resolver,
+    config: BrowserConfig,
+    /// Per-resource CPU-cost jitter: (rng, lognormal sigma). Models run-to-
+    /// run renderer variability (GC pauses, scheduler preemption) — the
+    /// dominant source of PLT variance on a single machine (Table 1).
+    cpu_jitter: Option<(mm_sim::RngStream, f64)>,
+    load: Option<LoadState>,
+}
+
+/// A browser instance bound to a virtual host.
+#[derive(Clone)]
+pub struct Browser {
+    inner: Rc<RefCell<BrowserInner>>,
+}
+
+impl Browser {
+    /// A browser on `host` resolving origins through `resolver`.
+    pub fn new(host: Host, resolver: Resolver, config: BrowserConfig) -> Browser {
+        Browser {
+            inner: Rc::new(RefCell::new(BrowserInner {
+                host,
+                resolver,
+                config,
+                cpu_jitter: None,
+                load: None,
+            })),
+        }
+    }
+
+    /// Install per-resource CPU jitter: each resource's main-thread cost
+    /// is multiplied by a mean-one lognormal factor with the given sigma.
+    pub fn set_cpu_jitter(&self, rng: mm_sim::RngStream, sigma: f64) {
+        assert!(sigma >= 0.0);
+        self.inner.borrow_mut().cpu_jitter = Some((rng, sigma));
+    }
+
+    /// Begin loading `root_url`; `done` fires when the page is complete.
+    /// Panics if a load is already in progress (one page at a time).
+    pub fn navigate(
+        &self,
+        sim: &mut Simulator,
+        root_url: &str,
+        done: impl FnOnce(&mut Simulator, PageLoadResult) + 'static,
+    ) {
+        let url = Url::parse(root_url).expect("valid root URL");
+        {
+            let mut inner = self.inner.borrow_mut();
+            assert!(inner.load.is_none(), "navigation already in progress");
+            inner.load = Some(LoadState {
+                started: sim.now(),
+                seen: HashSet::new(),
+                outstanding: 0,
+                pools: HashMap::new(),
+                timings: Vec::new(),
+                finished_at: sim.now(),
+                cpu_busy_until: sim.now(),
+                done: Some(Box::new(done)),
+            });
+        }
+        self.fetch(sim, url);
+    }
+
+    /// Queue a fetch for `url` (no-op if already seen this load).
+    fn fetch(&self, sim: &mut Simulator, url: Url) {
+        let authority = {
+            let mut inner = self.inner.borrow_mut();
+            let resolver = inner.resolver.clone();
+            let max = inner.config.max_resources;
+            let Some(load) = inner.load.as_mut() else {
+                return;
+            };
+            let key = url.to_string();
+            if load.seen.contains(&key) || load.seen.len() >= max {
+                return;
+            }
+            load.seen.insert(key.clone());
+            load.outstanding += 1;
+            let authority = url.authority();
+            let addr = resolver(&url);
+            let timing_idx = load.timings.len();
+            load.timings.push(ResourceTiming {
+                url: key,
+                queued_at: sim.now(),
+                finished_at: sim.now(),
+                status: 0,
+                body_bytes: 0,
+                failed: false,
+            });
+            let pool = load.pools.entry(authority.clone()).or_insert_with(|| Pool {
+                addr,
+                conns: Vec::new(),
+                queue: VecDeque::new(),
+            });
+            pool.queue.push_back(FetchJob { url, timing_idx });
+            authority
+        };
+        self.pump_pool(sim, &authority);
+    }
+
+    /// Dispatch queued jobs in the pool for `authority`: reuse idle
+    /// connections, open new ones up to the per-origin limit.
+    fn pump_pool(&self, sim: &mut Simulator, authority: &str) {
+        loop {
+            // Find one assignment to perform, then do socket work outside
+            // the borrow.
+            enum Step {
+                Send(TcpHandle, Bytes),
+                Open(SocketAddr),
+                Done,
+            }
+            let step = {
+                let mut inner = self.inner.borrow_mut();
+                let max_conns = inner.config.max_conns_per_origin;
+                let Some(load) = inner.load.as_mut() else {
+                    return;
+                };
+                let Some(pool) = load.pools.get_mut(authority) else {
+                    return;
+                };
+                pool.conns.retain(|c| !c.borrow().dead);
+                if pool.queue.is_empty() {
+                    Step::Done
+                } else if let Some(conn) = pool
+                    .conns
+                    .iter()
+                    .find(|c| {
+                        let c = c.borrow();
+                        c.connected && c.active.is_empty()
+                    })
+                    .cloned()
+                {
+                    let job = pool.queue.pop_front().unwrap();
+                    let req = Self::build_request(&job.url);
+                    let wire = write_request(&req);
+                    let mut c = conn.borrow_mut();
+                    c.active.push_back(job);
+                    let handle = c.handle.clone().expect("connected conn has a handle");
+                    Step::Send(handle, wire)
+                } else if pool.conns.len() < max_conns {
+                    Step::Open(pool.addr)
+                } else {
+                    Step::Done // every conn busy or still connecting
+                }
+            };
+            match step {
+                Step::Done => return,
+                Step::Send(handle, wire) => {
+                    handle.send(sim, wire);
+                }
+                Step::Open(addr) => {
+                    self.open_connection(sim, authority, addr);
+                }
+            }
+        }
+    }
+
+    fn build_request(url: &Url) -> Request {
+        let mut req = Request::get(url.target.clone(), host_header(url));
+        req.headers.append("Accept", "*/*");
+        req
+    }
+
+    fn open_connection(&self, sim: &mut Simulator, authority: &str, addr: SocketAddr) {
+        let host = self.inner.borrow().host.clone();
+        let conn: ConnRef = Rc::new(RefCell::new(Conn {
+            handle: None,
+            active: VecDeque::new(),
+            connected: false,
+            dead: false,
+        }));
+        let app = Rc::new(ConnApp {
+            browser: self.clone(),
+            conn: conn.clone(),
+            authority: authority.to_string(),
+            parser: RefCell::new(ResponseParser::new()),
+        });
+        let handle = host.connect(sim, addr, app);
+        conn.borrow_mut().handle = Some(handle);
+        if let Some(load) = self.inner.borrow_mut().load.as_mut() {
+            if let Some(pool) = load.pools.get_mut(authority) {
+                pool.conns.push(conn);
+            }
+        }
+    }
+
+    /// A connection finished its handshake.
+    fn on_conn_ready(&self, sim: &mut Simulator, authority: &str, conn: &ConnRef) {
+        conn.borrow_mut().connected = true;
+        self.pump_pool(sim, authority);
+    }
+
+    /// A connection died (reset or closed by the server). Re-queue any
+    /// in-flight jobs so they are retried on a fresh connection; if the
+    /// job was already retried, fail it.
+    fn on_conn_dead(&self, sim: &mut Simulator, authority: &str, conn: &ConnRef) {
+        let jobs: Vec<FetchJob> = {
+            let mut c = conn.borrow_mut();
+            c.dead = true;
+            c.connected = false;
+            c.active.drain(..).collect()
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(load) = inner.load.as_mut() {
+                if let Some(pool) = load.pools.get_mut(authority) {
+                    for job in jobs {
+                        // One automatic retry per job: track via timing
+                        // status sentinel (status stays 0 until success).
+                        if load.timings[job.timing_idx].failed {
+                            // Second failure: give up below.
+                            load.timings[job.timing_idx].finished_at = sim.now();
+                            load.outstanding -= 1;
+                            continue;
+                        }
+                        load.timings[job.timing_idx].failed = true;
+                        pool.queue.push_back(job);
+                    }
+                }
+            }
+        }
+        self.pump_pool(sim, authority);
+        self.maybe_finish(sim);
+    }
+
+    /// A complete response arrived for the oldest in-flight job on `conn`.
+    fn on_response(&self, sim: &mut Simulator, authority: &str, conn: &ConnRef, resp: Response) {
+        let job = conn.borrow_mut().active.pop_front();
+        let Some(job) = job else {
+            return; // unsolicited response; ignore
+        };
+        let parse_done_at = {
+            let mut inner = self.inner.borrow_mut();
+            let cfg_base = inner.config.parse_delay_base;
+            let cfg_kb = inner.config.parse_delay_per_kb;
+            let Some(load) = inner.load.as_mut() else {
+                return;
+            };
+            let t = &mut load.timings[job.timing_idx];
+            t.finished_at = sim.now();
+            t.status = resp.status;
+            t.body_bytes = resp.body.len() as u64;
+            t.failed = false;
+            let mut cost = cfg_base + cfg_kb.saturating_mul(resp.body.len() as u64 / 1024);
+            if let Some((rng, sigma)) = inner.cpu_jitter.as_mut() {
+                if *sigma > 0.0 {
+                    // Mean-one lognormal factor (mu = -sigma^2/2).
+                    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+                    let u2 = rng.next_f64();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    let factor = (*sigma * z - *sigma * *sigma / 2.0).exp();
+                    cost = cost.mul_f64(factor);
+                }
+            }
+            let load = inner.load.as_mut().unwrap();
+            // Serialize on the renderer main thread.
+            let start = load.cpu_busy_until.max(sim.now());
+            load.cpu_busy_until = start + cost;
+            load.cpu_busy_until
+        };
+        // This connection is free again.
+        self.pump_pool(sim, authority);
+
+        // Parse for subresources once the main thread has processed this
+        // resource, then retire it.
+        let me = self.clone();
+        let scannable = is_scannable(&resp) && resp.status == 200;
+        let body = resp.body;
+        sim.schedule_at(parse_done_at, move |sim| {
+            if scannable {
+                for url in extract_urls(&body) {
+                    me.fetch(sim, url);
+                }
+            }
+            {
+                let mut inner = me.inner.borrow_mut();
+                if let Some(load) = inner.load.as_mut() {
+                    load.outstanding -= 1;
+                    load.finished_at = sim.now();
+                }
+            }
+            me.maybe_finish(sim);
+        });
+    }
+
+    fn maybe_finish(&self, sim: &mut Simulator) {
+        let finished = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.load.as_mut() {
+                Some(load) if load.outstanding == 0 => {
+                    let load = inner.load.take().unwrap();
+                    Some(load)
+                }
+                _ => None,
+            }
+        };
+        if let Some(load) = finished {
+            let total: u64 = load.timings.iter().map(|t| t.body_bytes).sum();
+            let failures = load
+                .timings
+                .iter()
+                .filter(|t| t.failed || (t.status == 0))
+                .count() as u64;
+            let result = PageLoadResult {
+                plt: load.finished_at.saturating_duration_since(load.started),
+                resources: load.timings,
+                total_body_bytes: total,
+                failures,
+            };
+            if let Some(done) = load.done {
+                done(sim, result);
+            }
+        }
+    }
+}
+
+/// The per-connection socket app.
+struct ConnApp {
+    browser: Browser,
+    conn: ConnRef,
+    authority: String,
+    parser: RefCell<ResponseParser>,
+}
+
+impl SocketApp for ConnApp {
+    fn on_event(&self, sim: &mut Simulator, _h: &TcpHandle, ev: SocketEvent) {
+        match ev {
+            SocketEvent::Connected => {
+                self.browser.on_conn_ready(sim, &self.authority, &self.conn);
+            }
+            SocketEvent::Data(bytes) => {
+                // The browser only issues GETs, and the parser defaults to
+                // "not a HEAD response" when its queue is empty, so no
+                // expect_head bookkeeping is required.
+                let resps = self.parser.borrow_mut().feed(&bytes);
+                match resps {
+                    Ok(resps) => {
+                        for resp in resps {
+                            self.browser
+                                .on_response(sim, &self.authority, &self.conn, resp);
+                        }
+                    }
+                    Err(_) => {
+                        self.browser.on_conn_dead(sim, &self.authority, &self.conn);
+                    }
+                }
+            }
+            SocketEvent::PeerClosed | SocketEvent::Reset => {
+                self.browser.on_conn_dead(sim, &self.authority, &self.conn);
+            }
+        }
+    }
+}

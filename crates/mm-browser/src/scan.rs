@@ -1,0 +1,124 @@
+//! Subresource discovery: scanning fetched bodies for absolute URLs.
+//!
+//! Real browsers discover subresources by parsing HTML/CSS/JS. The corpus
+//! stores bodies whose references are absolute `http(s)://` URLs, so
+//! discovery here is a linear scan for URL literals — the same dependency
+//! structure, without an HTML parser. Only textual content types are
+//! scanned (images and other binaries never reference further resources).
+
+use mm_http::{Response, Url};
+
+/// True if the response's content type can reference subresources.
+pub fn is_scannable(resp: &Response) -> bool {
+    match resp.headers.get("content-type") {
+        Some(ct) => {
+            let ct = ct.to_ascii_lowercase();
+            ct.starts_with("text/")
+                || ct.contains("javascript")
+                || ct.contains("json")
+                || ct.contains("xml")
+        }
+        None => false,
+    }
+}
+
+/// Extract all absolute URLs from a body. Terminators are whitespace,
+/// quotes and markup delimiters; malformed URLs are skipped.
+pub fn extract_urls(body: &[u8]) -> Vec<Url> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let rest = &body[i..];
+        let start = match find_scheme(rest) {
+            Some(off) => i + off,
+            None => break,
+        };
+        let mut end = start;
+        while end < body.len() && !is_terminator(body[end]) {
+            end += 1;
+        }
+        if let Ok(text) = std::str::from_utf8(&body[start..end]) {
+            if let Ok(url) = Url::parse(text) {
+                out.push(url);
+            }
+        }
+        i = end + 1;
+    }
+    out
+}
+
+fn find_scheme(hay: &[u8]) -> Option<usize> {
+    let h = hay.windows(7).position(|w| w == b"http://");
+    let s = hay.windows(8).position(|w| w == b"https://");
+    match (h, s) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    }
+}
+
+fn is_terminator(b: u8) -> bool {
+    b.is_ascii_whitespace() || matches!(b, b'"' | b'\'' | b'<' | b'>' | b')' | b'(' | b',')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn extracts_urls_from_html_like_body() {
+        let body = br#"<html><img src="http://10.0.0.2:80/a.png"> and
+            <script src='https://10.0.0.3:443/lib.js'></script></html>"#;
+        let urls = extract_urls(body);
+        assert_eq!(urls.len(), 2);
+        assert_eq!(urls[0].to_string(), "http://10.0.0.2:80/a.png");
+        assert_eq!(urls[1].to_string(), "https://10.0.0.3:443/lib.js");
+    }
+
+    #[test]
+    fn plain_text_reference_list() {
+        let body = b"http://1.1.1.1/x http://1.1.1.1/y\nhttp://2.2.2.2:8080/z?q=1";
+        let urls = extract_urls(body);
+        assert_eq!(urls.len(), 3);
+        assert_eq!(urls[2].port, 8080);
+        assert_eq!(urls[2].target, "/z?q=1");
+    }
+
+    #[test]
+    fn malformed_urls_skipped() {
+        let body = b"see http:// and http://:80/ but also http://3.3.3.3/ok";
+        let urls = extract_urls(body);
+        assert_eq!(urls.len(), 1);
+        assert_eq!(urls[0].host, "3.3.3.3");
+    }
+
+    #[test]
+    fn no_urls_returns_empty() {
+        assert!(extract_urls(b"just text, no links").is_empty());
+        assert!(extract_urls(b"").is_empty());
+    }
+
+    #[test]
+    fn scannable_content_types() {
+        let html = Response::ok(Bytes::new(), "text/html; charset=utf-8");
+        let css = Response::ok(Bytes::new(), "text/css");
+        let js = Response::ok(Bytes::new(), "application/javascript");
+        let png = Response::ok(Bytes::new(), "image/png");
+        assert!(is_scannable(&html));
+        assert!(is_scannable(&css));
+        assert!(is_scannable(&js));
+        assert!(!is_scannable(&png));
+        let mut nohdr = Response::ok(Bytes::new(), "text/html");
+        nohdr.headers.remove("content-type");
+        assert!(!is_scannable(&nohdr));
+    }
+
+    #[test]
+    fn url_at_end_of_body() {
+        let urls = extract_urls(b"tail: http://9.9.9.9/last");
+        assert_eq!(urls.len(), 1);
+        assert_eq!(urls[0].target, "/last");
+    }
+}

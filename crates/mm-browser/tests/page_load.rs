@@ -1,0 +1,295 @@
+//! End-to-end page loads: browser → ReplayShell over the simulated network.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mm_browser::{Browser, BrowserConfig, PageLoadResult};
+use mm_http::{Request, Response, Url};
+use mm_net::{Host, IpAddr, Namespace, PacketIdGen, SocketAddr};
+use mm_record::{RequestResponsePair, Scheme, StoredSite};
+use mm_replay::{ReplayConfig, ReplayMode, ReplayShell};
+use mm_sim::{SimDuration, Simulator};
+
+fn pair(ip: IpAddr, port: u16, target: &str, body: &str, ctype: &str) -> RequestResponsePair {
+    RequestResponsePair {
+        origin: SocketAddr::new(ip, port),
+        scheme: Scheme::Http,
+        request: Request::get(target, ip.to_string()),
+        response: Response::ok(Bytes::copy_from_slice(body.as_bytes()), ctype),
+    }
+}
+
+/// A three-origin site: root HTML referencing CSS + 2 images; the CSS
+/// references a font on a third origin (depth-2 dependency).
+fn test_site() -> StoredSite {
+    let o1 = IpAddr::new(10, 0, 0, 1);
+    let o2 = IpAddr::new(10, 0, 0, 2);
+    let o3 = IpAddr::new(10, 0, 0, 3);
+    let mut s = StoredSite::new("test-site", "http://10.0.0.1:80/");
+    s.push(pair(
+        o1,
+        80,
+        "/",
+        "<html><link href=\"http://10.0.0.2/style.css\">\
+         <img src=\"http://10.0.0.2/a.png\"><img src=\"http://10.0.0.3/b.png\"></html>",
+        "text/html",
+    ));
+    s.push(pair(
+        o2,
+        80,
+        "/style.css",
+        "@font-face { src: url(http://10.0.0.3/font.woff) }",
+        "text/css",
+    ));
+    s.push(pair(o2, 80, "/a.png", "AAAA", "image/png"));
+    s.push(pair(o3, 80, "/b.png", "BBBB", "image/png"));
+    s.push(pair(o3, 80, "/font.woff", "FONT", "font/woff"));
+    s
+}
+
+struct World {
+    sim: Simulator,
+    browser: Browser,
+    result: Rc<RefCell<Option<PageLoadResult>>>,
+}
+
+fn world(mode: ReplayMode) -> World {
+    let sim = Simulator::new();
+    let root = Namespace::root("world");
+    let ids = PacketIdGen::new();
+    let shell = ReplayShell::new(
+        &root,
+        &test_site(),
+        ReplayConfig {
+            mode,
+            think_time: SimDuration::ZERO,
+        },
+        &ids,
+    );
+    let shell = Rc::new(shell);
+    let client_host = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &root);
+    let resolver: mm_browser::Resolver = {
+        let shell = shell.clone();
+        Rc::new(move |url: &Url| {
+            let origin = SocketAddr::new(url.host.parse().unwrap(), url.port);
+            shell.resolve(origin)
+        })
+    };
+    let browser = Browser::new(client_host, resolver, BrowserConfig::default());
+    World {
+        sim,
+        browser,
+        result: Rc::new(RefCell::new(None)),
+    }
+}
+
+fn run_load(w: &mut World) -> PageLoadResult {
+    let slot = w.result.clone();
+    w.browser.navigate(&mut w.sim, "http://10.0.0.1:80/", move |_sim, r| {
+        *slot.borrow_mut() = Some(r);
+    });
+    w.sim.run();
+    w.result.borrow_mut().take().expect("page load completed")
+}
+
+#[test]
+fn loads_full_dependency_closure() {
+    let mut w = world(ReplayMode::MultiOrigin);
+    let r = run_load(&mut w);
+    assert_eq!(r.resource_count(), 5, "root + css + 2 images + font");
+    assert_eq!(r.failures, 0);
+    assert!(r.plt > SimDuration::ZERO);
+    // The font (depth 2) must have been fetched last or near-last.
+    let font = r
+        .resources
+        .iter()
+        .find(|t| t.url.contains("font.woff"))
+        .unwrap();
+    assert_eq!(font.status, 200);
+    assert_eq!(font.body_bytes, 4);
+}
+
+#[test]
+fn plt_covers_last_resource() {
+    let mut w = world(ReplayMode::MultiOrigin);
+    let r = run_load(&mut w);
+    let last_finish = r.resources.iter().map(|t| t.finished_at).max().unwrap();
+    // PLT includes the post-fetch parse delay of the last resource.
+    assert!(r.plt >= last_finish.saturating_duration_since(mm_sim::Timestamp::ZERO));
+}
+
+#[test]
+fn unrecorded_subresource_is_404_not_hang() {
+    let o1 = IpAddr::new(10, 0, 0, 1);
+    let mut site = StoredSite::new("s", "http://10.0.0.1:80/");
+    site.push(pair(
+        o1,
+        80,
+        "/",
+        "<a href=\"http://10.0.0.1/missing.js\">",
+        "text/html",
+    ));
+    let sim = Simulator::new();
+    let root = Namespace::root("world");
+    let ids = PacketIdGen::new();
+    let shell = Rc::new(ReplayShell::new(
+        &root,
+        &site,
+        ReplayConfig::default(),
+        &ids,
+    ));
+    let client = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &root);
+    let resolver: mm_browser::Resolver = {
+        let shell = shell.clone();
+        Rc::new(move |url: &Url| shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port)))
+    };
+    let browser = Browser::new(client, resolver, BrowserConfig::default());
+    let mut w = World {
+        sim,
+        browser,
+        result: Rc::new(RefCell::new(None)),
+    };
+    let r = run_load(&mut w);
+    assert_eq!(r.resource_count(), 2);
+    let missing = r.resources.iter().find(|t| t.url.contains("missing")).unwrap();
+    assert_eq!(missing.status, 404);
+}
+
+#[test]
+fn single_server_mode_loads_same_content() {
+    let mut multi = world(ReplayMode::MultiOrigin);
+    let rm = run_load(&mut multi);
+    let mut single = world(ReplayMode::SingleServer);
+    let rs = run_load(&mut single);
+    assert_eq!(rm.resource_count(), rs.resource_count());
+    assert_eq!(rm.total_body_bytes, rs.total_body_bytes);
+    assert_eq!(rs.failures, 0);
+}
+
+#[test]
+fn deterministic_plt_for_same_world() {
+    let mut a = world(ReplayMode::MultiOrigin);
+    let ra = run_load(&mut a);
+    let mut b = world(ReplayMode::MultiOrigin);
+    let rb = run_load(&mut b);
+    assert_eq!(ra.plt, rb.plt, "identical worlds give identical PLT");
+}
+
+#[test]
+fn connection_pool_respects_limit() {
+    // A page with 30 images on one origin: at most 6 connections open.
+    let o1 = IpAddr::new(10, 0, 0, 1);
+    let mut body = String::from("<html>");
+    for i in 0..30 {
+        body.push_str(&format!("<img src=\"http://10.0.0.1/img{i}.png\">"));
+    }
+    body.push_str("</html>");
+    let mut site = StoredSite::new("s", "http://10.0.0.1:80/");
+    site.push(pair(o1, 80, "/", &body, "text/html"));
+    for i in 0..30 {
+        site.push(pair(o1, 80, &format!("/img{i}.png"), "IMG", "image/png"));
+    }
+    let sim = Simulator::new();
+    let root = Namespace::root("world");
+    let ids = PacketIdGen::new();
+    let shell = Rc::new(ReplayShell::new(&root, &site, ReplayConfig::default(), &ids));
+    let client = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &root);
+    let resolver: mm_browser::Resolver = {
+        let shell = shell.clone();
+        Rc::new(move |url: &Url| shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port)))
+    };
+    let browser = Browser::new(client.clone(), resolver, BrowserConfig::default());
+    let mut w = World {
+        sim,
+        browser,
+        result: Rc::new(RefCell::new(None)),
+    };
+    let r = run_load(&mut w);
+    assert_eq!(r.resource_count(), 31);
+    // 1 connection for the root + at most 6 total on the single origin.
+    assert!(
+        client.stats().connections_initiated <= 6,
+        "opened {} connections",
+        client.stats().connections_initiated
+    );
+    // The replay server accepted the same number.
+    assert_eq!(
+        shell.hosts[0].stats().connections_accepted,
+        client.stats().connections_initiated
+    );
+}
+
+#[test]
+fn more_origins_means_more_parallelism() {
+    // Same 24 objects on 1 origin vs 4 origins: multi-origin should load
+    // strictly faster because it gets 4x the connection parallelism. This
+    // is the Table 2 mechanism in miniature.
+    fn build(origins: usize) -> (StoredSite, String) {
+        let mut body = String::from("<html>");
+        for i in 0..24 {
+            let ip = IpAddr::new(10, 0, 0, (1 + (i % origins)) as u8);
+            body.push_str(&format!("<img src=\"http://{ip}/img{i}.png\">"));
+        }
+        body.push_str("</html>");
+        let root_ip = IpAddr::new(10, 0, 0, 1);
+        let mut site = StoredSite::new("s", "http://10.0.0.1:80/");
+        site.push(pair(root_ip, 80, "/", &body, "text/html"));
+        for i in 0..24 {
+            let ip = IpAddr::new(10, 0, 0, (1 + (i % origins)) as u8);
+            site.push(pair(
+                ip,
+                80,
+                &format!("/img{i}.png"),
+                &"X".repeat(30_000),
+                "image/png",
+            ));
+        }
+        (site, "http://10.0.0.1:80/".to_string())
+    }
+    let mut plts = Vec::new();
+    for origins in [1usize, 4] {
+        let (site, root_url) = build(origins);
+        let sim = Simulator::new();
+        let root = Namespace::root("world");
+        let ids = PacketIdGen::new();
+        let shell = Rc::new(ReplayShell::new(&root, &site, ReplayConfig::default(), &ids));
+        // Put the browser behind a 30 ms delay shell so handshakes cost
+        // something.
+        let delay = mm_shells::delay_shell(&root, "d", SimDuration::from_millis(30));
+        let client = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &delay.inner_ns);
+        let resolver: mm_browser::Resolver = {
+            let shell = shell.clone();
+            Rc::new(move |url: &Url| {
+                shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port))
+            })
+        };
+        // Minimal CPU model so the test isolates the *network* effect of
+        // origin parallelism (the full experiments use realistic CPU).
+        let light_cpu = BrowserConfig {
+            parse_delay_base: SimDuration::from_micros(200),
+            parse_delay_per_kb: SimDuration::ZERO,
+            ..BrowserConfig::default()
+        };
+        let browser = Browser::new(client, resolver, light_cpu);
+        let mut w = World {
+            sim,
+            browser,
+            result: Rc::new(RefCell::new(None)),
+        };
+        let slot = w.result.clone();
+        w.browser.navigate(&mut w.sim, &root_url, move |_s, r| {
+            *slot.borrow_mut() = Some(r)
+        });
+        w.sim.run();
+        let r = w.result.borrow_mut().take().unwrap();
+        assert_eq!(r.resource_count(), 25);
+        plts.push(r.plt);
+    }
+    assert!(
+        plts[1] < plts[0],
+        "4 origins ({}) should beat 1 origin ({})",
+        plts[1],
+        plts[0]
+    );
+}

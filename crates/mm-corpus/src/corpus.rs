@@ -1,0 +1,167 @@
+//! The 500-site corpus and its paper-calibrated statistics.
+
+use mm_sim::RngStream;
+
+use crate::plan::{plan_site, SiteParams, SitePlan};
+
+/// Corpus-level configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of sites (the paper records the Alexa US Top 500).
+    pub n_sites: usize,
+    /// Master seed; everything else forks from it.
+    pub seed: u64,
+    /// How many sites are forced single-server (the paper reports exactly
+    /// 9 such pages in the Alexa US Top 500).
+    pub single_server_sites: usize,
+    /// Base parameters for every site.
+    pub site_params: SiteParams,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_sites: 500,
+            seed: 2014,
+            single_server_sites: 9,
+            site_params: SiteParams::default(),
+        }
+    }
+}
+
+/// Generate all site plans (cheap: no bodies).
+///
+/// Deterministic per (seed, n_sites): each site forks its own RNG stream,
+/// so regenerating any single site standalone yields the identical plan.
+pub fn generate_plans(config: &CorpusConfig) -> Vec<SitePlan> {
+    let root = RngStream::from_seed(config.seed);
+    // Spread the forced single-server sites across the corpus
+    // deterministically.
+    let single_every = if config.single_server_sites > 0 {
+        config.n_sites / config.single_server_sites.max(1)
+    } else {
+        usize::MAX
+    };
+    (0..config.n_sites)
+        .map(|i| {
+            let mut rng = root.fork_indexed("site", i as u64);
+            let forced_single =
+                config.single_server_sites > 0 && i % single_every.max(1) == 7 % single_every.max(1)
+                    && i / single_every.max(1) < config.single_server_sites;
+            let params = if forced_single {
+                SiteParams {
+                    servers: Some(1),
+                    median_objects: 12.0,
+                    ..config.site_params.clone()
+                }
+            } else {
+                config.site_params.clone()
+            };
+            plan_site(i, &params, &mut rng)
+        })
+        .collect()
+}
+
+/// Distribution summary of servers-per-site (§4's statistic; experiment
+/// E5 regenerates the paper's numbers from this).
+#[derive(Debug, Clone)]
+pub struct ServerDistribution {
+    pub median: usize,
+    pub p95: usize,
+    pub single_server_sites: usize,
+    pub max: usize,
+    pub counts: Vec<usize>,
+}
+
+/// Compute the servers-per-site distribution across plans.
+pub fn server_distribution(plans: &[SitePlan]) -> ServerDistribution {
+    assert!(!plans.is_empty());
+    let mut counts: Vec<usize> = plans.iter().map(|p| p.server_count()).collect();
+    let raw = counts.clone();
+    counts.sort_unstable();
+    let n = counts.len();
+    ServerDistribution {
+        median: counts[(n - 1) / 2],
+        p95: counts[(((n as f64) * 0.95).ceil() as usize).min(n) - 1],
+        single_server_sites: counts.iter().filter(|&&c| c == 1).count(),
+        max: *counts.last().unwrap(),
+        counts: raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_paper_statistics() {
+        let plans = generate_plans(&CorpusConfig::default());
+        assert_eq!(plans.len(), 500);
+        let dist = server_distribution(&plans);
+        // Paper: median 20, p95 51, exactly 9 single-server pages.
+        assert!(
+            (17..=23).contains(&dist.median),
+            "median {} outside calibration band",
+            dist.median
+        );
+        assert!(
+            (43..=60).contains(&dist.p95),
+            "p95 {} outside calibration band",
+            dist.p95
+        );
+        assert_eq!(dist.single_server_sites, 9);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate_plans(&CorpusConfig::default());
+        let b = generate_plans(&CorpusConfig::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.server_count(), y.server_count());
+            assert_eq!(x.total_bytes(), y.total_bytes());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_corpus() {
+        let a = generate_plans(&CorpusConfig::default());
+        let b = generate_plans(&CorpusConfig {
+            seed: 99,
+            ..CorpusConfig::default()
+        });
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.total_bytes() == y.total_bytes())
+            .count();
+        assert!(same < 10, "{same} identical sites across seeds");
+    }
+
+    #[test]
+    fn small_corpus_works() {
+        let plans = generate_plans(&CorpusConfig {
+            n_sites: 20,
+            single_server_sites: 2,
+            ..CorpusConfig::default()
+        });
+        assert_eq!(plans.len(), 20);
+        let dist = server_distribution(&plans);
+        assert_eq!(dist.single_server_sites, 2);
+    }
+
+    #[test]
+    fn page_weights_plausible() {
+        // 2014-era pages: hundreds of KB to a few MB.
+        let plans = generate_plans(&CorpusConfig {
+            n_sites: 50,
+            ..CorpusConfig::default()
+        });
+        let mut weights: Vec<u64> = plans.iter().map(|p| p.total_bytes()).collect();
+        weights.sort_unstable();
+        let median = weights[25];
+        assert!(
+            (300_000..5_000_000).contains(&median),
+            "median page weight {median}"
+        );
+    }
+}

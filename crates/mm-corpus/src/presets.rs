@@ -1,0 +1,105 @@
+//! Named site presets mirroring the specific pages the paper measures:
+//! www.cnbc.com and www.wikihow.com (Table 1) and www.nytimes.com
+//! (Figure 3). Structure parameters approximate 2014-era captures of those
+//! pages: CNBC was a heavy, many-origin news page; wikiHow a lighter
+//! article page; nytimes a large multi-origin news front page.
+
+use mm_sim::RngStream;
+
+use crate::plan::{plan_site, SiteParams, SitePlan};
+
+/// Reserved site indices so preset IP blocks never collide with the
+/// numbered corpus (which uses indices 0..n_sites).
+const CNBC_IDX: usize = 900;
+const WIKIHOW_IDX: usize = 901;
+const NYTIMES_IDX: usize = 902;
+
+/// A CNBC-like page: many origins, heavy scripts, ~7.5 s PLT in the
+/// paper's Table 1 configuration.
+pub fn cnbc_like(seed: u64) -> SitePlan {
+    let mut rng = RngStream::from_seed(seed).fork("cnbc");
+    let params = SiteParams {
+        servers: Some(38),
+        median_objects: 310.0,
+        objects_sigma: 0.06,
+        median_object_bytes: 16_000.0,
+        https_prob: 0.25,
+        nested_ref_prob: 0.35,
+    };
+    let mut plan = plan_site(CNBC_IDX, &params, &mut rng);
+    plan.name = "www.cnbc.com".to_string();
+    plan
+}
+
+/// A wikiHow-like page: moderate size, fewer origins, ~4.8 s PLT in the
+/// paper's Table 1 configuration.
+pub fn wikihow_like(seed: u64) -> SitePlan {
+    let mut rng = RngStream::from_seed(seed).fork("wikihow");
+    let params = SiteParams {
+        servers: Some(12),
+        median_objects: 190.0,
+        objects_sigma: 0.06,
+        median_object_bytes: 15_000.0,
+        https_prob: 0.2,
+        nested_ref_prob: 0.3,
+    };
+    let mut plan = plan_site(WIKIHOW_IDX, &params, &mut rng);
+    plan.name = "www.wikihow.com".to_string();
+    plan
+}
+
+/// An nytimes-like front page: ~60 origins, large page weight (Figure 3's
+/// subject).
+pub fn nytimes_like(seed: u64) -> SitePlan {
+    let mut rng = RngStream::from_seed(seed).fork("nytimes");
+    let params = SiteParams {
+        servers: Some(60),
+        median_objects: 160.0,
+        objects_sigma: 0.06,
+        median_object_bytes: 14_000.0,
+        https_prob: 0.2,
+        nested_ref_prob: 0.3,
+    };
+    let mut plan = plan_site(NYTIMES_IDX, &params, &mut rng);
+    plan.name = "www.nytimes.com".to_string();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let c = cnbc_like(1);
+        let w = wikihow_like(1);
+        let n = nytimes_like(1);
+        assert_eq!(c.server_count(), 38);
+        assert_eq!(w.server_count(), 12);
+        assert_eq!(n.server_count(), 60);
+        assert!(c.objects.len() > w.objects.len());
+        assert!(n.server_count() > c.server_count());
+        assert_eq!(c.name, "www.cnbc.com");
+    }
+
+    #[test]
+    fn presets_deterministic_per_seed() {
+        assert_eq!(cnbc_like(5).total_bytes(), cnbc_like(5).total_bytes());
+        assert_ne!(cnbc_like(5).total_bytes(), cnbc_like(6).total_bytes());
+    }
+
+    #[test]
+    fn preset_ips_disjoint_from_corpus() {
+        let corpus = crate::corpus::generate_plans(&crate::corpus::CorpusConfig {
+            n_sites: 500,
+            ..Default::default()
+        });
+        let preset_ips: std::collections::HashSet<_> =
+            nytimes_like(1).origins.iter().map(|o| o.ip).collect();
+        for plan in &corpus {
+            for o in &plan.origins {
+                assert!(!preset_ips.contains(&o.ip));
+            }
+        }
+    }
+}

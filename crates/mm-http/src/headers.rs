@@ -1,0 +1,206 @@
+//! Case-insensitive, order-preserving HTTP header map.
+//!
+//! Order preservation matters for record-and-replay fidelity: replayed
+//! responses should be byte-comparable to recorded ones, and real servers'
+//! header order is part of that.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One header field (name, value). Name comparison is ASCII
+/// case-insensitive; the original spelling is preserved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Header {
+    pub name: String,
+    pub value: String,
+}
+
+/// An ordered multimap of HTTP headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    fields: Vec<Header>,
+}
+
+impl HeaderMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Append a field, preserving any existing fields of the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.fields.push(Header {
+            name: name.into(),
+            value: value.into(),
+        });
+    }
+
+    /// Set a field, replacing all existing fields of the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.append(name, value.into());
+    }
+
+    /// First value for `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|h| h.name.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+    }
+
+    /// All values for `name`, in order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|h| h.name.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+            .collect()
+    }
+
+    /// True if any field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all fields named `name`; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.fields.len();
+        self.fields.retain(|h| !h.name.eq_ignore_ascii_case(name));
+        before - self.fields.len()
+    }
+
+    /// Number of fields (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Header> {
+        self.fields.iter()
+    }
+
+    /// Parsed `Content-Length`, if present and well-formed.
+    pub fn content_length(&self) -> Option<u64> {
+        self.get("content-length").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// True if `Transfer-Encoding` includes `chunked`.
+    pub fn is_chunked(&self) -> bool {
+        self.get("transfer-encoding")
+            .map(|v| {
+                v.split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("chunked"))
+            })
+            .unwrap_or(false)
+    }
+
+    /// True if `Connection: close` is declared.
+    pub fn connection_close(&self) -> bool {
+        self.get("connection")
+            .map(|v| {
+                v.split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("close"))
+            })
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for h in &self.fields {
+            writeln!(f, "{}: {}", h.name, h.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_get() {
+        let mut h = HeaderMap::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("content-length"));
+    }
+
+    #[test]
+    fn append_keeps_duplicates_set_replaces() {
+        let mut h = HeaderMap::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2"]);
+        assert_eq!(h.get("set-cookie"), Some("a=1"));
+        h.set("Set-Cookie", "c=3");
+        assert_eq!(h.get_all("set-cookie"), vec!["c=3"]);
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = HeaderMap::new();
+        h.append("X-A", "1");
+        h.append("x-a", "2");
+        h.append("X-B", "3");
+        assert_eq!(h.remove("X-A"), 2);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = HeaderMap::new();
+        assert_eq!(h.content_length(), None);
+        h.set("Content-Length", " 1234 ");
+        assert_eq!(h.content_length(), Some(1234));
+        h.set("Content-Length", "nonsense");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn chunked_detection() {
+        let mut h = HeaderMap::new();
+        assert!(!h.is_chunked());
+        h.set("Transfer-Encoding", "gzip, Chunked");
+        assert!(h.is_chunked());
+        h.set("Transfer-Encoding", "gzip");
+        assert!(!h.is_chunked());
+    }
+
+    #[test]
+    fn connection_close_detection() {
+        let mut h = HeaderMap::new();
+        assert!(!h.connection_close());
+        h.set("Connection", "keep-alive");
+        assert!(!h.connection_close());
+        h.set("Connection", "Close");
+        assert!(h.connection_close());
+    }
+
+    #[test]
+    fn display_emits_field_lines() {
+        let mut h = HeaderMap::new();
+        h.append("Host", "example.com");
+        h.append("Accept", "*/*");
+        assert_eq!(h.to_string(), "Host: example.com\nAccept: */*\n");
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut h = HeaderMap::new();
+        for i in 0..10 {
+            h.append(format!("X-{i}"), i.to_string());
+        }
+        let names: Vec<_> = h.iter().map(|f| f.name.clone()).collect();
+        let expect: Vec<_> = (0..10).map(|i| format!("X-{i}")).collect();
+        assert_eq!(names, expect);
+    }
+}

@@ -1,0 +1,149 @@
+//! Serialization of HTTP messages to wire bytes.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::message::{Request, Response};
+
+/// Serialize a request (start line, headers, body) to wire form.
+pub fn write_request(req: &Request) -> Bytes {
+    let mut out = BytesMut::with_capacity(256 + req.body.len());
+    out.put_slice(req.method.as_str().as_bytes());
+    out.put_u8(b' ');
+    out.put_slice(req.target.as_bytes());
+    out.put_u8(b' ');
+    out.put_slice(req.version.as_str().as_bytes());
+    out.put_slice(b"\r\n");
+    for h in req.headers.iter() {
+        out.put_slice(h.name.as_bytes());
+        out.put_slice(b": ");
+        out.put_slice(h.value.as_bytes());
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"\r\n");
+    out.put_slice(&req.body);
+    out.freeze()
+}
+
+/// Serialize a response to wire form. If the headers declare
+/// `Transfer-Encoding: chunked`, the body is emitted as a single chunk plus
+/// terminator (the recorded body is already de-chunked).
+pub fn write_response(resp: &Response) -> Bytes {
+    let mut out = BytesMut::with_capacity(256 + resp.body.len());
+    out.put_slice(resp.version.as_str().as_bytes());
+    out.put_u8(b' ');
+    out.put_slice(resp.status.to_string().as_bytes());
+    out.put_u8(b' ');
+    out.put_slice(resp.reason.as_bytes());
+    out.put_slice(b"\r\n");
+    for h in resp.headers.iter() {
+        out.put_slice(h.name.as_bytes());
+        out.put_slice(b": ");
+        out.put_slice(h.value.as_bytes());
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"\r\n");
+    if resp.headers.is_chunked() && !resp.body.is_empty() {
+        out.put_slice(format!("{:x}\r\n", resp.body.len()).as_bytes());
+        out.put_slice(&resp.body);
+        out.put_slice(b"\r\n0\r\n\r\n");
+    } else {
+        out.put_slice(&resp.body);
+    }
+    out.freeze()
+}
+
+/// Encode a body as chunked transfer coding with the given chunk size
+/// (used by tests and by the live-web model to emulate streaming servers).
+pub fn chunk_body(body: &[u8], chunk_size: usize) -> Bytes {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut out = BytesMut::with_capacity(body.len() + 16 * (body.len() / chunk_size + 2));
+    for chunk in body.chunks(chunk_size) {
+        out.put_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        out.put_slice(chunk);
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"0\r\n\r\n");
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Method, Version};
+    use crate::parser::{RequestParser, ResponseParser};
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::get("/a/b?q=1", "example.com");
+        req.headers.append("Accept-Encoding", "gzip");
+        let wire = write_request(&req);
+        let mut p = RequestParser::new();
+        let back = p.feed(&wire).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], req);
+    }
+
+    #[test]
+    fn request_with_body_round_trip() {
+        let mut req = Request::get("/post", "h");
+        req.method = Method::Post;
+        req.body = Bytes::from_static(b"payload");
+        req.headers.set("Content-Length", "7");
+        let wire = write_request(&req);
+        let mut p = RequestParser::new();
+        let back = p.feed(&wire).unwrap();
+        assert_eq!(back[0].body, req.body);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ok(Bytes::from_static(b"<html></html>"), "text/html");
+        let wire = write_response(&resp);
+        let mut p = ResponseParser::new();
+        p.expect_head(false);
+        let back = p.feed(&wire).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], resp);
+    }
+
+    #[test]
+    fn chunked_response_round_trip() {
+        let mut resp = Response::ok(Bytes::from_static(b"streaming body"), "text/plain");
+        resp.headers.remove("Content-Length");
+        resp.headers.set("Transfer-Encoding", "chunked");
+        let wire = write_response(&resp);
+        let mut p = ResponseParser::new();
+        p.expect_head(false);
+        let back = p.feed(&wire).unwrap();
+        assert_eq!(&back[0].body[..], b"streaming body");
+    }
+
+    #[test]
+    fn http10_version_emitted() {
+        let mut req = Request::get("/", "h");
+        req.version = Version::Http10;
+        let wire = write_request(&req);
+        assert!(wire.starts_with(b"GET / HTTP/1.0\r\n"));
+    }
+
+    #[test]
+    fn chunk_body_parses_back() {
+        let body: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let chunked = chunk_body(&body, 77);
+        let wire = [
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            chunked.to_vec(),
+        ]
+        .concat();
+        let mut p = ResponseParser::new();
+        p.expect_head(false);
+        let back = p.feed(&wire).unwrap();
+        assert_eq!(&back[0].body[..], &body[..]);
+    }
+
+    #[test]
+    fn empty_body_chunk_encoding() {
+        let chunked = chunk_body(b"", 10);
+        assert_eq!(&chunked[..], b"0\r\n\r\n");
+    }
+}

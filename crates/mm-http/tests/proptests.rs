@@ -1,0 +1,138 @@
+//! Property tests: HTTP parse ∘ serialize is the identity, for arbitrary
+//! well-formed messages and arbitrary chunkings of the byte stream.
+
+use bytes::Bytes;
+use mm_http::{
+    chunk_body, write_request, write_response, HeaderMap, Method, Request, RequestParser,
+    Response, ResponseParser, Version,
+};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ;=/.,_-]{0,40}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((arb_token(), arb_header_value()), 0..8)
+}
+
+fn arb_target() -> impl Strategy<Value = String> {
+    "/[a-zA-Z0-9/_.-]{0,30}(\\?[a-zA-Z0-9=&-]{0,20})?".prop_map(|s| s)
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..2000)
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip(
+        target in arb_target(),
+        headers in arb_headers(),
+        body in arb_body(),
+        chunk in 1usize..97,
+    ) {
+        let mut req = Request {
+            method: Method::Post,
+            target,
+            version: Version::Http11,
+            headers: HeaderMap::new(),
+            body: Bytes::from(body.clone()),
+        };
+        req.headers.append("Host", "example.com");
+        for (n, v) in &headers {
+            // Avoid fields that alter framing.
+            if !n.eq_ignore_ascii_case("content-length")
+                && !n.eq_ignore_ascii_case("transfer-encoding") {
+                req.headers.append(n.clone(), v.clone());
+            }
+        }
+        req.headers.set("Content-Length", body.len().to_string());
+        let wire = write_request(&req);
+        // Feed in arbitrary-sized chunks.
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            got.extend(parser.feed(piece).unwrap());
+        }
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(&got[0], &req);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn response_round_trip(
+        status in 200u16..600,
+        headers in arb_headers(),
+        body in arb_body(),
+        chunk in 1usize..97,
+    ) {
+        let mut resp = Response {
+            version: Version::Http11,
+            status,
+            reason: "Test".to_string(),
+            headers: HeaderMap::new(),
+            body: Bytes::from(body.clone()),
+        };
+        for (n, v) in &headers {
+            if !n.eq_ignore_ascii_case("content-length")
+                && !n.eq_ignore_ascii_case("transfer-encoding") {
+                resp.headers.append(n.clone(), v.clone());
+            }
+        }
+        let bodyless = Response::bodyless_status(status);
+        if bodyless {
+            resp.body = Bytes::new();
+        } else {
+            resp.headers.set("Content-Length", body.len().to_string());
+        }
+        let wire = write_response(&resp);
+        let mut parser = ResponseParser::new();
+        parser.expect_head(false);
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            got.extend(parser.feed(piece).unwrap());
+        }
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(&got[0], &resp);
+    }
+
+    #[test]
+    fn chunked_encoding_round_trip(body in arb_body(), chunk_size in 1usize..300, feed in 1usize..71) {
+        let encoded = chunk_body(&body, chunk_size);
+        let head = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let wire = [head.to_vec(), encoded.to_vec()].concat();
+        let mut parser = ResponseParser::new();
+        parser.expect_head(false);
+        let mut got = Vec::new();
+        for piece in wire.chunks(feed) {
+            got.extend(parser.feed(piece).unwrap());
+        }
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(&got[0].body[..], &body[..]);
+    }
+
+    #[test]
+    fn url_round_trip(
+        host in "[a-z0-9.]{1,20}",
+        port in 1u16..65535,
+        target in arb_target(),
+    ) {
+        prop_assume!(!host.starts_with('.') && !host.ends_with('.'));
+        let text = format!("http://{host}:{port}{target}");
+        let url = mm_http::Url::parse(&text).unwrap();
+        prop_assert_eq!(url.to_string(), text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..500)) {
+        let mut p = RequestParser::new();
+        let _ = p.feed(&data); // may Err, must not panic
+        let mut p = ResponseParser::new();
+        let _ = p.feed(&data);
+    }
+}

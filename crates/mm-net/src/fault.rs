@@ -1,0 +1,357 @@
+//! Fault-injection elements, in the spirit of smoltcp's example harness:
+//! random drop, random corruption, reordering, and a token-bucket rate
+//! limiter. These compose like any other sink and are used by the test
+//! suite to exercise TCP loss recovery and by examples demonstrating
+//! adverse network conditions.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mm_sim::{RngStream, SimDuration, Simulator};
+
+use crate::packet::Packet;
+use crate::sink::{PacketSink, SinkRef};
+
+/// Statistics shared by fault elements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    pub seen: u64,
+    pub affected: u64,
+}
+
+/// Drops each packet independently with probability `p`.
+pub struct RandomDrop {
+    p: f64,
+    rng: RefCell<RngStream>,
+    stats: RefCell<FaultStats>,
+    next: SinkRef,
+}
+
+impl RandomDrop {
+    /// `p` in `[0, 1]`.
+    pub fn new(p: f64, rng: RngStream, next: SinkRef) -> Rc<Self> {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        Rc::new(RandomDrop {
+            p,
+            rng: RefCell::new(rng),
+            stats: RefCell::new(FaultStats::default()),
+            next,
+        })
+    }
+
+    /// (seen, dropped) so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.borrow()
+    }
+}
+
+impl PacketSink for RandomDrop {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        let drop = self.rng.borrow_mut().gen_bool(self.p);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.seen += 1;
+            if drop {
+                s.affected += 1;
+            }
+        }
+        if !drop {
+            self.next.deliver(sim, pkt);
+        }
+    }
+}
+
+/// Marks each packet corrupted with probability `p`. Receiving hosts treat
+/// corrupted packets as checksum failures and discard them — the same
+/// observable effect as real bit corruption, without modelling payload bits.
+pub struct RandomCorrupt {
+    p: f64,
+    rng: RefCell<RngStream>,
+    stats: RefCell<FaultStats>,
+    next: SinkRef,
+}
+
+impl RandomCorrupt {
+    /// `p` in `[0, 1]`.
+    pub fn new(p: f64, rng: RngStream, next: SinkRef) -> Rc<Self> {
+        assert!((0.0..=1.0).contains(&p), "corrupt probability out of range");
+        Rc::new(RandomCorrupt {
+            p,
+            rng: RefCell::new(rng),
+            stats: RefCell::new(FaultStats::default()),
+            next,
+        })
+    }
+
+    /// (seen, corrupted) so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.borrow()
+    }
+}
+
+impl PacketSink for RandomCorrupt {
+    fn deliver(&self, sim: &mut Simulator, mut pkt: Packet) {
+        let corrupt = self.rng.borrow_mut().gen_bool(self.p);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.seen += 1;
+            if corrupt {
+                s.affected += 1;
+            }
+        }
+        if corrupt {
+            pkt.corrupted = true;
+        }
+        self.next.deliver(sim, pkt);
+    }
+}
+
+/// With probability `p`, holds a packet for `extra_delay`, letting packets
+/// behind it overtake — the classic reordering fault.
+pub struct Reorder {
+    p: f64,
+    extra_delay: SimDuration,
+    rng: RefCell<RngStream>,
+    stats: RefCell<FaultStats>,
+    next: SinkRef,
+}
+
+impl Reorder {
+    /// `p` in `[0, 1]`; `extra_delay` is how far a reordered packet lags.
+    pub fn new(p: f64, extra_delay: SimDuration, rng: RngStream, next: SinkRef) -> Rc<Self> {
+        assert!((0.0..=1.0).contains(&p), "reorder probability out of range");
+        Rc::new(Reorder {
+            p,
+            extra_delay,
+            rng: RefCell::new(rng),
+            stats: RefCell::new(FaultStats::default()),
+            next,
+        })
+    }
+
+    /// (seen, reordered) so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.borrow()
+    }
+}
+
+impl PacketSink for Reorder {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        let hold = self.rng.borrow_mut().gen_bool(self.p);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.seen += 1;
+            if hold {
+                s.affected += 1;
+            }
+        }
+        if hold {
+            let next = self.next.clone();
+            sim.schedule_in(self.extra_delay, move |sim| next.deliver(sim, pkt));
+        } else {
+            self.next.deliver(sim, pkt);
+        }
+    }
+}
+
+/// Token-bucket policer: packets that arrive when the bucket lacks tokens
+/// are dropped (policing, not shaping — shaping is LinkShell's job).
+/// Tokens are denominated in bytes.
+pub struct TokenBucket {
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    state: RefCell<BucketState>,
+    stats: RefCell<FaultStats>,
+    next: SinkRef,
+}
+
+struct BucketState {
+    tokens: f64,
+    last_refill: mm_sim::Timestamp,
+}
+
+impl TokenBucket {
+    /// A bucket refilled at `rate_bytes_per_sec` with capacity
+    /// `burst_bytes`, starting full.
+    pub fn new(rate_bytes_per_sec: f64, burst_bytes: f64, next: SinkRef) -> Rc<Self> {
+        assert!(rate_bytes_per_sec > 0.0 && burst_bytes > 0.0);
+        Rc::new(TokenBucket {
+            rate_bytes_per_sec,
+            burst_bytes,
+            state: RefCell::new(BucketState {
+                tokens: burst_bytes,
+                last_refill: mm_sim::Timestamp::ZERO,
+            }),
+            stats: RefCell::new(FaultStats::default()),
+            next,
+        })
+    }
+
+    /// (seen, policed) so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.borrow()
+    }
+}
+
+impl PacketSink for TokenBucket {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        let pass = {
+            let mut st = self.state.borrow_mut();
+            let elapsed = sim.now().saturating_duration_since(st.last_refill);
+            st.tokens = (st.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec)
+                .min(self.burst_bytes);
+            st.last_refill = sim.now();
+            let need = pkt.wire_size() as f64;
+            if st.tokens >= need {
+                st.tokens -= need;
+                true
+            } else {
+                false
+            }
+        };
+        {
+            let mut s = self.stats.borrow_mut();
+            s.seen += 1;
+            if !pass {
+                s.affected += 1;
+            }
+        }
+        if pass {
+            self.next.deliver(sim, pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{IpAddr, SocketAddr};
+    use crate::packet::{TcpFlags, TcpSegment};
+    use crate::sink::{Capture, Tap};
+    use bytes::Bytes;
+
+    fn pkt(id: u64, payload: usize) -> Packet {
+        Packet {
+            id,
+            src: SocketAddr::new(IpAddr::new(1, 1, 1, 1), 1),
+            dst: SocketAddr::new(IpAddr::new(2, 2, 2, 2), 2),
+            segment: TcpSegment {
+                flags: TcpFlags::ACK,
+                seq: 0,
+                ack: 0,
+                window: 0,
+                payload: Bytes::from(vec![0; payload]),
+            },
+            corrupted: false,
+        }
+    }
+
+    fn capture_sink() -> (Capture, SinkRef) {
+        let cap = Capture::new();
+        let sink = Tap::new(cap.clone(), crate::sink::BlackHole::new());
+        (cap, sink)
+    }
+
+    #[test]
+    fn drop_rate_approximates_p() {
+        let mut sim = Simulator::new();
+        let (cap, sink) = capture_sink();
+        let dropper = RandomDrop::new(0.3, RngStream::from_seed(1), sink);
+        for i in 0..10_000 {
+            dropper.deliver(&mut sim, pkt(i, 0));
+        }
+        let s = dropper.stats();
+        assert_eq!(s.seen, 10_000);
+        let rate = s.affected as f64 / s.seen as f64;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate}");
+        assert_eq!(cap.len() as u64, s.seen - s.affected);
+    }
+
+    #[test]
+    fn drop_zero_and_one() {
+        let mut sim = Simulator::new();
+        let (cap, sink) = capture_sink();
+        let never = RandomDrop::new(0.0, RngStream::from_seed(2), sink.clone());
+        let always = RandomDrop::new(1.0, RngStream::from_seed(3), sink);
+        for i in 0..100 {
+            never.deliver(&mut sim, pkt(i, 0));
+            always.deliver(&mut sim, pkt(i, 0));
+        }
+        assert_eq!(cap.len(), 100);
+        assert_eq!(always.stats().affected, 100);
+    }
+
+    #[test]
+    fn corrupt_marks_packets() {
+        let mut sim = Simulator::new();
+        let seen = Rc::new(RefCell::new(0u64));
+        let s = seen.clone();
+        let sink = crate::sink::FnSink::new(move |_, p: Packet| {
+            if p.corrupted {
+                *s.borrow_mut() += 1;
+            }
+        });
+        let c = RandomCorrupt::new(0.5, RngStream::from_seed(4), sink);
+        for i in 0..1000 {
+            c.deliver(&mut sim, pkt(i, 10));
+        }
+        let frac = *seen.borrow() as f64 / 1000.0;
+        assert!((frac - 0.5).abs() < 0.06, "corrupt frac {frac}");
+    }
+
+    #[test]
+    fn reorder_delays_some_packets() {
+        let mut sim = Simulator::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = order.clone();
+        let sink = crate::sink::FnSink::new(move |_, p: Packet| o.borrow_mut().push(p.id));
+        let r = Reorder::new(
+            0.5,
+            SimDuration::from_millis(10),
+            RngStream::from_seed(5),
+            sink,
+        );
+        let r2 = r.clone();
+        sim.schedule_now(move |sim| {
+            for i in 0..20 {
+                r2.deliver(sim, pkt(i, 0));
+            }
+        });
+        sim.run();
+        let got = order.borrow().clone();
+        assert_eq!(got.len(), 20);
+        assert_ne!(got, (0..20).collect::<Vec<_>>(), "expected reordering");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn token_bucket_polices_burst() {
+        let mut sim = Simulator::new();
+        let (cap, sink) = capture_sink();
+        // 1500 B/s, burst of 3000 B: two 1500-byte packets pass, rest drop.
+        let tb = TokenBucket::new(1500.0, 3000.0, sink);
+        for i in 0..5 {
+            tb.deliver(&mut sim, pkt(i, 1460));
+        }
+        assert_eq!(cap.len(), 2);
+        assert_eq!(tb.stats().affected, 3);
+    }
+
+    #[test]
+    fn token_bucket_refills_over_time() {
+        let mut sim = Simulator::new();
+        let (cap, sink) = capture_sink();
+        let tb = TokenBucket::new(1500.0, 1500.0, sink);
+        let tb1 = tb.clone();
+        sim.schedule_now(move |sim| tb1.deliver(sim, pkt(0, 1460)));
+        let tb2 = tb.clone();
+        // After 1 second the bucket has refilled enough for another MTU.
+        sim.schedule_at(mm_sim::Timestamp::from_secs(1), move |sim| {
+            tb2.deliver(sim, pkt(1, 1460))
+        });
+        sim.run();
+        assert_eq!(cap.len(), 2);
+    }
+}

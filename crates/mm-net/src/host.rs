@@ -1,0 +1,612 @@
+//! Virtual hosts: socket demultiplexing, listeners, ephemeral ports, and
+//! optional per-host processing noise (the "two machines" of Table 1).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mm_sim::dist::Distribution;
+use mm_sim::{RngStream, SimDuration, Simulator};
+
+use crate::addr::{IpAddr, SocketAddr};
+use crate::fabric::Namespace;
+use crate::packet::{Packet, TcpFlags, TcpSegment};
+use crate::sink::{BlackHole, PacketSink, SinkRef};
+use crate::tcp::socket::{SocketApp, TcpConfig, TcpHandle};
+
+/// Generates simulation-unique packet ids. One per experiment world,
+/// shared by every host.
+#[derive(Clone, Default)]
+pub struct PacketIdGen(Rc<Cell<u64>>);
+
+impl PacketIdGen {
+    /// Fresh generator starting at zero.
+    pub fn new() -> Self {
+        PacketIdGen::default()
+    }
+
+    pub(crate) fn shared(&self) -> Rc<Cell<u64>> {
+        self.0.clone()
+    }
+}
+
+/// Accepts inbound connections on a listening port.
+pub trait Listener {
+    /// A new connection completed its SYN; return the application that
+    /// will own it. Called before the handshake finishes, so the app's
+    /// first event is `Connected`.
+    fn on_connection(&self, sim: &mut Simulator, handle: TcpHandle) -> Rc<dyn SocketApp>;
+}
+
+/// Per-host counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostStats {
+    pub packets_in: u64,
+    pub packets_out: u64,
+    pub corrupted_dropped: u64,
+    pub rst_sent: u64,
+    pub connections_accepted: u64,
+    pub connections_initiated: u64,
+}
+
+/// Per-packet processing noise: models host scheduling/timer jitter so two
+/// "machines" with different noise seeds produce slightly different but
+/// statistically equivalent timings (Table 1).
+pub struct HostNoise {
+    rng: RngStream,
+    dist: Box<dyn Distribution>,
+}
+
+impl HostNoise {
+    /// `dist` samples a delay in microseconds.
+    pub fn new(rng: RngStream, dist: Box<dyn Distribution>) -> Self {
+        HostNoise { rng, dist }
+    }
+
+    fn sample(&mut self) -> SimDuration {
+        let us = self.dist.sample(&mut self.rng).max(0.0);
+        SimDuration::from_nanos((us * 1000.0) as u64)
+    }
+}
+
+struct HostInner {
+    ip: IpAddr,
+    egress: SinkRef,
+    sockets: HashMap<(SocketAddr, SocketAddr), TcpHandle>,
+    listeners: HashMap<u16, Rc<dyn Listener>>,
+    /// Transparent-intercept listener: accepts a SYN to *any* (ip, port),
+    /// binding the socket to the packet's original destination — the
+    /// simulated equivalent of an iptables REDIRECT + SO_ORIGINAL_DST
+    /// man-in-the-middle, which is how RecordShell's proxy operates.
+    catch_all: Option<Rc<dyn Listener>>,
+    next_ephemeral: u16,
+    ids: PacketIdGen,
+    config: TcpConfig,
+    noise: Option<HostNoise>,
+    /// Dispatch-ordering floor: host noise must never reorder a host's
+    /// inbound packet stream (real scheduler jitter delays the whole
+    /// softirq queue, it does not swap packets), so dispatch times are
+    /// monotone per host.
+    last_dispatch_at: mm_sim::Timestamp,
+    stats: HostStats,
+}
+
+/// A virtual host. Cloning yields another handle to the same host.
+#[derive(Clone)]
+pub struct Host {
+    inner: Rc<RefCell<HostInner>>,
+}
+
+impl Host {
+    /// Create a host with the given address. It must be attached to a
+    /// namespace (or given an egress) before its packets go anywhere.
+    pub fn new(ip: IpAddr, ids: PacketIdGen) -> Self {
+        Host {
+            inner: Rc::new(RefCell::new(HostInner {
+                ip,
+                egress: BlackHole::new(),
+                sockets: HashMap::new(),
+                listeners: HashMap::new(),
+                catch_all: None,
+                next_ephemeral: 32768,
+                ids,
+                config: TcpConfig::default(),
+                noise: None,
+                last_dispatch_at: mm_sim::Timestamp::ZERO,
+                stats: HostStats::default(),
+            })),
+        }
+    }
+
+    /// Create and attach to `ns` in one step.
+    pub fn new_in(ip: IpAddr, ids: PacketIdGen, ns: &Namespace) -> Self {
+        let host = Host::new(ip, ids);
+        host.attach(ns);
+        host
+    }
+
+    /// This host's IP address.
+    pub fn ip(&self) -> IpAddr {
+        self.inner.borrow().ip
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> HostStats {
+        self.inner.borrow().stats
+    }
+
+    /// Replace the default TCP configuration used for new sockets.
+    pub fn set_tcp_config(&self, config: TcpConfig) {
+        self.inner.borrow_mut().config = config;
+    }
+
+    /// Current default TCP configuration.
+    pub fn tcp_config(&self) -> TcpConfig {
+        self.inner.borrow().config.clone()
+    }
+
+    /// Install per-packet processing noise (host profile).
+    pub fn set_noise(&self, noise: HostNoise) {
+        self.inner.borrow_mut().noise = Some(noise);
+    }
+
+    /// Register this host in a namespace: sets the egress to the
+    /// namespace's router and registers the delivery sink.
+    pub fn attach(&self, ns: &Namespace) {
+        self.inner.borrow_mut().egress = ns.router();
+        ns.add_host(self.ip(), self.sink());
+    }
+
+    /// Point this host's egress at an arbitrary sink (used by proxy hosts
+    /// that inject traffic into a namespace they are not addressed in).
+    pub fn set_egress(&self, sink: SinkRef) {
+        self.inner.borrow_mut().egress = sink;
+    }
+
+    /// The sink through which the network delivers packets to this host.
+    pub fn sink(&self) -> SinkRef {
+        Rc::new(HostSink { host: self.clone() })
+    }
+
+    /// Listen for connections on `port`. Panics if the port is taken.
+    pub fn listen(&self, port: u16, listener: Rc<dyn Listener>) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            !inner.listeners.contains_key(&port),
+            "host {}: port {port} already listening",
+            inner.ip
+        );
+        inner.listeners.insert(port, listener);
+    }
+
+    /// Install a transparent-intercept listener: every inbound SYN is
+    /// accepted regardless of destination address, with the socket bound
+    /// to the original destination (MITM proxying).
+    pub fn listen_any(&self, listener: Rc<dyn Listener>) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.catch_all.is_none(), "catch-all listener already set");
+        inner.catch_all = Some(listener);
+    }
+
+    /// Stop listening on `port`.
+    pub fn unlisten(&self, port: u16) {
+        self.inner.borrow_mut().listeners.remove(&port);
+    }
+
+    /// Open a connection to `remote`; `app` receives socket events.
+    pub fn connect(
+        &self,
+        sim: &mut Simulator,
+        remote: SocketAddr,
+        app: Rc<dyn SocketApp>,
+    ) -> TcpHandle {
+        let (local, egress, ids, config) = {
+            let mut inner = self.inner.borrow_mut();
+            let port = inner.alloc_ephemeral(remote);
+            inner.stats.connections_initiated += 1;
+            (
+                SocketAddr::new(inner.ip, port),
+                inner.egress.clone(),
+                inner.ids.shared(),
+                inner.config.clone(),
+            )
+        };
+        let handle = TcpHandle::connect(sim, local, remote, config, egress, ids, app);
+        self.inner
+            .borrow_mut()
+            .sockets
+            .insert((local, remote), handle.clone());
+        handle
+    }
+
+    /// Number of live sockets (tests/diagnostics).
+    pub fn socket_count(&self) -> usize {
+        self.inner.borrow().sockets.len()
+    }
+
+    /// Drop closed sockets from the demux table.
+    pub fn reap_closed(&self) {
+        self.inner
+            .borrow_mut()
+            .sockets
+            .retain(|_, h| h.state() != crate::tcp::socket::TcpState::Closed);
+    }
+
+    fn dispatch(&self, sim: &mut Simulator, pkt: Packet) {
+        enum Action {
+            Socket(TcpHandle),
+            Accept(Rc<dyn Listener>),
+            Rst,
+            Drop,
+        }
+        let action = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.packets_in += 1;
+            if pkt.corrupted {
+                inner.stats.corrupted_dropped += 1;
+                Action::Drop
+            } else if pkt.dst.ip != inner.ip && inner.catch_all.is_none() {
+                // Misdelivered packet (shouldn't happen with correct
+                // routing); drop silently but count it.
+                Action::Drop
+            } else if let Some(h) = inner.sockets.get(&(pkt.dst, pkt.src)) {
+                Action::Socket(h.clone())
+            } else if pkt.segment.flags.syn && !pkt.segment.flags.ack {
+                match inner.listeners.get(&pkt.dst.port) {
+                    Some(l) => Action::Accept(l.clone()),
+                    None => match &inner.catch_all {
+                        Some(l) => Action::Accept(l.clone()),
+                        None => Action::Rst,
+                    },
+                }
+            } else if pkt.segment.flags.rst {
+                Action::Drop
+            } else {
+                Action::Rst
+            }
+        };
+        match action {
+            Action::Drop => {}
+            Action::Socket(h) => h.handle_segment(sim, pkt.segment),
+            Action::Accept(listener) => self.accept(sim, listener, pkt),
+            Action::Rst => {
+                let (egress, id) = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.rst_sent += 1;
+                    inner.stats.packets_out += 1;
+                    let id = inner.ids.shared().get();
+                    inner.ids.shared().set(id + 1);
+                    (inner.egress.clone(), id)
+                };
+                let rst = Packet {
+                    id,
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    segment: TcpSegment {
+                        flags: TcpFlags::RST,
+                        seq: pkt.segment.ack,
+                        ack: pkt.segment.seq_end(),
+                        window: 0,
+                        payload: bytes::Bytes::new(),
+                    },
+                    corrupted: false,
+                };
+                egress.deliver(sim, rst);
+            }
+        }
+    }
+
+    fn accept(&self, sim: &mut Simulator, listener: Rc<dyn Listener>, pkt: Packet) {
+        let (egress, ids, config) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.connections_accepted += 1;
+            (
+                inner.egress.clone(),
+                inner.ids.shared(),
+                inner.config.clone(),
+            )
+        };
+        // Two-phase accept: the placeholder app is replaced before any
+        // event can fire (SYN-ACK produces no app events).
+        struct NoApp;
+        impl SocketApp for NoApp {
+            fn on_event(&self, _: &mut Simulator, _: &TcpHandle, _: crate::tcp::socket::SocketEvent) {
+            }
+        }
+        let handle = TcpHandle::accept(
+            sim,
+            pkt.dst,
+            pkt.src,
+            &pkt.segment,
+            config,
+            egress,
+            ids,
+            Rc::new(NoApp),
+        );
+        let app = listener.on_connection(sim, handle.clone());
+        handle.set_app(app);
+        self.inner
+            .borrow_mut()
+            .sockets
+            .insert((pkt.dst, pkt.src), handle);
+    }
+}
+
+impl HostInner {
+    fn alloc_ephemeral(&mut self, remote: SocketAddr) -> u16 {
+        // Linear probe from the cursor; 28k ports is far more than any
+        // page load needs.
+        for _ in 0..28_000 {
+            let port = self.next_ephemeral;
+            self.next_ephemeral = if self.next_ephemeral >= 60_999 {
+                32768
+            } else {
+                self.next_ephemeral + 1
+            };
+            let local = SocketAddr::new(self.ip, port);
+            if !self.sockets.contains_key(&(local, remote)) && !self.listeners.contains_key(&port)
+            {
+                return port;
+            }
+        }
+        panic!("host {}: ephemeral ports exhausted", self.ip);
+    }
+}
+
+struct HostSink {
+    host: Host,
+}
+
+impl PacketSink for HostSink {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        // Defer through the event queue so application logic never runs
+        // inside another element's borrow, applying host noise if any.
+        let host = self.host.clone();
+        let at = {
+            let mut inner = self.host.inner.borrow_mut();
+            let delay = match inner.noise.as_mut() {
+                Some(n) => n.sample(),
+                None => SimDuration::ZERO,
+            };
+            let at = (sim.now() + delay).max(inner.last_dispatch_at);
+            inner.last_dispatch_at = at;
+            at
+        };
+        sim.schedule_at(at, move |sim| host.dispatch(sim, pkt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::socket::{SocketEvent, TcpState};
+    use bytes::Bytes;
+
+    /// An app that records events and can echo or respond.
+    struct Recorder {
+        events: Rc<RefCell<Vec<String>>>,
+        data: Rc<RefCell<Vec<u8>>>,
+    }
+
+    impl Recorder {
+        fn new() -> (Rc<Self>, Rc<RefCell<Vec<String>>>, Rc<RefCell<Vec<u8>>>) {
+            let events = Rc::new(RefCell::new(Vec::new()));
+            let data = Rc::new(RefCell::new(Vec::new()));
+            (
+                Rc::new(Recorder {
+                    events: events.clone(),
+                    data: data.clone(),
+                }),
+                events,
+                data,
+            )
+        }
+    }
+
+    impl SocketApp for Recorder {
+        fn on_event(&self, _sim: &mut Simulator, _h: &TcpHandle, ev: SocketEvent) {
+            match ev {
+                SocketEvent::Connected => self.events.borrow_mut().push("connected".into()),
+                SocketEvent::Data(b) => {
+                    self.events.borrow_mut().push(format!("data:{}", b.len()));
+                    self.data.borrow_mut().extend_from_slice(&b);
+                }
+                SocketEvent::PeerClosed => self.events.borrow_mut().push("peer_closed".into()),
+                SocketEvent::Reset => self.events.borrow_mut().push("reset".into()),
+            }
+        }
+    }
+
+    /// Echo server listener: replies with whatever it receives.
+    struct EchoListener;
+    impl Listener for EchoListener {
+        fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+            struct Echo;
+            impl SocketApp for Echo {
+                fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+                    if let SocketEvent::Data(b) = ev {
+                        h.send(sim, b);
+                    }
+                }
+            }
+            Rc::new(Echo)
+        }
+    }
+
+    fn two_host_world() -> (Simulator, Namespace, Host, Host) {
+        let sim = Simulator::new();
+        let ns = Namespace::root("world");
+        let ids = PacketIdGen::new();
+        let client = Host::new_in(IpAddr::new(10, 0, 0, 1), ids.clone(), &ns);
+        let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+        (sim, ns, client, server)
+    }
+
+    #[test]
+    fn connect_handshake_completes() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        let (app, events, _) = Recorder::new();
+        let remote = SocketAddr::new(server.ip(), 80);
+        let h = client.connect(&mut sim, remote, app);
+        sim.run();
+        assert_eq!(h.state(), TcpState::Established);
+        assert_eq!(*events.borrow(), vec!["connected"]);
+        assert_eq!(server.stats().connections_accepted, 1);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        let (app, _events, data) = Recorder::new();
+        let remote = SocketAddr::new(server.ip(), 80);
+        let h = client.connect(&mut sim, remote, app);
+        h.send(&mut sim, Bytes::from_static(b"ping"));
+        sim.run();
+        assert_eq!(&data.borrow()[..], b"ping");
+    }
+
+    #[test]
+    fn large_transfer_integrity() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        let (app, _events, data) = Recorder::new();
+        let remote = SocketAddr::new(server.ip(), 80);
+        let h = client.connect(&mut sim, remote, app);
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        h.send(&mut sim, Bytes::from(payload.clone()));
+        sim.run();
+        assert_eq!(data.borrow().len(), payload.len());
+        assert_eq!(&data.borrow()[..], &payload[..]);
+    }
+
+    #[test]
+    fn connect_to_closed_port_resets() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        let (app, events, _) = Recorder::new();
+        let remote = SocketAddr::new(server.ip(), 81);
+        let h = client.connect(&mut sim, remote, app);
+        sim.run_until(mm_sim::Timestamp::from_secs(2));
+        assert_eq!(h.state(), TcpState::Closed);
+        assert_eq!(*events.borrow(), vec!["reset"]);
+        assert_eq!(server.stats().rst_sent, 1);
+    }
+
+    #[test]
+    fn graceful_close_both_directions() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        struct CloseOnData;
+        impl Listener for CloseOnData {
+            fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+                struct App;
+                impl SocketApp for App {
+                    fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+                        match ev {
+                            SocketEvent::Data(b) => {
+                                h.send(sim, b);
+                                h.close(sim);
+                            }
+                            SocketEvent::PeerClosed => {}
+                            _ => {}
+                        }
+                    }
+                }
+                Rc::new(App)
+            }
+        }
+        server.listen(80, Rc::new(CloseOnData));
+        let (app, events, data) = Recorder::new();
+        let remote = SocketAddr::new(server.ip(), 80);
+        let h = client.connect(&mut sim, remote, app);
+        h.send(&mut sim, Bytes::from_static(b"bye"));
+        sim.run_until(mm_sim::Timestamp::from_secs(1));
+        // Server echoed then closed; client saw data + peer_closed.
+        assert_eq!(&data.borrow()[..], b"bye");
+        assert!(events.borrow().contains(&"peer_closed".to_string()));
+        // Client closes too; both reach Closed.
+        h.close(&mut sim);
+        sim.run_until(mm_sim::Timestamp::from_secs(2));
+        assert_eq!(h.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn duplicate_listen_panics() {
+        let (_sim, _ns, _client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.listen(80, Rc::new(EchoListener));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn ephemeral_ports_distinct() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        let remote = SocketAddr::new(server.ip(), 80);
+        let mut ports = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let (app, _, _) = Recorder::new();
+            let h = client.connect(&mut sim, remote, app);
+            assert!(ports.insert(h.local_addr().port));
+        }
+        sim.run();
+        assert_eq!(client.socket_count(), 50);
+    }
+
+    #[test]
+    fn corrupted_packets_dropped_at_host() {
+        let (mut sim, ns, client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        // Deliver a corrupted packet directly to the server's sink.
+        let pkt = Packet {
+            id: 999,
+            src: SocketAddr::new(client.ip(), 5555),
+            dst: SocketAddr::new(server.ip(), 80),
+            segment: TcpSegment {
+                flags: TcpFlags::SYN,
+                seq: 0,
+                ack: 0,
+                window: 0,
+                payload: Bytes::new(),
+            },
+            corrupted: true,
+        };
+        ns.router().deliver(&mut sim, pkt);
+        sim.run();
+        assert_eq!(server.stats().corrupted_dropped, 1);
+        assert_eq!(server.stats().connections_accepted, 0);
+    }
+
+    #[test]
+    fn reap_closed_removes_sockets() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        let (app, _, _) = Recorder::new();
+        // Connect to closed port: resets quickly.
+        let remote = SocketAddr::new(server.ip(), 9);
+        let _ = client.connect(&mut sim, remote, app);
+        sim.run_until(mm_sim::Timestamp::from_secs(1));
+        assert_eq!(client.socket_count(), 1);
+        client.reap_closed();
+        assert_eq!(client.socket_count(), 0);
+    }
+
+    #[test]
+    fn host_noise_delays_processing() {
+        let (mut sim, _ns, client, server) = two_host_world();
+        server.listen(80, Rc::new(EchoListener));
+        // 1 ms fixed "noise" per packet on the server.
+        server.set_noise(HostNoise::new(
+            RngStream::from_seed(1),
+            Box::new(mm_sim::dist::Constant(1000.0)),
+        ));
+        let (app, events, _) = Recorder::new();
+        let remote = SocketAddr::new(server.ip(), 80);
+        let _h = client.connect(&mut sim, remote, app);
+        sim.run();
+        assert_eq!(*events.borrow(), vec!["connected"]);
+        // Handshake took at least the server-side noise.
+        assert!(sim.now() >= mm_sim::Timestamp::from_millis(1));
+    }
+}

@@ -1,0 +1,27 @@
+//! # mm-net — the virtual network substrate
+//!
+//! Everything Mahimahi gets from the Linux kernel, rebuilt inside the
+//! deterministic simulator: addressing ([`addr`]), packets ([`packet`]),
+//! composable forwarding elements ([`sink`]), network namespaces with
+//! isolation counters ([`fabric`]), fault injection ([`fault`]), virtual
+//! hosts ([`host`]) and a TCP implementation ([`tcp`]).
+//!
+//! The namespace tree mirrors Mahimahi's nested-shell structure: each shell
+//! owns a namespace attached to its parent through the shell's packet
+//! processors, and per-namespace counters make the paper's isolation claims
+//! directly testable.
+
+pub mod addr;
+pub mod fabric;
+pub mod fault;
+pub mod host;
+pub mod packet;
+pub mod sink;
+pub mod tcp;
+
+pub use addr::{IpAddr, Origin, SocketAddr};
+pub use fabric::{Namespace, NsCounters};
+pub use host::{Host, HostNoise, HostStats, Listener, PacketIdGen};
+pub use packet::{Packet, TcpFlags, TcpSegment, HEADER_BYTES, MSS, MTU};
+pub use sink::{BlackHole, Capture, FnSink, PacketSink, SinkRef, Tap};
+pub use tcp::{CcAlgorithm, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};

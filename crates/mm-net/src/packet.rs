@@ -1,0 +1,226 @@
+//! The packet model.
+//!
+//! Packets carry TCP segments between virtual hosts. Sizes follow the wire:
+//! a 20-byte IP header plus 20-byte TCP header plus payload, with an MTU of
+//! 1500 bytes — the unit of packet-delivery opportunities in Mahimahi's
+//! trace format.
+
+use bytes::Bytes;
+use std::fmt;
+
+use crate::addr::SocketAddr;
+
+/// Maximum transmission unit, matching the trace format's
+/// "MTU-sized packet" delivery opportunity.
+pub const MTU: usize = 1500;
+
+/// Combined IP + TCP header overhead per packet.
+pub const HEADER_BYTES: usize = 40;
+
+/// Maximum segment size: MTU minus headers.
+pub const MSS: usize = MTU - HEADER_BYTES;
+
+/// TCP header flags (only those the model uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub fin: bool,
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// A pure SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    /// A pure ACK.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    /// FIN+ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if parts.is_empty() {
+            parts.push("-");
+        }
+        write!(f, "{}", parts.join("|"))
+    }
+}
+
+/// A TCP segment. Sequence numbers are 64-bit byte offsets into the flow
+/// (no 32-bit wraparound — a documented simulation simplification).
+#[derive(Debug, Clone)]
+pub struct TcpSegment {
+    pub flags: TcpFlags,
+    /// First byte offset carried by this segment (or the SYN/FIN's
+    /// sequence slot).
+    pub seq: u64,
+    /// Cumulative acknowledgement: the next byte expected from the peer.
+    /// Only meaningful when `flags.ack` is set.
+    pub ack: u64,
+    /// Receiver advertised window in bytes.
+    pub window: u64,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Sequence space consumed by this segment (payload plus one slot each
+    /// for SYN and FIN).
+    pub fn seq_len(&self) -> u64 {
+        self.payload.len() as u64
+            + if self.flags.syn { 1 } else { 0 }
+            + if self.flags.fin { 1 } else { 0 }
+    }
+
+    /// The sequence number immediately after this segment.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.seq_len()
+    }
+}
+
+/// A packet in flight: a TCP segment plus addressing and bookkeeping the
+/// emulation layer reads (wire size, corruption flag, unique id).
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Monotonically increasing per-simulation id; lets captures and tests
+    /// track a specific packet through shell chains.
+    pub id: u64,
+    pub src: SocketAddr,
+    pub dst: SocketAddr,
+    pub segment: TcpSegment,
+    /// Set by fault-injection devices; a corrupted packet is dropped by the
+    /// receiving host (checksum failure), exactly like real TCP.
+    pub corrupted: bool,
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire (headers + payload).
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES + self.segment.payload.len()
+    }
+
+    /// True if this packet carries no application payload (pure control).
+    pub fn is_control(&self) -> bool {
+        self.segment.payload.is_empty()
+    }
+
+    /// One-line human-readable summary for captures and debugging.
+    pub fn summary(&self) -> String {
+        format!(
+            "#{} {}->{} {} seq={} ack={} len={}",
+            self.id,
+            self.src,
+            self.dst,
+            self.segment.flags,
+            self.segment.seq,
+            self.segment.ack,
+            self.segment.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::IpAddr;
+
+    fn pkt(payload_len: usize, flags: TcpFlags) -> Packet {
+        Packet {
+            id: 1,
+            src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 40000),
+            dst: SocketAddr::new(IpAddr::new(93, 184, 216, 34), 80),
+            segment: TcpSegment {
+                flags,
+                seq: 100,
+                ack: 0,
+                window: 65535,
+                payload: Bytes::from(vec![0u8; payload_len]),
+            },
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn wire_size_includes_headers() {
+        assert_eq!(pkt(0, TcpFlags::ACK).wire_size(), 40);
+        assert_eq!(pkt(1460, TcpFlags::ACK).wire_size(), 1500);
+    }
+
+    #[test]
+    fn mss_fits_mtu() {
+        assert_eq!(MSS + HEADER_BYTES, MTU);
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut p = pkt(10, TcpFlags::SYN);
+        assert_eq!(p.segment.seq_len(), 11);
+        p.segment.flags = TcpFlags::FIN_ACK;
+        assert_eq!(p.segment.seq_len(), 11);
+        p.segment.flags = TcpFlags::ACK;
+        assert_eq!(p.segment.seq_len(), 10);
+        assert_eq!(p.segment.seq_end(), 110);
+    }
+
+    #[test]
+    fn control_packets_detected() {
+        assert!(pkt(0, TcpFlags::SYN).is_control());
+        assert!(!pkt(5, TcpFlags::ACK).is_control());
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+
+    #[test]
+    fn summary_mentions_endpoints() {
+        let s = pkt(3, TcpFlags::ACK).summary();
+        assert!(s.contains("10.0.0.1:40000"));
+        assert!(s.contains("93.184.216.34:80"));
+    }
+}

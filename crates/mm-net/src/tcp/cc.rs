@@ -1,0 +1,336 @@
+//! Congestion control: NewReno and CUBIC.
+//!
+//! The congestion window is kept in bytes. Both algorithms implement the
+//! same small trait so the socket can switch between them (and the bench
+//! suite can ablate Reno vs CUBIC).
+
+use mm_sim::{SimDuration, Timestamp};
+
+use crate::packet::MSS;
+
+/// Which congestion-control algorithm a socket runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcAlgorithm {
+    /// TCP NewReno: AIMD, slow start + congestion avoidance.
+    #[default]
+    Reno,
+    /// CUBIC (RFC 8312-style window growth), the Linux default in the
+    /// paper's era.
+    Cubic,
+}
+
+/// Congestion-controller interface. All window values are bytes.
+pub trait CongestionControl {
+    /// Current congestion window.
+    fn cwnd(&self) -> u64;
+    /// Current slow-start threshold.
+    fn ssthresh(&self) -> u64;
+    /// New data acknowledged.
+    fn on_ack(&mut self, bytes_acked: u64, now: Timestamp, srtt: Option<SimDuration>);
+    /// Loss detected via three duplicate ACKs (fast retransmit). Returns
+    /// the new cwnd to use during fast recovery.
+    fn on_fast_retransmit(&mut self, flight_size: u64, now: Timestamp);
+    /// Loss detected via retransmission timeout.
+    fn on_timeout(&mut self, flight_size: u64, now: Timestamp);
+    /// Fast recovery finished (the lost segment's range was acked).
+    fn on_recovery_exit(&mut self);
+    /// True while in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+}
+
+const MSS64: u64 = MSS as u64;
+/// Initial window: 10 segments (RFC 6928, the Linux default since 2011,
+/// i.e. the paper's era).
+pub const INITIAL_WINDOW: u64 = 10 * MSS64;
+const MIN_CWND: u64 = 2 * MSS64;
+
+/// TCP NewReno.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: u64,
+    ssthresh: u64,
+    /// Fractional-MSS accumulator for congestion avoidance.
+    acked_bytes: u64,
+}
+
+impl Reno {
+    /// Standard initial state (IW10, effectively-infinite ssthresh).
+    pub fn new() -> Self {
+        Reno {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            acked_bytes: 0,
+        }
+    }
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, bytes_acked: u64, _now: Timestamp, _srtt: Option<SimDuration>) {
+        if self.in_slow_start() {
+            self.cwnd += bytes_acked;
+        } else {
+            // cwnd += MSS per cwnd-worth of acked bytes.
+            self.acked_bytes += bytes_acked;
+            while self.acked_bytes >= self.cwnd {
+                self.acked_bytes -= self.cwnd;
+                self.cwnd += MSS64;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, flight_size: u64, _now: Timestamp) {
+        self.ssthresh = (flight_size / 2).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+        self.acked_bytes = 0;
+    }
+
+    fn on_timeout(&mut self, flight_size: u64, _now: Timestamp) {
+        self.ssthresh = (flight_size / 2).max(MIN_CWND);
+        self.cwnd = MSS64;
+        self.acked_bytes = 0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+}
+
+/// CUBIC window growth (simplified RFC 8312: no TCP-friendly region clamp
+/// beyond the Reno-equivalent lower bound, no HyStart).
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: u64,
+    ssthresh: u64,
+    /// Window size before the last reduction.
+    w_max: f64,
+    /// Time of the last reduction.
+    epoch_start: Option<Timestamp>,
+    /// Reno-equivalent window for the TCP-friendly region.
+    w_est: f64,
+    acked_bytes: u64,
+}
+
+/// CUBIC scaling constant (RFC 8312).
+const CUBIC_C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    /// Standard initial state.
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            w_est: 0.0,
+            acked_bytes: 0,
+        }
+    }
+
+    fn cubic_window(&self, t: SimDuration) -> f64 {
+        // W(t) = C*(t-K)^3 + Wmax, windows in MSS units.
+        let w_max_mss = self.w_max / MSS as f64;
+        let k = (w_max_mss * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        let t_s = t.as_secs_f64();
+        (CUBIC_C * (t_s - k).powi(3) + w_max_mss) * MSS as f64
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, bytes_acked: u64, now: Timestamp, srtt: Option<SimDuration>) {
+        if self.in_slow_start() {
+            self.cwnd += bytes_acked;
+            return;
+        }
+        let epoch = match self.epoch_start {
+            Some(e) => e,
+            None => {
+                // First CA ack after leaving slow start without a loss
+                // event: treat current window as Wmax.
+                self.epoch_start = Some(now);
+                self.w_max = self.cwnd as f64;
+                self.w_est = self.cwnd as f64;
+                now
+            }
+        };
+        let t = now.saturating_duration_since(epoch);
+        // Reno-equivalent estimate for the TCP-friendly region.
+        self.acked_bytes += bytes_acked;
+        while self.acked_bytes >= self.cwnd {
+            self.acked_bytes -= self.cwnd;
+            self.w_est += MSS as f64;
+        }
+        let rtt = srtt.unwrap_or(SimDuration::from_millis(100));
+        // Target the cubic curve one RTT ahead, as RFC 8312 prescribes.
+        let target = self.cubic_window(t + rtt);
+        let next = target.max(self.w_est);
+        if next > self.cwnd as f64 {
+            // Approach the target gradually: at most 1.5x per call bundle.
+            self.cwnd = (next.min(self.cwnd as f64 * 1.5)) as u64;
+        }
+        self.cwnd = self.cwnd.max(MIN_CWND);
+    }
+
+    fn on_fast_retransmit(&mut self, flight_size: u64, now: Timestamp) {
+        self.w_max = self.cwnd.max(flight_size) as f64;
+        self.ssthresh = ((self.cwnd as f64 * CUBIC_BETA) as u64).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+        self.epoch_start = Some(now);
+        self.w_est = self.cwnd as f64;
+        self.acked_bytes = 0;
+    }
+
+    fn on_timeout(&mut self, flight_size: u64, now: Timestamp) {
+        self.w_max = self.cwnd.max(flight_size) as f64;
+        self.ssthresh = ((self.cwnd as f64 * CUBIC_BETA) as u64).max(MIN_CWND);
+        self.cwnd = MSS64;
+        self.epoch_start = Some(now);
+        self.w_est = self.cwnd as f64;
+        self.acked_bytes = 0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+}
+
+/// Construct a boxed controller for the given algorithm.
+pub fn make_controller(alg: CcAlgorithm) -> Box<dyn CongestionControl> {
+    match alg {
+        CcAlgorithm::Reno => Box::new(Reno::new()),
+        CcAlgorithm::Cubic => Box::new(Cubic::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut r = Reno::new();
+        let w0 = r.cwnd();
+        // Ack a full window: slow start should double it.
+        r.on_ack(w0, Timestamp::from_millis(100), None);
+        assert_eq!(r.cwnd(), 2 * w0);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_linear() {
+        let mut r = Reno::new();
+        r.on_fast_retransmit(100 * MSS64, Timestamp::from_millis(1));
+        r.on_recovery_exit();
+        let w = r.cwnd();
+        assert!(!r.in_slow_start());
+        // One full window of acks → +1 MSS.
+        r.on_ack(w, Timestamp::from_millis(200), None);
+        assert_eq!(r.cwnd(), w + MSS64);
+    }
+
+    #[test]
+    fn reno_fast_retransmit_halves() {
+        let mut r = Reno::new();
+        let flight = 64 * MSS64;
+        r.on_fast_retransmit(flight, Timestamp::from_millis(1));
+        assert_eq!(r.ssthresh(), flight / 2);
+        assert_eq!(r.cwnd(), flight / 2);
+    }
+
+    #[test]
+    fn reno_timeout_collapses_to_one_mss() {
+        let mut r = Reno::new();
+        r.on_timeout(64 * MSS64, Timestamp::from_millis(1));
+        assert_eq!(r.cwnd(), MSS64);
+        assert_eq!(r.ssthresh(), 32 * MSS64);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn reno_min_ssthresh_floor() {
+        let mut r = Reno::new();
+        r.on_timeout(MSS64, Timestamp::from_millis(1));
+        assert_eq!(r.ssthresh(), 2 * MSS64);
+    }
+
+    #[test]
+    fn cubic_reduces_by_beta() {
+        let mut c = Cubic::new();
+        let w0 = c.cwnd();
+        c.on_fast_retransmit(w0, Timestamp::from_millis(1));
+        assert_eq!(c.cwnd(), (w0 as f64 * CUBIC_BETA) as u64);
+    }
+
+    #[test]
+    fn cubic_grows_toward_wmax_after_loss() {
+        let mut c = Cubic::new();
+        // Build a large window, lose, then grow: should stay below ~Wmax
+        // early and approach it over time.
+        c.cwnd = 100 * MSS64;
+        c.ssthresh = 50 * MSS64;
+        c.on_fast_retransmit(100 * MSS64, Timestamp::from_secs(1));
+        c.on_recovery_exit();
+        let after_loss = c.cwnd();
+        let mut now = Timestamp::from_secs(1);
+        // Stay within the concave region (t < K ≈ 4.2 s for Wmax = 100 MSS):
+        // the window should climb back toward Wmax but not overshoot it.
+        for _ in 0..30 {
+            now = now + SimDuration::from_millis(100);
+            c.on_ack(10 * MSS64, now, Some(SimDuration::from_millis(100)));
+        }
+        assert!(c.cwnd() > after_loss, "cubic window should recover");
+        assert!(
+            c.cwnd() as f64 <= 100.0 * MSS as f64 * 1.05,
+            "cubic should plateau near Wmax in the concave region: {}",
+            c.cwnd()
+        );
+    }
+
+    #[test]
+    fn cubic_timeout_resets_window() {
+        let mut c = Cubic::new();
+        c.cwnd = 50 * MSS64;
+        c.on_timeout(50 * MSS64, Timestamp::from_secs(2));
+        assert_eq!(c.cwnd(), MSS64);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn factory_produces_both() {
+        let r = make_controller(CcAlgorithm::Reno);
+        let c = make_controller(CcAlgorithm::Cubic);
+        assert_eq!(r.cwnd(), INITIAL_WINDOW);
+        assert_eq!(c.cwnd(), INITIAL_WINDOW);
+    }
+}

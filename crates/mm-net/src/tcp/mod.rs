@@ -1,0 +1,11 @@
+//! Simplified-but-complete TCP: handshake, reliable byte stream, NewReno /
+//! CUBIC congestion control, RFC 6298 timers. See [`socket`] for the state
+//! machine and DESIGN.md for the documented simplifications.
+
+pub mod cc;
+pub mod rtt;
+pub mod socket;
+
+pub use cc::{CcAlgorithm, CongestionControl, Cubic, Reno, INITIAL_WINDOW};
+pub use rtt::RttEstimator;
+pub use socket::{SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};

@@ -1,0 +1,127 @@
+//! RFC 6298 retransmission-timeout estimation.
+
+use mm_sim::SimDuration;
+
+/// Smoothed RTT estimator producing RTO values per RFC 6298, with the
+/// Linux-style 200 ms floor mahimahi-era kernels used.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// Estimator with the given initial RTO (RFC 6298 says 1 s) and floor.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: initial_rto,
+            min_rto,
+            max_rto: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Defaults: initial RTO 1 s, floor 200 ms, ceiling 60 s.
+    pub fn default_config() -> Self {
+        RttEstimator::new(SimDuration::from_secs(1), SimDuration::from_millis(200))
+    }
+
+    /// Feed one RTT measurement (must be from a non-retransmitted segment —
+    /// Karn's algorithm is the caller's responsibility).
+    pub fn on_measurement(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = SimDuration::from_nanos(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                // RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = SimDuration::from_nanos(
+                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
+                );
+                // SRTT <- 7/8 SRTT + 1/8 R'
+                self.srtt = Some(SimDuration::from_nanos(
+                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        let candidate = srtt + self.rttvar.saturating_mul(4);
+        self.rto = candidate.max(self.min_rto).min(self.max_rto);
+    }
+
+    /// Exponential backoff after a retransmission timeout.
+    pub fn backoff(&mut self) {
+        self.rto = self.rto.saturating_mul(2).min(self.max_rto);
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Smoothed RTT, if any measurement has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_measurement_initializes() {
+        let mut e = RttEstimator::default_config();
+        e.on_measurement(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = SRTT + 4*RTTVAR = 100 + 4*50 = 300ms
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_rtt_converges_to_floor() {
+        let mut e = RttEstimator::default_config();
+        for _ in 0..100 {
+            e.on_measurement(SimDuration::from_millis(40));
+        }
+        // RTTVAR decays toward 0, so RTO hits the 200 ms floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RttEstimator::default_config();
+        for i in 0..50 {
+            let rtt = if i % 2 == 0 { 50 } else { 250 };
+            e.on_measurement(SimDuration::from_millis(rtt));
+        }
+        assert!(e.rto() > SimDuration::from_millis(300), "rto {}", e.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::default_config();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.backoff();
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+        for _ in 0..10 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn rto_never_below_floor() {
+        let mut e = RttEstimator::default_config();
+        e.on_measurement(SimDuration::from_micros(500));
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+}

@@ -1,0 +1,1279 @@
+//! The TCP connection state machine.
+//!
+//! A deliberately complete-but-simplified TCP: three-way handshake, byte
+//! stream with MSS segmentation, cumulative ACKs, out-of-order reassembly,
+//! NewReno fast retransmit/fast recovery, RFC 6298 RTO with Karn's rule,
+//! receiver flow control, graceful FIN close in both directions, and RST.
+//! Simplifications (documented in DESIGN.md): 64-bit sequence space (no
+//! wraparound), no SACK, no Nagle (browsers disable it), unbounded send
+//! buffer (page-load workloads are bounded by construction), immediate ACKs
+//! by default (delayed ACK available as a config flag).
+//!
+//! Re-entrancy discipline: methods on [`TcpInner`] never invoke application
+//! callbacks while `self` is borrowed. All entry points go through
+//! [`drive`], which performs socket work, releases the borrow, sends the
+//! produced packets, and only then fires application events.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use mm_sim::{SimDuration, Simulator, Timer, Timestamp};
+
+use crate::addr::SocketAddr;
+use crate::packet::{Packet, TcpFlags, TcpSegment};
+use crate::sink::SinkRef;
+use crate::tcp::cc::{make_controller, CcAlgorithm, CongestionControl};
+use crate::tcp::rtt::RttEstimator;
+
+/// Socket configuration.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Congestion-control algorithm.
+    pub cc: CcAlgorithm,
+    /// Receive window advertised to the peer, bytes.
+    pub recv_window: u64,
+    /// Initial retransmission timeout before any RTT sample exists.
+    /// RFC 6298 suggests 1 s; we default to the conservative 3 s of
+    /// RFC 1122 / pre-2011 Linux, because synchronized page-load bursts
+    /// through deep droptail queues routinely inflate early RTTs past 1 s
+    /// and spurious go-back-N retransmission storms would dominate.
+    pub initial_rto: SimDuration,
+    /// Floor on the RTO (Linux: 200 ms).
+    pub min_rto: SimDuration,
+    /// Delay ACKs for this long, acking every second segment immediately.
+    /// `None` (default) acks every data segment at once.
+    pub delayed_ack: Option<SimDuration>,
+    /// Maximum consecutive RTOs before the connection is reset.
+    pub max_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            cc: CcAlgorithm::default(),
+            recv_window: 1 << 20, // 1 MiB
+            initial_rto: SimDuration::from_secs(3),
+            min_rto: SimDuration::from_millis(200),
+            delayed_ack: None,
+            max_retries: 15,
+        }
+    }
+}
+
+/// Connection states (RFC 793 subset; LISTEN lives on the host, TIME_WAIT
+/// collapses to CLOSED — the simulation has no stray duplicate segments
+/// from earlier incarnations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    LastAck,
+    Closing,
+    Closed,
+}
+
+/// Events surfaced to the application owning a socket.
+#[derive(Debug, Clone)]
+pub enum SocketEvent {
+    /// Handshake completed; the socket is writable.
+    Connected,
+    /// In-order payload bytes arrived.
+    Data(Bytes),
+    /// The peer closed its direction (EOF after any buffered data).
+    PeerClosed,
+    /// The connection was reset (RST or retry exhaustion).
+    Reset,
+}
+
+/// Application-side observer of socket events.
+pub trait SocketApp {
+    /// Called with each event; `handle` can be used to send/close.
+    fn on_event(&self, sim: &mut Simulator, handle: &TcpHandle, event: SocketEvent);
+}
+
+/// Retransmission-queue entry.
+struct RetxEntry {
+    segment: TcpSegment,
+    sent_at: Timestamp,
+    retransmitted: bool,
+}
+
+/// Full connection state. Public API lives on [`TcpHandle`].
+pub struct TcpInner {
+    pub(crate) local: SocketAddr,
+    pub(crate) remote: SocketAddr,
+    state: TcpState,
+    config: TcpConfig,
+
+    // --- send side ---
+    /// First unacknowledged sequence number.
+    snd_una: u64,
+    /// Next sequence number to send.
+    snd_nxt: u64,
+    /// Peer's advertised window.
+    snd_wnd: u64,
+    /// App data accepted but not yet segmented, FIFO of chunks.
+    send_queue: Vec<Bytes>,
+    /// Bytes queued in `send_queue`.
+    send_queued_bytes: u64,
+    /// Transmitted, unacknowledged segments keyed by starting seq.
+    retx: BTreeMap<u64, RetxEntry>,
+    /// FIN requested by the app; sent once the queue drains.
+    fin_pending: bool,
+    /// Sequence number of our FIN, once sent.
+    fin_seq: Option<u64>,
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+    dup_acks: u32,
+    /// High-water mark for NewReno recovery (snd_nxt at loss time).
+    recovery_point: Option<u64>,
+    consecutive_timeouts: u32,
+
+    // --- receive side ---
+    /// Next in-order byte expected from the peer.
+    rcv_nxt: u64,
+    /// Out-of-order segments awaiting the gap to fill.
+    ooo: BTreeMap<u64, Bytes>,
+    /// Peer FIN's sequence number, if received out of order.
+    peer_fin_seq: Option<u64>,
+    /// Segments since last ACK (delayed-ACK accounting).
+    unacked_segments: u32,
+
+    // --- plumbing ---
+    egress: SinkRef,
+    packet_ids: Rc<std::cell::Cell<u64>>,
+    rto_timer: Timer,
+    /// Set when new data was acked: RFC 6298 (5.3) restarts the RTO timer
+    /// so it measures time since the *latest* forward progress, not since
+    /// the oldest transmission — otherwise deep queues cause spurious
+    /// timeouts.
+    rearm_rto: bool,
+    ack_timer: Timer,
+    app: Option<Rc<dyn SocketApp>>,
+    /// Events waiting to be dispatched once the borrow is released.
+    pending_events: Vec<SocketEvent>,
+    /// Statistics.
+    pub(crate) stats: TcpStats,
+}
+
+/// Per-connection counters (exported for tests and diagnostics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpStats {
+    pub segments_sent: u64,
+    pub segments_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub retransmissions: u64,
+    pub timeouts: u64,
+    pub fast_retransmits: u64,
+}
+
+/// Shared handle to a TCP connection.
+#[derive(Clone)]
+pub struct TcpHandle {
+    pub(crate) inner: Rc<RefCell<TcpInner>>,
+}
+
+impl TcpInner {
+    fn new(
+        local: SocketAddr,
+        remote: SocketAddr,
+        state: TcpState,
+        config: TcpConfig,
+        egress: SinkRef,
+        packet_ids: Rc<std::cell::Cell<u64>>,
+    ) -> Self {
+        let cc = make_controller(config.cc);
+        let rtt = RttEstimator::new(config.initial_rto, config.min_rto);
+        TcpInner {
+            local,
+            remote,
+            state,
+            config,
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_wnd: u64::MAX,
+            send_queue: Vec::new(),
+            send_queued_bytes: 0,
+            retx: BTreeMap::new(),
+            fin_pending: false,
+            fin_seq: None,
+            cc,
+            rtt,
+            dup_acks: 0,
+            recovery_point: None,
+            consecutive_timeouts: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            peer_fin_seq: None,
+            unacked_segments: 0,
+            egress,
+            packet_ids,
+            rto_timer: Timer::new(),
+            rearm_rto: false,
+            ack_timer: Timer::new(),
+            app: None,
+            pending_events: Vec::new(),
+            stats: TcpStats::default(),
+        }
+    }
+
+    fn next_packet_id(&self) -> u64 {
+        let id = self.packet_ids.get();
+        self.packet_ids.set(id + 1);
+        id
+    }
+
+    fn advertised_window(&self) -> u64 {
+        // The model's application consumes data immediately, so the full
+        // receive window is always open.
+        self.config.recv_window
+    }
+
+    fn make_packet(&mut self, flags: TcpFlags, seq: u64, payload: Bytes) -> Packet {
+        self.stats.segments_sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        Packet {
+            id: self.next_packet_id(),
+            src: self.local,
+            dst: self.remote,
+            segment: TcpSegment {
+                flags,
+                seq,
+                ack: self.rcv_nxt,
+                window: self.advertised_window(),
+                payload,
+            },
+            corrupted: false,
+        }
+    }
+
+    /// Bytes in flight.
+    fn flight_size(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Effective send window.
+    fn send_window(&self) -> u64 {
+        self.cc.cwnd().min(self.snd_wnd)
+    }
+
+    /// Pull up to `max` bytes off the send queue as one payload.
+    fn dequeue_payload(&mut self, max: usize) -> Bytes {
+        let mut out = BytesMut::with_capacity(max.min(self.send_queued_bytes as usize));
+        while out.len() < max && !self.send_queue.is_empty() {
+            let need = max - out.len();
+            let head = &mut self.send_queue[0];
+            if head.len() <= need {
+                out.extend_from_slice(head);
+                self.send_queue.remove(0);
+            } else {
+                out.extend_from_slice(&head.slice(..need));
+                *head = head.slice(need..);
+            }
+        }
+        self.send_queued_bytes -= out.len() as u64;
+        out.freeze()
+    }
+
+    /// Transmit as much new data as the window allows; returns packets.
+    fn transmit_new(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
+        use crate::packet::MSS;
+        loop {
+            let window = self.send_window();
+            let flight = self.flight_size();
+            if flight >= window {
+                break;
+            }
+            let can_send = (window - flight).min(MSS as u64) as usize;
+            let has_data = self.send_queued_bytes > 0;
+            let send_fin_now =
+                self.fin_pending && self.send_queued_bytes == 0 && self.fin_seq.is_none();
+            if !has_data && !send_fin_now {
+                break;
+            }
+            if has_data {
+                let payload = self.dequeue_payload(can_send);
+                if payload.is_empty() {
+                    break;
+                }
+                let seq = self.snd_nxt;
+                // Piggyback FIN if this is the last data and a close is
+                // pending and the whole remainder fit in this segment.
+                let fin_here = self.fin_pending
+                    && self.send_queued_bytes == 0
+                    && self.fin_seq.is_none();
+                let flags = if fin_here {
+                    TcpFlags::FIN_ACK
+                } else {
+                    TcpFlags::ACK
+                };
+                let pkt = self.make_packet(flags, seq, payload);
+                let seg = pkt.segment.clone();
+                self.snd_nxt = seg.seq_end();
+                if fin_here {
+                    self.fin_seq = Some(seg.seq_end() - 1);
+                    self.enter_fin_state();
+                }
+                self.retx.insert(
+                    seq,
+                    RetxEntry {
+                        segment: seg,
+                        sent_at: now,
+                        retransmitted: false,
+                    },
+                );
+                out.push(pkt);
+            } else {
+                // Bare FIN.
+                let seq = self.snd_nxt;
+                let pkt = self.make_packet(TcpFlags::FIN_ACK, seq, Bytes::new());
+                let seg = pkt.segment.clone();
+                self.snd_nxt += 1;
+                self.fin_seq = Some(seq);
+                self.enter_fin_state();
+                self.retx.insert(
+                    seq,
+                    RetxEntry {
+                        segment: seg,
+                        sent_at: now,
+                        retransmitted: false,
+                    },
+                );
+                out.push(pkt);
+                break;
+            }
+        }
+    }
+
+    fn enter_fin_state(&mut self) {
+        self.state = match self.state {
+            TcpState::Established | TcpState::SynReceived => TcpState::FinWait1,
+            TcpState::CloseWait => TcpState::LastAck,
+            s => s,
+        };
+    }
+
+    /// Retransmit the earliest unacknowledged segment.
+    fn retransmit_head(&mut self, out: &mut Vec<Packet>) {
+        let Some((&seq, entry)) = self.retx.iter_mut().next() else {
+            return;
+        };
+        entry.retransmitted = true;
+        let seg = entry.segment.clone();
+        self.stats.retransmissions += 1;
+        let mut flags = seg.flags;
+        flags.ack = self.state != TcpState::SynSent;
+        let pkt = Packet {
+            id: {
+                let id = self.packet_ids.get();
+                self.packet_ids.set(id + 1);
+                id
+            },
+            src: self.local,
+            dst: self.remote,
+            segment: TcpSegment {
+                flags,
+                seq,
+                ack: if flags.ack { self.rcv_nxt } else { 0 },
+                window: self.advertised_window(),
+                payload: seg.payload,
+            },
+            corrupted: false,
+        };
+        self.stats.segments_sent += 1;
+        out.push(pkt);
+    }
+
+    /// Handle an incoming segment. Produces response packets and queues
+    /// app events on `self.pending_events`.
+    fn on_segment(&mut self, now: Timestamp, seg: TcpSegment, out: &mut Vec<Packet>) {
+        self.stats.segments_received += 1;
+        if seg.flags.rst {
+            self.teardown();
+            self.pending_events.push(SocketEvent::Reset);
+            return;
+        }
+        match self.state {
+            TcpState::Closed => {
+                // Stray segment to a dead socket: answer with RST.
+                if !seg.flags.rst {
+                    let pkt = self.make_packet(TcpFlags::RST, seg.ack, Bytes::new());
+                    out.push(pkt);
+                }
+            }
+            TcpState::SynSent => self.on_segment_syn_sent(now, seg, out),
+            TcpState::SynReceived => {
+                if seg.flags.ack && seg.ack >= self.snd_una + 1 {
+                    self.handle_ack(now, &seg, out);
+                    self.state = TcpState::Established;
+                    self.pending_events.push(SocketEvent::Connected);
+                }
+                if !seg.payload.is_empty() || seg.flags.fin {
+                    self.handle_data(now, &seg, out);
+                }
+            }
+            _ => {
+                if seg.flags.ack {
+                    self.handle_ack(now, &seg, out);
+                }
+                if !seg.payload.is_empty() || seg.flags.fin {
+                    self.handle_data(now, &seg, out);
+                }
+                // Window updates from bare ACKs.
+                self.snd_wnd = seg.window;
+            }
+        }
+    }
+
+    fn on_segment_syn_sent(&mut self, now: Timestamp, seg: TcpSegment, out: &mut Vec<Packet>) {
+        if seg.flags.syn && seg.flags.ack && seg.ack == self.snd_nxt {
+            // Our SYN is acked; record RTT if not retransmitted.
+            if let Some(entry) = self.retx.remove(&(self.snd_nxt - 1)) {
+                if !entry.retransmitted {
+                    self.rtt.on_measurement(now.duration_since(entry.sent_at));
+                }
+            }
+            self.snd_una = seg.ack;
+            self.rcv_nxt = seg.seq + 1;
+            self.snd_wnd = seg.window;
+            self.state = TcpState::Established;
+            self.consecutive_timeouts = 0;
+            self.rto_timer.cancel();
+            // Completing ACK (may carry data below via transmit_new).
+            let ack = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+            out.push(ack);
+            self.pending_events.push(SocketEvent::Connected);
+            self.transmit_new(now, out);
+        }
+        // A bare SYN here would be simultaneous-open; out of scope.
+    }
+
+    fn handle_ack(&mut self, now: Timestamp, seg: &TcpSegment, out: &mut Vec<Packet>) {
+        let ack = seg.ack;
+        if ack > self.snd_nxt {
+            return; // acks data we never sent; ignore
+        }
+        if ack > self.snd_una {
+            let newly_acked = ack - self.snd_una;
+            self.snd_una = ack;
+            self.snd_wnd = seg.window;
+            self.consecutive_timeouts = 0;
+            self.rearm_rto = true;
+
+            // RTT sample from the newest fully-acked, never-retransmitted
+            // segment (Karn's algorithm).
+            let mut sample: Option<SimDuration> = None;
+            let acked_keys: Vec<u64> = self
+                .retx
+                .range(..ack)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in acked_keys {
+                let fully_acked = {
+                    let e = &self.retx[&k];
+                    e.segment.seq_end() <= ack
+                };
+                if fully_acked {
+                    let e = self.retx.remove(&k).unwrap();
+                    if !e.retransmitted {
+                        sample = Some(now.duration_since(e.sent_at));
+                    }
+                } else {
+                    // Partial ack into this segment: trim the acked prefix
+                    // so a future retransmit resends only what's missing.
+                    let e = self.retx.get_mut(&k).unwrap();
+                    let cut = (ack - e.segment.seq) as usize;
+                    if cut > 0 && cut <= e.segment.payload.len() {
+                        let mut seg2 = e.segment.clone();
+                        seg2.payload = seg2.payload.slice(cut..);
+                        seg2.seq = ack;
+                        let entry = RetxEntry {
+                            segment: seg2,
+                            sent_at: e.sent_at,
+                            retransmitted: e.retransmitted,
+                        };
+                        self.retx.remove(&k);
+                        self.retx.insert(ack, entry);
+                    }
+                }
+            }
+            if let Some(rtt) = sample {
+                self.rtt.on_measurement(rtt);
+            }
+
+            match self.recovery_point {
+                Some(rp) if ack >= rp => {
+                    // Recovery complete.
+                    self.recovery_point = None;
+                    self.dup_acks = 0;
+                    self.cc.on_recovery_exit();
+                }
+                Some(_) => {
+                    // Partial ack during recovery (NewReno): retransmit the
+                    // next hole immediately, and let the window grow so
+                    // go-back-N recovery accelerates past stop-and-wait.
+                    self.cc.on_ack(newly_acked, now, self.rtt.srtt());
+                    self.retransmit_head(out);
+                }
+                None => {
+                    self.dup_acks = 0;
+                    self.cc.on_ack(newly_acked, now, self.rtt.srtt());
+                }
+            }
+
+            if self.retx.is_empty() {
+                self.rto_timer.cancel();
+            }
+            // FIN acked?
+            if let Some(fin_seq) = self.fin_seq {
+                if ack > fin_seq {
+                    self.on_fin_acked();
+                }
+            }
+        } else if ack == self.snd_una
+            && seg.payload.is_empty()
+            && !seg.flags.fin
+            && !seg.flags.syn
+            && self.flight_size() > 0
+        {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && self.recovery_point.is_none() {
+                self.stats.fast_retransmits += 1;
+                self.recovery_point = Some(self.snd_nxt);
+                self.cc.on_fast_retransmit(self.flight_size(), now);
+                self.retransmit_head(out);
+            }
+        }
+    }
+
+    fn on_fin_acked(&mut self) {
+        self.state = match self.state {
+            TcpState::FinWait1 => TcpState::FinWait2,
+            TcpState::Closing => TcpState::Closed,
+            TcpState::LastAck => TcpState::Closed,
+            s => s,
+        };
+        if self.state == TcpState::Closed {
+            self.teardown();
+        }
+    }
+
+    fn handle_data(&mut self, now: Timestamp, seg: &TcpSegment, out: &mut Vec<Packet>) {
+        let mut payload = seg.payload.clone();
+        let mut seq = seg.seq;
+        // Trim any prefix we've already received.
+        if seq < self.rcv_nxt {
+            let overlap = (self.rcv_nxt - seq) as usize;
+            if overlap >= payload.len() && !seg.flags.fin {
+                // Entirely duplicate data: re-ack.
+                self.queue_ack(now, out, true);
+                return;
+            }
+            payload = payload.slice(overlap.min(payload.len())..);
+            seq = self.rcv_nxt;
+        }
+        if seg.flags.fin {
+            let fin_seq = seg.seq + seg.payload.len() as u64;
+            self.peer_fin_seq = Some(fin_seq);
+        }
+        if seq == self.rcv_nxt {
+            // In-order: deliver, then drain contiguous out-of-order data.
+            if !payload.is_empty() {
+                self.rcv_nxt += payload.len() as u64;
+                self.stats.bytes_received += payload.len() as u64;
+                self.pending_events.push(SocketEvent::Data(payload));
+            }
+            loop {
+                let Some((&oseq, _)) = self.ooo.iter().next() else {
+                    break;
+                };
+                if oseq > self.rcv_nxt {
+                    break;
+                }
+                let (oseq, odata) = self.ooo.pop_first().unwrap();
+                let skip = (self.rcv_nxt - oseq) as usize;
+                if skip < odata.len() {
+                    let chunk = odata.slice(skip..);
+                    self.rcv_nxt += chunk.len() as u64;
+                    self.stats.bytes_received += chunk.len() as u64;
+                    self.pending_events.push(SocketEvent::Data(chunk));
+                }
+            }
+            // Process FIN once all data before it has arrived.
+            if let Some(fin_seq) = self.peer_fin_seq {
+                if self.rcv_nxt == fin_seq {
+                    self.rcv_nxt = fin_seq + 1;
+                    self.on_peer_fin();
+                }
+            }
+            self.queue_ack(now, out, false);
+        } else {
+            // Out of order: stash and send an immediate duplicate ACK.
+            if !payload.is_empty() {
+                self.ooo.entry(seq).or_insert(payload);
+            }
+            self.queue_ack(now, out, true);
+        }
+    }
+
+    fn on_peer_fin(&mut self) {
+        self.pending_events.push(SocketEvent::PeerClosed);
+        self.state = match self.state {
+            TcpState::Established => TcpState::CloseWait,
+            TcpState::FinWait1 => TcpState::Closing,
+            TcpState::FinWait2 => TcpState::Closed,
+            s => s,
+        };
+        if self.state == TcpState::Closed {
+            self.teardown();
+        }
+    }
+
+    /// Send or schedule an ACK. `force` bypasses delayed-ACK batching
+    /// (used for out-of-order arrivals, which must dup-ack immediately).
+    fn queue_ack(&mut self, _now: Timestamp, out: &mut Vec<Packet>, force: bool) {
+        match self.config.delayed_ack {
+            Some(_) if !force => {
+                self.unacked_segments += 1;
+                if self.unacked_segments >= 2 {
+                    self.unacked_segments = 0;
+                    self.ack_timer.cancel();
+                    let pkt = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+                    out.push(pkt);
+                }
+                // else: the host arms the delayed-ack timer after `drive`.
+            }
+            _ => {
+                self.unacked_segments = 0;
+                let pkt = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+                out.push(pkt);
+            }
+        }
+    }
+
+    fn teardown(&mut self) {
+        self.state = TcpState::Closed;
+        self.rto_timer.cancel();
+        self.ack_timer.cancel();
+        self.send_queue.clear();
+        self.send_queued_bytes = 0;
+        self.retx.clear();
+        self.ooo.clear();
+    }
+
+    /// Current state (tests/diagnostics).
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Connection statistics.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+}
+
+impl TcpHandle {
+    /// Create the client half of a connection and emit its SYN.
+    /// `egress` is where packets go (normally the namespace router).
+    pub(crate) fn connect(
+        sim: &mut Simulator,
+        local: SocketAddr,
+        remote: SocketAddr,
+        config: TcpConfig,
+        egress: SinkRef,
+        packet_ids: Rc<std::cell::Cell<u64>>,
+        app: Rc<dyn SocketApp>,
+    ) -> TcpHandle {
+        let mut inner = TcpInner::new(local, remote, TcpState::SynSent, config, egress, packet_ids);
+        inner.app = Some(app);
+        let now = sim.now();
+        let syn = inner.make_packet(TcpFlags::SYN, 0, Bytes::new());
+        inner.snd_nxt = 1;
+        inner.retx.insert(
+            0,
+            RetxEntry {
+                segment: syn.segment.clone(),
+                sent_at: now,
+                retransmitted: false,
+            },
+        );
+        let handle = TcpHandle {
+            inner: Rc::new(RefCell::new(inner)),
+        };
+        let egress = handle.inner.borrow().egress.clone();
+        egress.deliver(sim, syn);
+        handle.arm_rto(sim);
+        handle
+    }
+
+    /// Create the server half in response to a SYN; emits SYN-ACK.
+    pub(crate) fn accept(
+        sim: &mut Simulator,
+        local: SocketAddr,
+        remote: SocketAddr,
+        syn: &TcpSegment,
+        config: TcpConfig,
+        egress: SinkRef,
+        packet_ids: Rc<std::cell::Cell<u64>>,
+        app: Rc<dyn SocketApp>,
+    ) -> TcpHandle {
+        let mut inner = TcpInner::new(
+            local,
+            remote,
+            TcpState::SynReceived,
+            config,
+            egress,
+            packet_ids,
+        );
+        inner.app = Some(app);
+        inner.rcv_nxt = syn.seq + 1;
+        inner.snd_wnd = syn.window;
+        let now = sim.now();
+        let syn_ack = inner.make_packet(TcpFlags::SYN_ACK, 0, Bytes::new());
+        inner.snd_nxt = 1;
+        inner.retx.insert(
+            0,
+            RetxEntry {
+                segment: syn_ack.segment.clone(),
+                sent_at: now,
+                retransmitted: false,
+            },
+        );
+        let handle = TcpHandle {
+            inner: Rc::new(RefCell::new(inner)),
+        };
+        let egress = handle.inner.borrow().egress.clone();
+        egress.deliver(sim, syn_ack);
+        handle.arm_rto(sim);
+        handle
+    }
+
+    /// Queue bytes for transmission.
+    pub fn send(&self, sim: &mut Simulator, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        let now = sim.now();
+        let mut packets = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if matches!(inner.state, TcpState::Closed) {
+                return;
+            }
+            assert!(
+                !inner.fin_pending && inner.fin_seq.is_none(),
+                "send after close"
+            );
+            inner.send_queued_bytes += data.len() as u64;
+            inner.send_queue.push(data);
+            if inner.state != TcpState::SynSent && inner.state != TcpState::SynReceived {
+                inner.transmit_new(now, &mut packets);
+            }
+        }
+        self.flush(sim, packets);
+    }
+
+    /// Graceful close of our direction (FIN after queued data).
+    pub fn close(&self, sim: &mut Simulator) {
+        let now = sim.now();
+        let mut packets = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if matches!(inner.state, TcpState::Closed) || inner.fin_pending {
+                return;
+            }
+            inner.fin_pending = true;
+            if inner.state != TcpState::SynSent && inner.state != TcpState::SynReceived {
+                inner.transmit_new(now, &mut packets);
+            }
+        }
+        self.flush(sim, packets);
+    }
+
+    /// Abort: send RST and drop all state.
+    pub fn abort(&self, sim: &mut Simulator) {
+        let pkt = {
+            let mut inner = self.inner.borrow_mut();
+            if matches!(inner.state, TcpState::Closed) {
+                None
+            } else {
+                let seq = inner.snd_nxt;
+                let pkt = inner.make_packet(TcpFlags::RST, seq, Bytes::new());
+                inner.teardown();
+                Some(pkt)
+            }
+        };
+        if let Some(pkt) = pkt {
+            let egress = self.inner.borrow().egress.clone();
+            egress.deliver(sim, pkt);
+        }
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> TcpState {
+        self.inner.borrow().state()
+    }
+
+    /// Connection statistics snapshot.
+    pub fn stats(&self) -> TcpStats {
+        self.inner.borrow().stats()
+    }
+
+    /// Local endpoint.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.borrow().local
+    }
+
+    /// Remote endpoint.
+    pub fn remote_addr(&self) -> SocketAddr {
+        self.inner.borrow().remote
+    }
+
+    /// Smoothed RTT estimate, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.inner.borrow().rtt.srtt()
+    }
+
+    /// Replace the application observer (used by the host's two-phase
+    /// accept, before any event can have fired).
+    pub(crate) fn set_app(&self, app: Rc<dyn SocketApp>) {
+        self.inner.borrow_mut().app = Some(app);
+    }
+
+    /// Process one incoming segment (called by the host).
+    pub(crate) fn handle_segment(&self, sim: &mut Simulator, seg: TcpSegment) {
+        let now = sim.now();
+        let mut packets = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.on_segment(now, seg, &mut packets);
+            // Opportunistic transmission: the window may have opened.
+            if matches!(
+                inner.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::FinWait1
+            ) {
+                inner.transmit_new(now, &mut packets);
+            }
+        }
+        self.flush(sim, packets);
+    }
+
+    /// Send packets, manage timers, then dispatch pending app events.
+    fn flush(&self, sim: &mut Simulator, packets: Vec<Packet>) {
+        let egress = self.inner.borrow().egress.clone();
+        for pkt in packets {
+            egress.deliver(sim, pkt);
+        }
+        self.manage_timers(sim);
+        self.dispatch_events(sim);
+    }
+
+    fn manage_timers(&self, sim: &mut Simulator) {
+        let (needs_rto, rearm, delayed_ack) = {
+            let mut inner = self.inner.borrow_mut();
+            let needs = !inner.retx.is_empty() && inner.state != TcpState::Closed;
+            let rearm = std::mem::take(&mut inner.rearm_rto);
+            let dack = if inner.unacked_segments > 0 && !inner.ack_timer.is_armed() {
+                inner.config.delayed_ack
+            } else {
+                None
+            };
+            (needs, rearm, dack)
+        };
+        if needs_rto && (rearm || !self.inner.borrow().rto_timer.is_armed()) {
+            self.arm_rto(sim);
+        } else if !needs_rto {
+            self.inner.borrow().rto_timer.cancel();
+        }
+        if let Some(delay) = delayed_ack {
+            let me = self.clone();
+            let timer = self.inner.borrow().ack_timer.clone();
+            timer.arm(sim, delay, move |sim| {
+                let pkt = {
+                    let mut inner = me.inner.borrow_mut();
+                    if inner.unacked_segments == 0 || inner.state == TcpState::Closed {
+                        None
+                    } else {
+                        inner.unacked_segments = 0;
+                        let seq = inner.snd_nxt;
+                        Some(inner.make_packet(TcpFlags::ACK, seq, Bytes::new()))
+                    }
+                };
+                if let Some(pkt) = pkt {
+                    let egress = me.inner.borrow().egress.clone();
+                    egress.deliver(sim, pkt);
+                }
+            });
+        }
+    }
+
+    fn arm_rto(&self, sim: &mut Simulator) {
+        let (rto, timer) = {
+            let inner = self.inner.borrow();
+            (inner.rtt.rto(), inner.rto_timer.clone())
+        };
+        let me = self.clone();
+        timer.arm(sim, rto, move |sim| me.on_rto(sim));
+    }
+
+    fn on_rto(&self, sim: &mut Simulator) {
+        let mut packets = Vec::new();
+        let now = sim.now();
+        let mut dead = false;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.retx.is_empty() || inner.state == TcpState::Closed {
+                return;
+            }
+            inner.consecutive_timeouts += 1;
+            inner.stats.timeouts += 1;
+            if inner.consecutive_timeouts > inner.config.max_retries {
+                inner.teardown();
+                inner.pending_events.push(SocketEvent::Reset);
+                dead = true;
+            } else {
+                let flight = inner.flight_size();
+                inner.cc.on_timeout(flight, now);
+                inner.rtt.backoff();
+                // Go-back-N recovery: keep a recovery point so every
+                // partial ACK immediately retransmits the next hole
+                // (otherwise each lost segment would cost its own RTO —
+                // catastrophic under burst loss).
+                inner.recovery_point = Some(inner.snd_nxt);
+                inner.dup_acks = 0;
+                inner.retransmit_head(&mut packets);
+            }
+        }
+        if !dead {
+            let egress = self.inner.borrow().egress.clone();
+            for pkt in packets {
+                egress.deliver(sim, pkt);
+            }
+            self.arm_rto(sim);
+        }
+        self.dispatch_events(sim);
+    }
+
+    fn dispatch_events(&self, sim: &mut Simulator) {
+        loop {
+            let (event, app) = {
+                let mut inner = self.inner.borrow_mut();
+                if inner.pending_events.is_empty() {
+                    return;
+                }
+                (inner.pending_events.remove(0), inner.app.clone())
+            };
+            if let Some(app) = app {
+                app.on_event(sim, self, event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // State-machine unit tests that don't need a host: drive TcpInner
+    // directly with synthetic segments.
+
+    fn addr(last: u8, port: u16) -> SocketAddr {
+        SocketAddr::new(crate::addr::IpAddr::new(10, 0, 0, last), port)
+    }
+
+    fn make_inner(state: TcpState) -> TcpInner {
+        TcpInner::new(
+            addr(1, 1000),
+            addr(2, 80),
+            state,
+            TcpConfig::default(),
+            crate::sink::BlackHole::new(),
+            Rc::new(std::cell::Cell::new(0)),
+        )
+    }
+
+    fn data_seg(seq: u64, payload: &[u8]) -> TcpSegment {
+        TcpSegment {
+            flags: TcpFlags::ACK,
+            seq,
+            ack: 0,
+            window: 1 << 20,
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    fn collect_data(inner: &mut TcpInner) -> Vec<u8> {
+        let mut out = Vec::new();
+        for ev in inner.pending_events.drain(..) {
+            if let SocketEvent::Data(b) = ev {
+                out.extend_from_slice(&b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"hello "), &mut out);
+        inner.on_segment(Timestamp::ZERO, data_seg(6, b"world"), &mut out);
+        assert_eq!(collect_data(&mut inner), b"hello world");
+        assert_eq!(inner.rcv_nxt, 11);
+        assert_eq!(out.len(), 2, "one ack per segment");
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        inner.on_segment(Timestamp::ZERO, data_seg(6, b"world"), &mut out);
+        assert!(collect_data(&mut inner).is_empty());
+        assert_eq!(inner.rcv_nxt, 0, "gap not yet filled");
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"hello "), &mut out);
+        assert_eq!(collect_data(&mut inner), b"hello world");
+        assert_eq!(inner.rcv_nxt, 11);
+    }
+
+    #[test]
+    fn duplicate_data_reacked_not_redelivered() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"abc"), &mut out);
+        let _ = collect_data(&mut inner);
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"abc"), &mut out);
+        assert!(collect_data(&mut inner).is_empty());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].segment.ack, 3);
+    }
+
+    #[test]
+    fn overlapping_segment_trimmed() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"abcd"), &mut out);
+        let _ = collect_data(&mut inner);
+        inner.on_segment(Timestamp::ZERO, data_seg(2, b"cdef"), &mut out);
+        assert_eq!(collect_data(&mut inner), b"ef");
+        assert_eq!(inner.rcv_nxt, 6);
+    }
+
+    #[test]
+    fn dup_acks_trigger_fast_retransmit() {
+        let mut inner = make_inner(TcpState::Established);
+        inner.snd_una = 0;
+        inner.snd_nxt = 3000;
+        inner.retx.insert(
+            0,
+            RetxEntry {
+                segment: TcpSegment {
+                    flags: TcpFlags::ACK,
+                    seq: 0,
+                    ack: 0,
+                    window: 0,
+                    payload: Bytes::from(vec![0; 1460]),
+                },
+                sent_at: Timestamp::ZERO,
+                retransmitted: false,
+            },
+        );
+        let mut out = Vec::new();
+        let dup = TcpSegment {
+            flags: TcpFlags::ACK,
+            seq: 0,
+            ack: 0,
+            window: 1 << 20,
+            payload: Bytes::new(),
+        };
+        for _ in 0..3 {
+            inner.on_segment(Timestamp::from_millis(1), dup.clone(), &mut out);
+        }
+        assert_eq!(inner.stats.fast_retransmits, 1);
+        assert_eq!(out.len(), 1, "exactly one retransmission");
+        assert_eq!(out[0].segment.seq, 0);
+        assert!(inner.recovery_point.is_some());
+        // Fourth dup ack must not retransmit again.
+        inner.on_segment(Timestamp::from_millis(2), dup, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn new_ack_clears_dupack_count() {
+        let mut inner = make_inner(TcpState::Established);
+        inner.snd_nxt = 100;
+        inner.retx.insert(
+            0,
+            RetxEntry {
+                segment: data_seg(0, &[0u8; 100]),
+                sent_at: Timestamp::ZERO,
+                retransmitted: false,
+            },
+        );
+        let mut out = Vec::new();
+        let dup = TcpSegment {
+            flags: TcpFlags::ACK,
+            seq: 0,
+            ack: 0,
+            window: 1 << 20,
+            payload: Bytes::new(),
+        };
+        inner.on_segment(Timestamp::from_millis(1), dup.clone(), &mut out);
+        inner.on_segment(Timestamp::from_millis(1), dup, &mut out);
+        assert_eq!(inner.dup_acks, 2);
+        let ack = TcpSegment {
+            flags: TcpFlags::ACK,
+            seq: 0,
+            ack: 100,
+            window: 1 << 20,
+            payload: Bytes::new(),
+        };
+        inner.on_segment(Timestamp::from_millis(2), ack, &mut out);
+        assert_eq!(inner.dup_acks, 0);
+        assert_eq!(inner.snd_una, 100);
+        assert!(inner.retx.is_empty());
+    }
+
+    #[test]
+    fn fin_handling_passive_close() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        let fin = TcpSegment {
+            flags: TcpFlags::FIN_ACK,
+            seq: 0,
+            ack: 0,
+            window: 1 << 20,
+            payload: Bytes::new(),
+        };
+        inner.on_segment(Timestamp::ZERO, fin, &mut out);
+        assert_eq!(inner.state(), TcpState::CloseWait);
+        assert_eq!(inner.rcv_nxt, 1);
+        assert!(matches!(
+            inner.pending_events.last(),
+            Some(SocketEvent::PeerClosed)
+        ));
+        // Our ACK of the FIN.
+        assert_eq!(out.last().unwrap().segment.ack, 1);
+    }
+
+    #[test]
+    fn fin_with_data_delivers_then_closes() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        let fin = TcpSegment {
+            flags: TcpFlags::FIN_ACK,
+            seq: 0,
+            ack: 0,
+            window: 1 << 20,
+            payload: Bytes::from_static(b"bye"),
+        };
+        inner.on_segment(Timestamp::ZERO, fin, &mut out);
+        let events: Vec<_> = inner.pending_events.drain(..).collect();
+        assert!(matches!(events[0], SocketEvent::Data(ref b) if &b[..] == b"bye"));
+        assert!(matches!(events[1], SocketEvent::PeerClosed));
+        assert_eq!(inner.rcv_nxt, 4);
+    }
+
+    #[test]
+    fn fin_out_of_order_waits_for_data() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        // FIN arrives before the data preceding it.
+        let fin = TcpSegment {
+            flags: TcpFlags::FIN_ACK,
+            seq: 5,
+            ack: 0,
+            window: 1 << 20,
+            payload: Bytes::new(),
+        };
+        inner.on_segment(Timestamp::ZERO, fin, &mut out);
+        assert_eq!(inner.state(), TcpState::Established);
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"hello"), &mut out);
+        assert_eq!(inner.state(), TcpState::CloseWait);
+        assert_eq!(inner.rcv_nxt, 6);
+    }
+
+    #[test]
+    fn rst_resets_connection() {
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        let rst = TcpSegment {
+            flags: TcpFlags::RST,
+            seq: 0,
+            ack: 0,
+            window: 0,
+            payload: Bytes::new(),
+        };
+        inner.on_segment(Timestamp::ZERO, rst, &mut out);
+        assert_eq!(inner.state(), TcpState::Closed);
+        assert!(matches!(
+            inner.pending_events.last(),
+            Some(SocketEvent::Reset)
+        ));
+        assert!(out.is_empty(), "no reply to an RST");
+    }
+
+    #[test]
+    fn segment_to_closed_socket_gets_rst() {
+        let mut inner = make_inner(TcpState::Closed);
+        let mut out = Vec::new();
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"hi"), &mut out);
+        assert!(out[0].segment.flags.rst);
+    }
+
+    #[test]
+    fn transmit_respects_cwnd() {
+        let mut inner = make_inner(TcpState::Established);
+        // Queue far more than IW10 allows.
+        let big = vec![0u8; 100_000];
+        inner.send_queued_bytes = big.len() as u64;
+        inner.send_queue.push(Bytes::from(big));
+        let mut out = Vec::new();
+        inner.transmit_new(Timestamp::ZERO, &mut out);
+        let sent: u64 = out.iter().map(|p| p.segment.payload.len() as u64).sum();
+        assert_eq!(sent, super::super::cc::INITIAL_WINDOW);
+        assert_eq!(inner.flight_size(), sent);
+        // All segments MSS-sized.
+        for p in &out {
+            assert!(p.segment.payload.len() <= crate::packet::MSS);
+        }
+    }
+
+    #[test]
+    fn partial_ack_trims_retx_entry() {
+        let mut inner = make_inner(TcpState::Established);
+        inner.send_queued_bytes = 1000;
+        inner.send_queue.push(Bytes::from(vec![7u8; 1000]));
+        let mut out = Vec::new();
+        inner.transmit_new(Timestamp::ZERO, &mut out);
+        // Ack half of the single segment.
+        let ack = TcpSegment {
+            flags: TcpFlags::ACK,
+            seq: 0,
+            ack: 500,
+            window: 1 << 20,
+            payload: Bytes::new(),
+        };
+        inner.on_segment(Timestamp::from_millis(5), ack, &mut out);
+        assert_eq!(inner.snd_una, 500);
+        let entry = inner.retx.get(&500).expect("trimmed entry at seq 500");
+        assert_eq!(entry.segment.payload.len(), 500);
+    }
+
+    #[test]
+    fn corrupted_flag_not_processed_here() {
+        // Corruption filtering happens at the host; TcpInner trusts its
+        // input. This test documents that contract.
+        let mut inner = make_inner(TcpState::Established);
+        let mut out = Vec::new();
+        inner.on_segment(Timestamp::ZERO, data_seg(0, b"x"), &mut out);
+        assert_eq!(inner.stats.segments_received, 1);
+    }
+}

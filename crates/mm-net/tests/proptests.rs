@@ -1,0 +1,67 @@
+//! Property test: TCP delivers arbitrary byte streams intact, in order,
+//! through handshake, segmentation and reassembly.
+
+use bytes::Bytes;
+use mm_net::{Host, IpAddr, Listener, Namespace, PacketIdGen, SocketAddr, SocketApp, SocketEvent, TcpHandle};
+use mm_sim::Simulator;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Collect {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+impl SocketApp for Collect {
+    fn on_event(&self, _sim: &mut Simulator, _h: &TcpHandle, ev: SocketEvent) {
+        if let SocketEvent::Data(b) = ev {
+            self.buf.borrow_mut().extend_from_slice(&b);
+        }
+    }
+}
+
+struct Sink {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+impl Listener for Sink {
+    fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+        Rc::new(Collect {
+            buf: self.buf.clone(),
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn tcp_stream_integrity(chunks in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..5000), 1..8)) {
+        let mut sim = Simulator::new();
+        let ns = Namespace::root("w");
+        let ids = PacketIdGen::new();
+        let client = Host::new_in(IpAddr::new(10, 0, 0, 1), ids.clone(), &ns);
+        let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        server.listen(80, Rc::new(Sink { buf: received.clone() }));
+
+        struct SendAll {
+            chunks: RefCell<Vec<Vec<u8>>>,
+        }
+        impl SocketApp for SendAll {
+            fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+                if matches!(ev, SocketEvent::Connected) {
+                    for c in self.chunks.borrow_mut().drain(..) {
+                        h.send(sim, Bytes::from(c));
+                    }
+                }
+            }
+        }
+        let expected: Vec<u8> = chunks.concat();
+        client.connect(
+            &mut sim,
+            SocketAddr::new(server.ip(), 80),
+            Rc::new(SendAll { chunks: RefCell::new(chunks) }),
+        );
+        sim.run();
+        prop_assert_eq!(&received.borrow()[..], &expected[..]);
+    }
+}

@@ -1,0 +1,12 @@
+//! # mm-record — RecordShell
+//!
+//! The recording half of the toolkit: a transparent man-in-the-middle
+//! proxy ([`proxy::RecordShell`]) that stores every HTTP request/response
+//! pair crossing the namespace boundary into the on-disk site format
+//! ([`store::StoredSite`]).
+
+pub mod proxy;
+pub mod store;
+
+pub use proxy::{fetch_via, RecordShell};
+pub use store::{RequestResponsePair, Scheme, StoredSite};

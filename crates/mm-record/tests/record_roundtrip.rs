@@ -1,0 +1,263 @@
+//! Integration tests: a browser-like client inside a RecordShell fetching
+//! from origin servers in the outer namespace, with the proxy recording
+//! every exchange transparently.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mm_http::{write_response, Request, RequestParser, Response};
+use mm_net::{
+    Host, IpAddr, Listener, Namespace, PacketIdGen, SocketAddr, SocketApp, SocketEvent, TcpHandle,
+};
+use mm_record::{fetch_via, RecordShell};
+use mm_sim::{Simulator, Timestamp};
+
+/// A minimal HTTP origin server: answers GETs from a fixed (target → body)
+/// table, 404 otherwise.
+struct OriginServer {
+    routes: Vec<(String, Bytes)>,
+}
+
+impl OriginServer {
+    fn install(host: &Host, port: u16, routes: Vec<(&str, &[u8])>) {
+        let listener = Rc::new(OriginListener {
+            server: Rc::new(OriginServer {
+                routes: routes
+                    .into_iter()
+                    .map(|(t, b)| (t.to_string(), Bytes::copy_from_slice(b)))
+                    .collect(),
+            }),
+        });
+        host.listen(port, listener);
+    }
+}
+
+struct OriginListener {
+    server: Rc<OriginServer>,
+}
+
+impl Listener for OriginListener {
+    fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+        Rc::new(OriginConn {
+            server: self.server.clone(),
+            parser: RefCell::new(RequestParser::new()),
+        })
+    }
+}
+
+struct OriginConn {
+    server: Rc<OriginServer>,
+    parser: RefCell<RequestParser>,
+}
+
+impl SocketApp for OriginConn {
+    fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+        if let SocketEvent::Data(b) = ev {
+            let reqs = self.parser.borrow_mut().feed(&b).expect("valid HTTP");
+            for req in reqs {
+                let resp = self
+                    .server
+                    .routes
+                    .iter()
+                    .find(|(t, _)| *t == req.target)
+                    .map(|(_, body)| Response::ok(body.clone(), "text/html"))
+                    .unwrap_or_else(Response::not_found);
+                h.send(sim, write_response(&resp));
+            }
+        }
+    }
+}
+
+struct World {
+    sim: Simulator,
+    root: Namespace,
+    shell: RecordShell,
+    browser: Host,
+}
+
+fn world() -> World {
+    let sim = Simulator::new();
+    let root = Namespace::root("internet");
+    let ids = PacketIdGen::new();
+    let shell = RecordShell::new(
+        &root,
+        "recordshell",
+        IpAddr::new(192, 168, 1, 10),
+        ids.clone(),
+        "test-site",
+        "http://10.1.0.1:80/",
+    );
+    let browser = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &shell.inner_ns);
+    World {
+        sim,
+        root,
+        shell,
+        browser,
+    }
+}
+
+#[test]
+fn records_a_simple_fetch() {
+    let mut w = world();
+    let ids = PacketIdGen::new();
+    let server = Host::new_in(IpAddr::new(10, 1, 0, 1), ids, &w.root);
+    OriginServer::install(&server, 80, vec![("/", b"<html>hello</html>")]);
+
+    let origin = SocketAddr::new(server.ip(), 80);
+    let req = Request::get("/", "site.example");
+    let _body = fetch_via(&mut w.sim, &w.browser, origin, req);
+    w.sim.run_until(Timestamp::from_secs(5));
+
+    let recorded = w.shell.recorded();
+    assert_eq!(recorded.pairs.len(), 1);
+    let pair = &recorded.pairs[0];
+    assert_eq!(pair.origin, origin);
+    assert_eq!(pair.request.target, "/");
+    assert_eq!(pair.request.host(), Some("site.example"));
+    assert_eq!(&pair.response.body[..], b"<html>hello</html>");
+}
+
+#[test]
+fn browser_receives_identical_bytes() {
+    let mut w = world();
+    let ids = PacketIdGen::new();
+    let server = Host::new_in(IpAddr::new(10, 1, 0, 1), ids, &w.root);
+    let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+    OriginServer::install(&server, 80, vec![("/big", &payload)]);
+
+    let origin = SocketAddr::new(server.ip(), 80);
+    let body = fetch_via(&mut w.sim, &w.browser, origin, Request::get("/big", "h"));
+    w.sim.run_until(Timestamp::from_secs(10));
+
+    // The browser got the full response through the proxy...
+    let got = body.borrow();
+    let tail = got
+        .windows(4)
+        .position(|win| win == b"\r\n\r\n")
+        .map(|p| &got[p + 4..])
+        .expect("response head present");
+    assert_eq!(tail, &payload[..]);
+    // ...and the proxy recorded the same body.
+    assert_eq!(&w.shell.recorded().pairs[0].response.body[..], &payload[..]);
+}
+
+#[test]
+fn multiple_origins_recorded_distinctly() {
+    let mut w = world();
+    let ids = PacketIdGen::new();
+    let s1 = Host::new_in(IpAddr::new(10, 1, 0, 1), ids.clone(), &w.root);
+    let s2 = Host::new_in(IpAddr::new(10, 2, 0, 1), ids.clone(), &w.root);
+    OriginServer::install(&s1, 80, vec![("/", b"one")]);
+    OriginServer::install(&s2, 80, vec![("/img", b"two")]);
+    OriginServer::install(&s2, 443, vec![("/api", b"three")]);
+
+    for (ip, port, target) in [
+        (s1.ip(), 80, "/"),
+        (s2.ip(), 80, "/img"),
+        (s2.ip(), 443, "/api"),
+    ] {
+        fetch_via(
+            &mut w.sim,
+            &w.browser,
+            SocketAddr::new(ip, port),
+            Request::get(target, "h"),
+        );
+    }
+    w.sim.run_until(Timestamp::from_secs(5));
+
+    let recorded = w.shell.recorded();
+    assert_eq!(recorded.pairs.len(), 3);
+    assert_eq!(recorded.origins().len(), 3);
+    assert_eq!(recorded.server_ips().len(), 2);
+    // Port 443 pairs are tagged https (the proxy terminates TLS).
+    let https = recorded
+        .pairs
+        .iter()
+        .find(|p| p.origin.port == 443)
+        .unwrap();
+    assert_eq!(https.scheme, mm_record::Scheme::Https);
+}
+
+#[test]
+fn persistent_connection_pairs_in_order() {
+    let mut w = world();
+    let ids = PacketIdGen::new();
+    let server = Host::new_in(IpAddr::new(10, 1, 0, 1), ids, &w.root);
+    OriginServer::install(&server, 80, vec![("/a", b"AAA"), ("/b", b"BBBB")]);
+
+    // One connection, two sequential requests.
+    struct TwoFetches {
+        sent: RefCell<u32>,
+        got: Rc<RefCell<Vec<u8>>>,
+    }
+    impl SocketApp for TwoFetches {
+        fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+            match ev {
+                SocketEvent::Connected => {
+                    h.send(sim, mm_http::write_request(&Request::get("/a", "h")));
+                    h.send(sim, mm_http::write_request(&Request::get("/b", "h")));
+                    *self.sent.borrow_mut() = 2;
+                }
+                SocketEvent::Data(b) => self.got.borrow_mut().extend_from_slice(&b),
+                _ => {}
+            }
+        }
+    }
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let app = Rc::new(TwoFetches {
+        sent: RefCell::new(0),
+        got: got.clone(),
+    });
+    w.browser
+        .connect(&mut w.sim, SocketAddr::new(server.ip(), 80), app);
+    w.sim.run_until(Timestamp::from_secs(5));
+
+    let recorded = w.shell.recorded();
+    assert_eq!(recorded.pairs.len(), 2);
+    assert_eq!(recorded.pairs[0].request.target, "/a");
+    assert_eq!(&recorded.pairs[0].response.body[..], b"AAA");
+    assert_eq!(recorded.pairs[1].request.target, "/b");
+    assert_eq!(&recorded.pairs[1].response.body[..], b"BBBB");
+    // Only one proxied connection was opened outbound.
+    assert_eq!(w.shell.wan_host.stats().connections_initiated, 1);
+}
+
+#[test]
+fn recording_is_transparent_to_timing_order() {
+    // The browser sees responses in request order even through the proxy.
+    let mut w = world();
+    let ids = PacketIdGen::new();
+    let server = Host::new_in(IpAddr::new(10, 1, 0, 1), ids, &w.root);
+    OriginServer::install(&server, 80, vec![("/1", b"first"), ("/2", b"second")]);
+    let origin = SocketAddr::new(server.ip(), 80);
+    let b1 = fetch_via(&mut w.sim, &w.browser, origin, Request::get("/1", "h"));
+    let b2 = fetch_via(&mut w.sim, &w.browser, origin, Request::get("/2", "h"));
+    w.sim.run_until(Timestamp::from_secs(5));
+    assert!(String::from_utf8_lossy(&b1.borrow()).contains("first"));
+    assert!(String::from_utf8_lossy(&b2.borrow()).contains("second"));
+}
+
+#[test]
+fn store_save_load_round_trip_from_recording() {
+    let mut w = world();
+    let ids = PacketIdGen::new();
+    let server = Host::new_in(IpAddr::new(10, 1, 0, 1), ids, &w.root);
+    OriginServer::install(&server, 80, vec![("/", b"content")]);
+    fetch_via(
+        &mut w.sim,
+        &w.browser,
+        SocketAddr::new(server.ip(), 80),
+        Request::get("/", "h"),
+    );
+    w.sim.run_until(Timestamp::from_secs(5));
+
+    let recorded = w.shell.recorded();
+    let dir = std::env::temp_dir().join("mm-record-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rec.json");
+    recorded.save(&path).unwrap();
+    let back = mm_record::StoredSite::load(&path).unwrap();
+    assert_eq!(back, recorded);
+    std::fs::remove_file(&path).unwrap();
+}

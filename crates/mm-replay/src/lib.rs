@@ -1,0 +1,17 @@
+//! # mm-replay — ReplayShell
+//!
+//! The replay half of the toolkit: per-origin virtual servers bound to the
+//! recorded addresses ([`server`]), mahimahi's request-matching algorithm
+//! ([`matcher`]) over an indexed store ([`store_index`]), and response
+//! normalization for the wire ([`normalize`]). The single-server ablation
+//! the paper evaluates is a mode, not a fork.
+
+pub mod matcher;
+pub mod normalize;
+pub mod server;
+pub mod store_index;
+
+pub use matcher::{MatchStats, Matcher};
+pub use normalize::normalize_for_replay;
+pub use server::{ReplayConfig, ReplayMode, ReplayShell};
+pub use store_index::StoreIndex;

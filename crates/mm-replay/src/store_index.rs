@@ -1,0 +1,110 @@
+//! An index over a [`StoredSite`] for fast request matching.
+//!
+//! Real mahimahi's CGI scans all recorded pairs per request; with a
+//! 500-site corpus and hundreds of loads we index by (host, path) once per
+//! site instead. The observable matching semantics are identical.
+
+use std::collections::HashMap;
+
+use mm_record::{RequestResponsePair, StoredSite};
+
+/// Immutable (host, path) → candidate-pair-indices index.
+pub struct StoreIndex {
+    pairs: Vec<RequestResponsePair>,
+    by_host_path: HashMap<(String, String), Vec<usize>>,
+    empty: Vec<usize>,
+}
+
+impl StoreIndex {
+    /// Build the index (clones the pairs out of the site).
+    pub fn build(site: &StoredSite) -> StoreIndex {
+        let pairs = site.pairs.clone();
+        let mut by_host_path: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for (i, p) in pairs.iter().enumerate() {
+            let host = p.request.host().unwrap_or("").to_ascii_lowercase();
+            let path = p.request.path().to_string();
+            by_host_path.entry((host, path)).or_default().push(i);
+        }
+        StoreIndex {
+            pairs,
+            by_host_path,
+            empty: Vec::new(),
+        }
+    }
+
+    /// Candidate pair indices for a (host, path), in recording order.
+    pub fn candidates(&self, host: &str, path: &str) -> &[usize] {
+        self.by_host_path
+            .get(&(host.to_ascii_lowercase(), path.to_string()))
+            .unwrap_or(&self.empty)
+    }
+
+    /// Fetch a pair by index.
+    pub fn pair(&self, idx: usize) -> &RequestResponsePair {
+        &self.pairs[idx]
+    }
+
+    /// Number of pairs indexed.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the site had no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mm_http::{Request, Response};
+    use mm_net::{IpAddr, SocketAddr};
+    use mm_record::Scheme;
+
+    fn site() -> StoredSite {
+        let origin = SocketAddr::new(IpAddr::new(1, 1, 1, 1), 80);
+        let mut s = StoredSite::new("s", "http://1.1.1.1:80/");
+        for (host, target) in [
+            ("a.com", "/x"),
+            ("a.com", "/x?q=1"),
+            ("A.COM", "/y"),
+            ("b.com", "/x"),
+        ] {
+            s.push(RequestResponsePair {
+                origin,
+                scheme: Scheme::Http,
+                request: Request::get(target, host),
+                response: Response::ok(Bytes::new(), "text/plain"),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn groups_by_host_and_path() {
+        let idx = StoreIndex::build(&site());
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.candidates("a.com", "/x").len(), 2);
+        assert_eq!(idx.candidates("b.com", "/x").len(), 1);
+        assert_eq!(idx.candidates("c.com", "/x").len(), 0);
+        assert_eq!(idx.candidates("a.com", "/z").len(), 0);
+    }
+
+    #[test]
+    fn host_lookup_case_insensitive() {
+        let idx = StoreIndex::build(&site());
+        assert_eq!(idx.candidates("a.com", "/y").len(), 1);
+        assert_eq!(idx.candidates("A.com", "/y").len(), 1);
+    }
+
+    #[test]
+    fn candidates_in_recording_order() {
+        let idx = StoreIndex::build(&site());
+        let c = idx.candidates("a.com", "/x");
+        assert!(c[0] < c[1]);
+        assert_eq!(idx.pair(c[0]).request.target, "/x");
+        assert_eq!(idx.pair(c[1]).request.target, "/x?q=1");
+    }
+}

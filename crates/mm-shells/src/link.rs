@@ -1,0 +1,496 @@
+//! LinkShell: trace-driven link emulation.
+//!
+//! From the paper: "When a packet arrives into the link, it is directly
+//! placed into either the uplink or downlink packet queue. LinkShell
+//! releases packets from each queue based on the corresponding
+//! packet-delivery trace. Each line in the trace is a packet-delivery
+//! opportunity: the time at which an MTU-sized packet will be delivered."
+//!
+//! Opportunities are use-it-or-lose-it: while the queue is empty they pass
+//! unused; the emulator walks the (wrapping) trace lazily, arming a timer
+//! only while packets are queued.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mm_net::{Namespace, Packet, PacketSink, SinkRef, MTU};
+use mm_sim::{Simulator, Timer, Timestamp};
+use mm_trace::Trace;
+
+use crate::queue::{EnqueueResult, Qdisc, QdiscStats};
+
+/// How much a single delivery opportunity can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpportunityPolicy {
+    /// Up to MTU bytes per opportunity: several small packets may share
+    /// one opportunity (mm-link's byte-accounting behaviour).
+    #[default]
+    ByteBudget,
+    /// Exactly one packet per opportunity regardless of size
+    /// (conservative ablation).
+    PacketPerOpportunity,
+}
+
+/// Counters for one trace-link direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    pub arrived: u64,
+    pub delivered: u64,
+    pub delivered_bytes: u64,
+    pub dropped_by_queue: u64,
+    /// Delivery opportunities consumed (for utilization reporting).
+    pub opportunities_used: u64,
+}
+
+struct LinkInner {
+    trace: Trace,
+    cursor: u64,
+    qdisc: Box<dyn Qdisc>,
+    policy: OpportunityPolicy,
+    next: SinkRef,
+    timer: Timer,
+    wakeup_armed: bool,
+    stats: LinkStats,
+}
+
+/// One direction of a LinkShell.
+pub struct TraceLink {
+    inner: Rc<RefCell<LinkInner>>,
+}
+
+impl TraceLink {
+    /// A trace-driven direction feeding `next`.
+    pub fn new(
+        trace: Trace,
+        qdisc: Box<dyn Qdisc>,
+        policy: OpportunityPolicy,
+        next: SinkRef,
+    ) -> Rc<Self> {
+        Rc::new(TraceLink {
+            inner: Rc::new(RefCell::new(LinkInner {
+                trace,
+                cursor: 0,
+                qdisc,
+                policy,
+                next,
+                timer: Timer::new(),
+                wakeup_armed: false,
+                stats: LinkStats::default(),
+            })),
+        })
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> LinkStats {
+        self.inner.borrow().stats
+    }
+
+    /// Queue-discipline counters.
+    pub fn qdisc_stats(&self) -> QdiscStats {
+        self.inner.borrow().qdisc.stats()
+    }
+
+    /// Current queue backlog in packets.
+    pub fn backlog_packets(&self) -> usize {
+        self.inner.borrow().qdisc.len_packets()
+    }
+
+    fn opportunity_time(trace: &Trace, i: u64) -> Timestamp {
+        Timestamp::from_millis(trace.opportunity_ms(i))
+    }
+
+    /// Arm the wakeup timer for opportunity `cursor` (must not already be
+    /// armed). `self_rc` is this link, for the timer closure.
+    fn arm(self_rc: &Rc<Self>, sim: &mut Simulator) {
+        let (at, timer) = {
+            let mut inner = self_rc.inner.borrow_mut();
+            debug_assert!(!inner.wakeup_armed);
+            inner.wakeup_armed = true;
+            let at = Self::opportunity_time(&inner.trace, inner.cursor).max(sim.now());
+            (at, inner.timer.clone())
+        };
+        let me = self_rc.clone();
+        timer.arm_at(sim, at, move |sim| TraceLink::on_opportunity(&me, sim));
+    }
+
+    fn on_opportunity(self_rc: &Rc<Self>, sim: &mut Simulator) {
+        let now = sim.now();
+        let mut to_deliver: Vec<Packet> = Vec::new();
+        {
+            let mut inner = self_rc.inner.borrow_mut();
+            inner.wakeup_armed = false;
+            let mut budget = MTU;
+            loop {
+                // Peek via len; qdisc has no peek, so dequeue and decide.
+                if inner.qdisc.len_packets() == 0 {
+                    break;
+                }
+                match inner.policy {
+                    OpportunityPolicy::PacketPerOpportunity => {
+                        if let Some(pkt) = inner.qdisc.dequeue(now) {
+                            inner.stats.delivered += 1;
+                            inner.stats.delivered_bytes += pkt.wire_size() as u64;
+                            to_deliver.push(pkt);
+                        }
+                        break;
+                    }
+                    OpportunityPolicy::ByteBudget => {
+                        // All model packets are ≤ MTU, so the head always
+                        // fits in a fresh opportunity; stop once the next
+                        // packet would exceed the remaining budget.
+                        match inner.qdisc.peek_size() {
+                            Some(sz) if sz <= budget => {}
+                            _ => break,
+                        }
+                        let Some(pkt) = inner.qdisc.dequeue(now) else {
+                            break;
+                        };
+                        let sz = pkt.wire_size();
+                        budget = budget.saturating_sub(sz);
+                        inner.stats.delivered += 1;
+                        inner.stats.delivered_bytes += sz as u64;
+                        to_deliver.push(pkt);
+                        if budget == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !to_deliver.is_empty() {
+                inner.stats.opportunities_used += 1;
+            }
+            inner.cursor += 1;
+            if inner.qdisc.len_packets() > 0 {
+                // More work: rearm for the next opportunity.
+                inner.wakeup_armed = true;
+                let at = Self::opportunity_time(&inner.trace, inner.cursor).max(now);
+                let timer = inner.timer.clone();
+                drop(inner);
+                let me = self_rc.clone();
+                timer.arm_at(sim, at, move |sim| TraceLink::on_opportunity(&me, sim));
+            }
+        }
+        let next = self_rc.inner.borrow().next.clone();
+        for pkt in to_deliver {
+            next.deliver(sim, pkt);
+        }
+    }
+}
+
+/// The sink wrapper so `Rc<TraceLink>` can be used where a `SinkRef` is
+/// needed while keeping `TraceLink::arm`'s `Rc<Self>` plumbing.
+pub struct TraceLinkSink(pub Rc<TraceLink>);
+
+impl PacketSink for TraceLinkSink {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        let now = sim.now();
+        let link = &self.0;
+        let need_arm = {
+            let mut inner = link.inner.borrow_mut();
+            inner.stats.arrived += 1;
+            let accepted = inner.qdisc.enqueue(now, pkt);
+            if accepted == EnqueueResult::Dropped {
+                inner.stats.dropped_by_queue += 1;
+                false
+            } else if !inner.wakeup_armed {
+                // Find the first usable opportunity: opportunities are
+                // use-it-or-lose-it, so skip everything before "now"
+                // (sub-millisecond remainders round up — the trace has
+                // millisecond granularity).
+                let now_ms = (now.as_nanos() + 999_999) / 1_000_000;
+                inner.cursor = inner.trace.first_opportunity_at_or_after(now_ms);
+                true
+            } else {
+                false
+            }
+        };
+        if need_arm {
+            TraceLink::arm(link, sim);
+        }
+    }
+}
+
+/// Handle to a constructed link shell.
+pub struct LinkShell {
+    /// The namespace applications run inside.
+    pub inner_ns: Namespace,
+    /// Child → parent direction.
+    pub uplink: Rc<TraceLink>,
+    /// Parent → child direction.
+    pub downlink: Rc<TraceLink>,
+}
+
+/// Configuration for [`link_shell`].
+pub struct LinkShellConfig {
+    pub uplink_trace: Trace,
+    pub downlink_trace: Trace,
+    pub policy: OpportunityPolicy,
+}
+
+impl LinkShellConfig {
+    /// Symmetric link from one trace.
+    pub fn symmetric(trace: Trace) -> Self {
+        LinkShellConfig {
+            uplink_trace: trace.clone(),
+            downlink_trace: trace,
+            policy: OpportunityPolicy::default(),
+        }
+    }
+}
+
+/// Build a LinkShell under `parent` (the paper's
+/// `mm-link <up.trace> <down.trace>`), with fresh qdiscs from `make_qdisc`.
+pub fn link_shell(
+    parent: &Namespace,
+    name: &str,
+    config: LinkShellConfig,
+    make_qdisc: &dyn Fn() -> Box<dyn Qdisc>,
+) -> LinkShell {
+    let inner_ns = Namespace::root(name);
+    let uplink = TraceLink::new(
+        config.uplink_trace,
+        make_qdisc(),
+        config.policy,
+        parent.router(),
+    );
+    let downlink = TraceLink::new(
+        config.downlink_trace,
+        make_qdisc(),
+        config.policy,
+        inner_ns.router(),
+    );
+    parent.attach_child(
+        &inner_ns,
+        Rc::new(TraceLinkSink(uplink.clone())),
+        Rc::new(TraceLinkSink(downlink.clone())),
+    );
+    LinkShell {
+        inner_ns,
+        uplink,
+        downlink,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::DropTail;
+    use bytes::Bytes;
+    use mm_net::{FnSink, IpAddr, SocketAddr, TcpFlags, TcpSegment};
+    use mm_trace::constant_rate;
+
+    fn pkt(id: u64, payload: usize) -> Packet {
+        Packet {
+            id,
+            src: SocketAddr::new(IpAddr::new(1, 1, 1, 1), 1),
+            dst: SocketAddr::new(IpAddr::new(2, 2, 2, 2), 2),
+            segment: TcpSegment {
+                flags: TcpFlags::ACK,
+                seq: 0,
+                ack: 0,
+                window: 0,
+                payload: Bytes::from(vec![0; payload]),
+            },
+            corrupted: false,
+        }
+    }
+
+    fn arrivals_sink() -> (Rc<RefCell<Vec<(u64, Timestamp)>>>, SinkRef) {
+        let v = Rc::new(RefCell::new(Vec::new()));
+        let v2 = v.clone();
+        let sink = FnSink::new(move |sim: &mut Simulator, p: Packet| {
+            v2.borrow_mut().push((p.id, sim.now()));
+        });
+        (v, sink)
+    }
+
+    fn make_link(trace: Trace, next: SinkRef) -> (Rc<TraceLink>, SinkRef) {
+        let link = TraceLink::new(
+            trace,
+            Box::new(DropTail::infinite()),
+            OpportunityPolicy::ByteBudget,
+            next,
+        );
+        let sink: SinkRef = Rc::new(TraceLinkSink(link.clone()));
+        (link, sink)
+    }
+
+    #[test]
+    fn delivery_follows_trace_opportunities() {
+        let mut sim = Simulator::new();
+        let (arrivals, sink) = arrivals_sink();
+        // Opportunities at 10, 20, 30 ms.
+        let trace = Trace::from_timestamps(vec![10, 20, 30]).unwrap();
+        let (_link, ingress) = make_link(trace, sink);
+        let i2 = ingress.clone();
+        sim.schedule_now(move |sim| {
+            for i in 0..3 {
+                i2.deliver(sim, pkt(i, 1460)); // full MTU each
+            }
+        });
+        sim.run();
+        let got = arrivals.borrow().clone();
+        assert_eq!(
+            got,
+            vec![
+                (0, Timestamp::from_millis(10)),
+                (1, Timestamp::from_millis(20)),
+                (2, Timestamp::from_millis(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn missed_opportunities_are_lost() {
+        let mut sim = Simulator::new();
+        let (arrivals, sink) = arrivals_sink();
+        let trace = Trace::from_timestamps(vec![10, 20, 30]).unwrap();
+        let (_link, ingress) = make_link(trace, sink);
+        // Packet arrives at 15 ms: the 10 ms opportunity already passed.
+        sim.schedule_at(Timestamp::from_millis(15), move |sim| {
+            ingress.deliver(sim, pkt(0, 1460));
+        });
+        sim.run();
+        assert_eq!(
+            *arrivals.borrow(),
+            vec![(0, Timestamp::from_millis(20))]
+        );
+    }
+
+    #[test]
+    fn small_packets_share_an_opportunity() {
+        let mut sim = Simulator::new();
+        let (arrivals, sink) = arrivals_sink();
+        let trace = Trace::from_timestamps(vec![10, 20]).unwrap();
+        let (_link, ingress) = make_link(trace, sink);
+        // Three 40-byte ACKs: all fit in one 1500-byte opportunity.
+        sim.schedule_now(move |sim| {
+            for i in 0..3 {
+                ingress.deliver(sim, pkt(i, 0));
+            }
+        });
+        sim.run();
+        let got = arrivals.borrow().clone();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|&(_, t)| t == Timestamp::from_millis(10)));
+    }
+
+    #[test]
+    fn packet_per_opportunity_policy() {
+        let mut sim = Simulator::new();
+        let (arrivals, sink) = arrivals_sink();
+        let trace = Trace::from_timestamps(vec![10, 20, 30]).unwrap();
+        let link = TraceLink::new(
+            trace,
+            Box::new(DropTail::infinite()),
+            OpportunityPolicy::PacketPerOpportunity,
+            sink,
+        );
+        let ingress: SinkRef = Rc::new(TraceLinkSink(link));
+        sim.schedule_now(move |sim| {
+            for i in 0..3 {
+                ingress.deliver(sim, pkt(i, 0)); // tiny, but one per opp
+            }
+        });
+        sim.run();
+        let times: Vec<u64> = arrivals.borrow().iter().map(|&(_, t)| t.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn trace_wraps_for_long_runs() {
+        let mut sim = Simulator::new();
+        let (arrivals, sink) = arrivals_sink();
+        // One opportunity per 10 ms, period 10 ms.
+        let trace = Trace::from_timestamps(vec![10]).unwrap();
+        let (_link, ingress) = make_link(trace, sink);
+        sim.schedule_now(move |sim| {
+            for i in 0..5 {
+                ingress.deliver(sim, pkt(i, 1460));
+            }
+        });
+        sim.run();
+        let times: Vec<u64> = arrivals.borrow().iter().map(|&(_, t)| t.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn throughput_matches_trace_rate() {
+        let mut sim = Simulator::new();
+        let delivered_bytes = Rc::new(RefCell::new(0u64));
+        let db = delivered_bytes.clone();
+        let sink = FnSink::new(move |_: &mut Simulator, p: Packet| {
+            *db.borrow_mut() += p.wire_size() as u64;
+        });
+        // 12 Mbit/s for 1 second.
+        let trace = constant_rate(12.0, 1000);
+        let (_link, ingress) = make_link(trace, sink);
+        // Saturate: 3000 full packets (4.5 MB) — more than one second's
+        // capacity (1.5 MB/s).
+        sim.schedule_now(move |sim| {
+            for i in 0..3000 {
+                ingress.deliver(sim, pkt(i, 1460));
+            }
+        });
+        sim.run_until(Timestamp::from_secs(1));
+        let mbps = *delivered_bytes.borrow() as f64 * 8.0 / 1e6;
+        assert!((mbps - 12.0).abs() < 0.5, "delivered {mbps} Mbit/s");
+    }
+
+    #[test]
+    fn queue_drops_counted() {
+        let mut sim = Simulator::new();
+        let (_arrivals, sink) = arrivals_sink();
+        let trace = Trace::from_timestamps(vec![100]).unwrap();
+        let link = TraceLink::new(
+            trace,
+            Box::new(DropTail::new(crate::queue::QueueLimit::Packets(2))),
+            OpportunityPolicy::ByteBudget,
+            sink,
+        );
+        let ingress: SinkRef = Rc::new(TraceLinkSink(link.clone()));
+        sim.schedule_now(move |sim| {
+            for i in 0..5 {
+                ingress.deliver(sim, pkt(i, 1460));
+            }
+        });
+        sim.run();
+        assert_eq!(link.stats().dropped_by_queue, 3);
+        assert_eq!(link.stats().delivered, 2);
+    }
+
+    #[test]
+    fn link_shell_wires_namespace() {
+        let mut sim = Simulator::new();
+        let parent = Namespace::root("parent");
+        let shell = link_shell(
+            &parent,
+            "linked",
+            LinkShellConfig::symmetric(constant_rate(12.0, 1000)),
+            &|| Box::new(DropTail::infinite()),
+        );
+        let (arrivals, sink) = arrivals_sink();
+        parent.add_host(IpAddr::new(8, 8, 8, 8), sink);
+        let mut p = pkt(1, 1460);
+        p.dst = SocketAddr::new(IpAddr::new(8, 8, 8, 8), 80);
+        shell.inner_ns.router().deliver(&mut sim, p);
+        sim.run();
+        assert_eq!(arrivals.borrow().len(), 1);
+        assert_eq!(shell.uplink.stats().delivered, 1);
+        assert_eq!(shell.downlink.stats().delivered, 0);
+    }
+
+    #[test]
+    fn idle_link_schedules_no_events() {
+        let mut sim = Simulator::new();
+        let (_arrivals, sink) = arrivals_sink();
+        let trace = constant_rate(1000.0, 1000); // 83k opportunities
+        let (_link, _ingress) = make_link(trace, sink);
+        sim.run();
+        assert_eq!(
+            sim.events_executed(),
+            0,
+            "lazy walker must not tick an idle link"
+        );
+    }
+}

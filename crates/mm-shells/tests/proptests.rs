@@ -1,0 +1,131 @@
+//! Property tests on queue disciplines and shells: conservation (every
+//! packet is delivered exactly once or dropped exactly once), FIFO order,
+//! and capacity respect, for arbitrary workloads.
+
+use bytes::Bytes;
+use mm_net::{IpAddr, Packet, SocketAddr, TcpFlags, TcpSegment};
+use mm_shells::{DropHead, DropTail, EnqueueResult, Qdisc, QueueLimit};
+use mm_sim::Timestamp;
+use proptest::prelude::*;
+
+fn pkt(id: u64, payload: usize) -> Packet {
+    Packet {
+        id,
+        src: SocketAddr::new(IpAddr::new(1, 1, 1, 1), 1),
+        dst: SocketAddr::new(IpAddr::new(2, 2, 2, 2), 2),
+        segment: TcpSegment {
+            flags: TcpFlags::ACK,
+            seq: 0,
+            ack: 0,
+            window: 0,
+            payload: Bytes::from(vec![0u8; payload]),
+        },
+        corrupted: false,
+    }
+}
+
+/// An arbitrary interleaving of enqueues (with payload sizes) and
+/// dequeues.
+fn arb_ops() -> impl Strategy<Value = Vec<Option<usize>>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..1460).prop_map(Some), // enqueue of this size
+            Just(None),                    // dequeue
+        ],
+        1..200,
+    )
+}
+
+fn run_conservation(q: &mut dyn Qdisc, ops: &[Option<usize>]) -> (u64, u64, u64) {
+    let mut enq = 0u64;
+    let mut deq = 0u64;
+    let mut t = 0u64;
+    let mut next_id = 0u64;
+    for op in ops {
+        t += 1;
+        match op {
+            Some(size) => {
+                if q.enqueue(Timestamp::from_millis(t), pkt(next_id, *size))
+                    == EnqueueResult::Accepted
+                {
+                    enq += 1;
+                }
+                next_id += 1;
+            }
+            None => {
+                if q.dequeue(Timestamp::from_millis(t)).is_some() {
+                    deq += 1;
+                }
+            }
+        }
+    }
+    // Drain.
+    while q.dequeue(Timestamp::from_millis(t + 1)).is_some() {
+        deq += 1;
+    }
+    (enq, deq, q.stats().dropped)
+}
+
+proptest! {
+    #[test]
+    fn droptail_conserves_packets(ops in arb_ops()) {
+        let mut q = DropTail::infinite();
+        let (enq, deq, dropped) = run_conservation(&mut q, &ops);
+        prop_assert_eq!(enq, deq);
+        prop_assert_eq!(dropped, 0);
+        prop_assert_eq!(q.len_packets(), 0);
+        prop_assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn bounded_droptail_conserves(ops in arb_ops(), cap in 1usize..20) {
+        let mut q = DropTail::new(QueueLimit::Packets(cap));
+        let offered = ops.iter().filter(|o| o.is_some()).count() as u64;
+        let (enq, deq, dropped) = run_conservation(&mut q, &ops);
+        prop_assert_eq!(enq, deq);
+        prop_assert_eq!(enq + dropped, offered);
+    }
+
+    #[test]
+    fn drophead_conserves(ops in arb_ops(), cap in 1usize..20) {
+        let mut q = DropHead::new(QueueLimit::Packets(cap));
+        let offered = ops.iter().filter(|o| o.is_some()).count() as u64;
+        let (_enq, deq, dropped) = run_conservation(&mut q, &ops);
+        // Drophead accepts everything; victims are dropped from the head.
+        prop_assert_eq!(deq + dropped, offered);
+    }
+
+    #[test]
+    fn droptail_is_fifo(sizes in prop::collection::vec(0usize..1460, 1..50)) {
+        let mut q = DropTail::infinite();
+        for (i, &s) in sizes.iter().enumerate() {
+            q.enqueue(Timestamp::ZERO, pkt(i as u64, s));
+        }
+        let mut last = None;
+        while let Some(p) = q.dequeue(Timestamp::from_millis(1)) {
+            if let Some(prev) = last {
+                prop_assert!(p.id > prev);
+            }
+            last = Some(p.id);
+        }
+    }
+
+    #[test]
+    fn byte_limit_never_exceeded(ops in arb_ops(), cap_kb in 2usize..40) {
+        let cap = cap_kb * 1024;
+        let mut q = DropTail::new(QueueLimit::Bytes(cap));
+        let mut t = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            t += 1;
+            match op {
+                Some(size) => {
+                    q.enqueue(Timestamp::from_millis(t), pkt(i as u64, *size));
+                    prop_assert!(q.len_bytes() <= cap);
+                }
+                None => {
+                    q.dequeue(Timestamp::from_millis(t));
+                }
+            }
+        }
+    }
+}

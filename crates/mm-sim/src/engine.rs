@@ -1,0 +1,365 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulator`] owns a priority queue of scheduled events. Each event is a
+//! boxed closure that receives `&mut Simulator`, so handlers can schedule
+//! further events; actor state lives in `Rc<RefCell<_>>` handles captured by
+//! the closures (the simulation is single-threaded by design — determinism is
+//! a core requirement).
+//!
+//! Ties in timestamp are broken by insertion order (a monotonically
+//! increasing sequence number), which makes runs bit-identical for a given
+//! seed regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, Timestamp};
+
+/// An event handler: a one-shot closure run at its scheduled instant.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    at: Timestamp,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // lowest-sequence) event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Why [`Simulator::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunResult {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The configured horizon was reached with events still pending.
+    HorizonReached,
+    /// The event-count limit was hit (runaway-loop guard).
+    EventLimit,
+    /// A handler requested an early stop via [`Simulator::request_stop`].
+    Stopped,
+}
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// # Example
+/// ```
+/// use mm_sim::{Simulator, SimDuration};
+/// use std::rc::Rc;
+/// use std::cell::RefCell;
+///
+/// let mut sim = Simulator::new();
+/// let hits = Rc::new(RefCell::new(Vec::new()));
+/// let h = hits.clone();
+/// sim.schedule_in(SimDuration::from_millis(5), move |sim| {
+///     h.borrow_mut().push(sim.now().as_millis());
+/// });
+/// sim.run();
+/// assert_eq!(*hits.borrow(), vec![5]);
+/// ```
+pub struct Simulator {
+    now: Timestamp,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    events_executed: u64,
+    event_limit: u64,
+    stop_requested: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// A generous default guard against runaway event loops.
+    pub const DEFAULT_EVENT_LIMIT: u64 = 2_000_000_000;
+
+    /// Create a simulator at t = 0 with an empty queue.
+    pub fn new() -> Self {
+        Simulator {
+            now: Timestamp::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            events_executed: 0,
+            event_limit: Self::DEFAULT_EVENT_LIMIT,
+            stop_requested: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Replace the runaway-loop guard (events executed per `run*` call
+    /// across the simulator's lifetime).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past — an event scheduled before `now`
+    /// indicates a logic error in the caller, and silently clamping it
+    /// would mask causality bugs.
+    pub fn schedule_at(&mut self, at: Timestamp, f: impl FnOnce(&mut Simulator) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut Simulator) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` to run at the current instant, after all handlers
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut Simulator) + 'static) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Ask the run loop to stop after the current handler returns.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Pop and run a single event, advancing the clock to its timestamp.
+    /// Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.events_executed += 1;
+                (ev.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains, a stop is requested, or the event limit
+    /// trips.
+    pub fn run(&mut self) -> RunResult {
+        self.run_until(Timestamp::NEVER)
+    }
+
+    /// Run until `horizon` (inclusive of events *at* the horizon), the queue
+    /// drains, a stop is requested, or the event limit trips. The clock is
+    /// left at the horizon if it was reached with events still pending.
+    pub fn run_until(&mut self, horizon: Timestamp) -> RunResult {
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return RunResult::Stopped;
+            }
+            if self.events_executed >= self.event_limit {
+                return RunResult::EventLimit;
+            }
+            let Some(next_at) = self.queue.peek().map(|ev| ev.at) else {
+                return RunResult::QueueEmpty;
+            };
+            if next_at > horizon {
+                if horizon != Timestamp::NEVER {
+                    self.now = horizon;
+                }
+                return RunResult::HorizonReached;
+            }
+            self.step();
+        }
+    }
+
+    /// Run for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> RunResult {
+        self.run_until(self.now + span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn recorder() -> (Rc<RefCell<Vec<u64>>>, Rc<RefCell<Vec<u64>>>) {
+        let v = Rc::new(RefCell::new(Vec::new()));
+        (v.clone(), v)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        for ms in [30u64, 10, 20] {
+            let h = handle.clone();
+            sim.schedule_at(Timestamp::from_millis(ms), move |sim| {
+                h.borrow_mut().push(sim.now().as_millis());
+            });
+        }
+        assert_eq!(sim.run(), RunResult::QueueEmpty);
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        for tag in 0u64..5 {
+            let h = handle.clone();
+            sim.schedule_at(Timestamp::from_millis(7), move |_| {
+                h.borrow_mut().push(tag);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+            let h2 = handle.clone();
+            sim.schedule_in(SimDuration::from_millis(2), move |sim| {
+                h2.borrow_mut().push(sim.now().as_millis());
+            });
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![3]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        for ms in [5u64, 15] {
+            let h = handle.clone();
+            sim.schedule_at(Timestamp::from_millis(ms), move |sim| {
+                h.borrow_mut().push(sim.now().as_millis());
+            });
+        }
+        let r = sim.run_until(Timestamp::from_millis(10));
+        assert_eq!(r, RunResult::HorizonReached);
+        assert_eq!(*log.borrow(), vec![5]);
+        assert_eq!(sim.now(), Timestamp::from_millis(10));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![5, 15]);
+    }
+
+    #[test]
+    fn horizon_inclusive_of_events_at_horizon() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        sim.schedule_at(Timestamp::from_millis(10), move |sim| {
+            handle.borrow_mut().push(sim.now().as_millis());
+        });
+        sim.run_until(Timestamp::from_millis(10));
+        assert_eq!(*log.borrow(), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(Timestamp::from_millis(10), |sim| {
+            sim.schedule_at(Timestamp::from_millis(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn request_stop_halts_loop() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        sim.schedule_at(Timestamp::from_millis(1), |sim| sim.request_stop());
+        sim.schedule_at(Timestamp::from_millis(2), move |_| {
+            handle.borrow_mut().push(99);
+        });
+        assert_eq!(sim.run(), RunResult::Stopped);
+        assert!(log.borrow().is_empty());
+        // A subsequent run resumes.
+        assert_eq!(sim.run(), RunResult::QueueEmpty);
+        assert_eq!(*log.borrow(), vec![99]);
+    }
+
+    #[test]
+    fn event_limit_guards_runaway_loops() {
+        let mut sim = Simulator::new();
+        sim.set_event_limit(100);
+        fn reschedule(sim: &mut Simulator) {
+            sim.schedule_in(SimDuration::from_nanos(1), reschedule);
+        }
+        sim.schedule_now(reschedule);
+        assert_eq!(sim.run(), RunResult::EventLimit);
+        assert_eq!(sim.events_executed(), 100);
+    }
+
+    #[test]
+    fn schedule_now_runs_at_current_instant_in_order() {
+        let mut sim = Simulator::new();
+        let (log, handle) = recorder();
+        sim.schedule_at(Timestamp::from_millis(3), move |sim| {
+            let h1 = handle.clone();
+            let h2 = handle.clone();
+            sim.schedule_now(move |_| h1.borrow_mut().push(1));
+            sim.schedule_now(move |_| h2.borrow_mut().push(2));
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_for_advances_relative_span() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(Timestamp::from_millis(5), |_| {});
+        sim.run();
+        assert_eq!(sim.now().as_millis(), 5);
+        sim.schedule_in(SimDuration::from_millis(20), |_| {});
+        let r = sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(r, RunResult::HorizonReached);
+        assert_eq!(sim.now().as_millis(), 15);
+    }
+}

@@ -1,0 +1,233 @@
+//! Cancellable timers on top of the event engine.
+//!
+//! The raw engine only supports fire-and-forget closures. Protocol code (TCP
+//! retransmission, delayed ACK, CoDel's interval timer...) needs timers that
+//! can be cancelled or rearmed. A [`Timer`] wraps a generation counter: each
+//! `arm()` bumps the generation and the scheduled closure only fires if its
+//! generation is still current.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::engine::Simulator;
+use crate::time::{SimDuration, Timestamp};
+
+/// A cancellable, rearmable one-shot timer.
+///
+/// Cloning a `Timer` yields a handle to the same underlying timer.
+///
+/// # Example
+/// ```
+/// use mm_sim::{Simulator, SimDuration, Timer};
+/// use std::rc::Rc;
+/// use std::cell::Cell;
+///
+/// let mut sim = Simulator::new();
+/// let fired = Rc::new(Cell::new(false));
+/// let timer = Timer::new();
+/// let f = fired.clone();
+/// timer.arm(&mut sim, SimDuration::from_millis(10), move |_| f.set(true));
+/// timer.cancel();
+/// sim.run();
+/// assert!(!fired.get());
+/// ```
+#[derive(Clone, Default)]
+pub struct Timer {
+    generation: Rc<Cell<u64>>,
+    deadline: Rc<Cell<Timestamp>>,
+}
+
+impl Timer {
+    /// Create an unarmed timer.
+    pub fn new() -> Self {
+        Timer {
+            generation: Rc::new(Cell::new(0)),
+            deadline: Rc::new(Cell::new(Timestamp::NEVER)),
+        }
+    }
+
+    /// Arm (or rearm) the timer to fire `delay` from now. Any previously
+    /// armed firing is superseded.
+    pub fn arm(
+        &self,
+        sim: &mut Simulator,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Simulator) + 'static,
+    ) {
+        self.arm_at(sim, sim.now() + delay, f)
+    }
+
+    /// Arm (or rearm) the timer to fire at absolute time `at`.
+    pub fn arm_at(
+        &self,
+        sim: &mut Simulator,
+        at: Timestamp,
+        f: impl FnOnce(&mut Simulator) + 'static,
+    ) {
+        let gen = self.generation.get() + 1;
+        self.generation.set(gen);
+        self.deadline.set(at);
+        let generation = self.generation.clone();
+        let deadline = self.deadline.clone();
+        sim.schedule_at(at, move |sim| {
+            if generation.get() == gen {
+                deadline.set(Timestamp::NEVER);
+                f(sim);
+            }
+        });
+    }
+
+    /// Cancel any pending firing. Idempotent.
+    pub fn cancel(&self) {
+        self.generation.set(self.generation.get() + 1);
+        self.deadline.set(Timestamp::NEVER);
+    }
+
+    /// True if the timer is armed and has not yet fired or been cancelled.
+    pub fn is_armed(&self) -> bool {
+        self.deadline.get() != Timestamp::NEVER
+    }
+
+    /// The instant the timer will fire, or `Timestamp::NEVER` if unarmed.
+    pub fn deadline(&self) -> Timestamp {
+        self.deadline.get()
+    }
+}
+
+/// A repeating timer that invokes a callback at a fixed period until
+/// cancelled. Used for polling processes (e.g. link pacing diagnostics).
+pub struct PeriodicTimer {
+    inner: Timer,
+}
+
+impl PeriodicTimer {
+    /// Start a periodic timer with the given period. The callback returns
+    /// `true` to keep ticking, `false` to stop.
+    pub fn start(
+        sim: &mut Simulator,
+        period: SimDuration,
+        mut f: impl FnMut(&mut Simulator) -> bool + 'static,
+    ) -> Self {
+        assert!(!period.is_zero(), "periodic timer period must be non-zero");
+        let inner = Timer::new();
+        let handle = inner.clone();
+        fn tick(
+            sim: &mut Simulator,
+            timer: Timer,
+            period: SimDuration,
+            mut f: impl FnMut(&mut Simulator) -> bool + 'static,
+        ) {
+            let t2 = timer.clone();
+            timer.arm(sim, period, move |sim| {
+                if f(sim) {
+                    tick(sim, t2, period, f);
+                }
+            });
+        }
+        tick(sim, handle, period, move |sim| f(sim));
+        PeriodicTimer { inner }
+    }
+
+    /// Stop ticking.
+    pub fn cancel(&self) {
+        self.inner.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn timer_fires_once() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(Cell::new(0));
+        let t = Timer::new();
+        let c = count.clone();
+        t.arm(&mut sim, SimDuration::from_millis(5), move |_| {
+            c.set(c.get() + 1)
+        });
+        assert!(t.is_armed());
+        sim.run();
+        assert_eq!(count.get(), 1);
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(Cell::new(false));
+        let t = Timer::new();
+        let f = fired.clone();
+        t.arm(&mut sim, SimDuration::from_millis(5), move |_| f.set(true));
+        t.cancel();
+        assert!(!t.is_armed());
+        sim.run();
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn rearm_supersedes_previous() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let t = Timer::new();
+        let l1 = log.clone();
+        t.arm(&mut sim, SimDuration::from_millis(5), move |sim| {
+            l1.borrow_mut().push(("old", sim.now().as_millis()))
+        });
+        let l2 = log.clone();
+        t.arm(&mut sim, SimDuration::from_millis(9), move |sim| {
+            l2.borrow_mut().push(("new", sim.now().as_millis()))
+        });
+        assert_eq!(t.deadline(), Timestamp::from_millis(9));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![("new", 9)]);
+    }
+
+    #[test]
+    fn rearm_after_fire_works() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(Cell::new(0));
+        let t = Timer::new();
+        let c = count.clone();
+        t.arm(&mut sim, SimDuration::from_millis(1), move |_| {
+            c.set(c.get() + 1)
+        });
+        sim.run();
+        let c = count.clone();
+        t.arm(&mut sim, SimDuration::from_millis(1), move |_| {
+            c.set(c.get() + 10)
+        });
+        sim.run();
+        assert_eq!(count.get(), 11);
+    }
+
+    #[test]
+    fn periodic_ticks_until_false() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let _p = PeriodicTimer::start(&mut sim, SimDuration::from_millis(10), move |sim| {
+            l.borrow_mut().push(sim.now().as_millis());
+            sim.now().as_millis() < 30
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn periodic_cancel_stops_ticks() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let p = PeriodicTimer::start(&mut sim, SimDuration::from_millis(10), move |_| {
+            c.set(c.get() + 1);
+            true
+        });
+        sim.run_until(Timestamp::from_millis(35));
+        p.cancel();
+        sim.run_until(Timestamp::from_millis(100));
+        assert_eq!(count.get(), 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests on the simulation substrate: event ordering, summary
+//! statistics invariants, RNG stream independence.
+
+use mm_sim::{RngStream, SimDuration, Simulator, Summary, Timestamp};
+use proptest::prelude::*;
+use rand::RngCore;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #[test]
+    fn events_always_fire_in_order(times in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for &t in &times {
+            let f = fired.clone();
+            sim.schedule_at(Timestamp::from_nanos(t), move |sim| {
+                f.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        let got = fired.borrow();
+        prop_assert_eq!(got.len(), times.len());
+        for w in got.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(mut samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut s = Summary::from_samples(samples.clone());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Median and p95 must be actual samples (nearest-rank).
+        let med = s.percentile(50.0);
+        let p95 = s.percentile(95.0);
+        prop_assert!(samples.contains(&med));
+        prop_assert!(samples.contains(&p95));
+        prop_assert!(p95 >= med);
+        prop_assert!(s.min() <= med && med <= s.max());
+    }
+
+    #[test]
+    fn mean_between_min_and_max(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::from_samples(samples);
+        let (mn, mx, mean) = (s.min(), s.max(), s.mean());
+        prop_assert!(mn <= mean + 1e-9 && mean <= mx + 1e-9);
+    }
+
+    #[test]
+    fn cdf_at_is_monotone(samples in prop::collection::vec(0.0f64..1000.0, 1..100),
+                          a in 0.0f64..1000.0, b in 0.0f64..1000.0) {
+        let mut s = Summary::from_samples(samples);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.cdf_at(lo) <= s.cdf_at(hi));
+    }
+
+    #[test]
+    fn forked_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,10}") {
+        let mut a = RngStream::from_seed(seed).fork(&label);
+        let mut b = RngStream::from_seed(seed).fork(&label);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_consistent(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!(da.max(db).as_nanos(), a.max(b));
+        let t = Timestamp::ZERO + da + db;
+        prop_assert_eq!(t.as_nanos(), a + b);
+    }
+}

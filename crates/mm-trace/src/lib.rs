@@ -1,0 +1,11 @@
+//! # mm-trace — Mahimahi packet-delivery traces
+//!
+//! The trace file format ([`format`]: parse, validate, serialize, wrap
+//! semantics) and synthetic generators ([`generate`]: constant-bit-rate,
+//! cellular-like Markov-modulated, on-off). LinkShell consumes these.
+
+pub mod format;
+pub mod generate;
+
+pub use format::{Trace, TraceError, TRACE_MTU};
+pub use generate::{cellular, constant_rate, on_off, CellularParams};

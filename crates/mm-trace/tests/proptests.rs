@@ -1,0 +1,56 @@
+//! Property tests on the trace format: round-trips, wrap monotonicity,
+//! and search correctness for arbitrary valid traces.
+
+use mm_trace::{constant_rate, Trace};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(0u64..200, 1..60).prop_filter_map("positive period", |mut v| {
+        v.sort_unstable();
+        Trace::from_timestamps(v).ok()
+    })
+}
+
+proptest! {
+    #[test]
+    fn file_format_round_trips(t in arb_trace()) {
+        let parsed = Trace::parse(&t.to_file_format()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn opportunity_walk_is_monotone(t in arb_trace(), n in 1u64..500) {
+        let mut last = 0;
+        for i in 0..n {
+            let ts = t.opportunity_ms(i);
+            prop_assert!(ts >= last);
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn first_opportunity_is_correct(t in arb_trace(), q in 0u64..1000) {
+        let i = t.first_opportunity_at_or_after(q);
+        prop_assert!(t.opportunity_ms(i) >= q);
+        if i > 0 {
+            prop_assert!(t.opportunity_ms(i - 1) < q);
+        }
+    }
+
+    #[test]
+    fn wrap_preserves_rate(t in arb_trace()) {
+        // Opportunities per period stay constant across cycles.
+        let n = t.len() as u64;
+        let d0 = t.opportunity_ms(n) - t.opportunity_ms(0);
+        let d1 = t.opportunity_ms(2 * n) - t.opportunity_ms(n);
+        prop_assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn cbr_rate_accurate(mbps in 1.0f64..500.0, period in 200u64..3000) {
+        let t = constant_rate(mbps, period);
+        let measured = t.mean_rate_mbps();
+        prop_assert!((measured - mbps).abs() / mbps < 0.05,
+            "target {} measured {}", mbps, measured);
+    }
+}

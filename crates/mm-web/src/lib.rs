@@ -1,0 +1,11 @@
+//! # mm-web — host profiles and live-web variability
+//!
+//! Models for the parts of the paper's evaluation that involve the world
+//! outside the toolkit: the two host machines of Table 1 ([`profile`]) and
+//! the "Actual Web" arm of Figure 3 ([`liveweb`]).
+
+pub mod liveweb;
+pub mod profile;
+
+pub use liveweb::{apply_live_web_variability, live_think_time, LiveWebConfig};
+pub use profile::HostProfile;

@@ -1,0 +1,97 @@
+//! Page loads over time-varying cellular links — the workload class
+//! LinkShell exists for ("flexible enough to emulate both time-varying
+//! links such as cellular links and links with a fixed link speed").
+//!
+//! Sweeps an nytimes-like page over CBR vs LTE-like vs on-off traces at
+//! the same mean rate, plus a queue-discipline ablation, showing how link
+//! burstiness and AQM shape page load time.
+//!
+//! Run with: `cargo run --release --example cellular_page_load`
+
+use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec, QdiscKind};
+use mahimahi::{corpus, trace};
+use mm_sim::{RngStream, SimDuration, Summary};
+
+fn plt_under(site: &mm_record::StoredSite, link: LinkSpec, loads: usize) -> Summary {
+    let mut s = Summary::new();
+    for i in 0..loads {
+        let mut spec = LoadSpec::new(site);
+        spec.net = NetSpec {
+            delay: Some(SimDuration::from_millis(30)),
+            link: Some(link.clone()),
+            ..NetSpec::default()
+        };
+        spec.host_profile = Some(mm_web::HostProfile::machine_1());
+        spec.seed = 1000 + i as u64;
+        s.add(run_page_load(&spec).plt.as_millis_f64());
+    }
+    s
+}
+
+fn main() {
+    let plan = corpus::nytimes_like(1);
+    let site = corpus::materialize(&plan);
+    println!(
+        "site: {} origins, {} objects, {:.1} MB\n",
+        plan.server_count(),
+        site.pairs.len(),
+        site.total_body_bytes() as f64 / 1e6
+    );
+    let loads = 10;
+
+    // Same mean rate (10 Mbit/s), three very different delivery patterns.
+    let cbr = trace::constant_rate(10.0, 10_000);
+    let lte = trace::cellular(
+        &trace::CellularParams {
+            mean_mbps: 10.0,
+            period_ms: 60_000,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(9),
+    );
+    let onoff = trace::on_off(20.0, 500, 500, 10_000); // 10 Mbit/s average
+
+    println!("{:<26} {:>10} {:>10}", "link (10 Mbit/s mean)", "median", "p95");
+    for (name, t) in [("constant bit rate", cbr), ("LTE-like bursty", lte), ("on-off 500ms/500ms", onoff)] {
+        let mut s = plt_under(&site, LinkSpec::symmetric(t), loads);
+        println!(
+            "{:<26} {:>8.0}ms {:>8.0}ms",
+            name,
+            s.percentile(50.0),
+            s.percentile(95.0)
+        );
+    }
+
+    // Queue-discipline ablation on the bursty link: infinite droptail
+    // (bufferbloat) vs bounded droptail vs CoDel vs PIE.
+    println!("\nqueue discipline ablation (LTE-like link):");
+    println!("{:<26} {:>10} {:>10}", "qdisc", "median", "p95");
+    let lte = trace::cellular(
+        &trace::CellularParams {
+            mean_mbps: 10.0,
+            period_ms: 60_000,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(9),
+    );
+    for (name, q) in [
+        ("infinite droptail", QdiscKind::Infinite),
+        ("droptail 600 pkts", QdiscKind::DropTailPackets(600)),
+        ("drophead 600 pkts", QdiscKind::DropHeadPackets(600)),
+        ("CoDel", QdiscKind::Codel),
+        ("PIE", QdiscKind::Pie(10.0)),
+    ] {
+        let link = LinkSpec {
+            uplink: lte.clone(),
+            downlink: lte.clone(),
+            qdisc: q,
+        };
+        let mut s = plt_under(&site, link, loads);
+        println!(
+            "{:<26} {:>8.0}ms {:>8.0}ms",
+            name,
+            s.percentile(50.0),
+            s.percentile(95.0)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: replay a recorded site under emulated network conditions
+//! and measure page load time — the toolkit's core loop in ~80 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec};
+use mahimahi::{corpus, trace};
+use mm_sim::{RngStream, SimDuration};
+
+fn main() {
+    // 1. A recorded site. (In a full record-replay round trip you would
+    //    drive a client through `mm_record::RecordShell`; here we take a
+    //    synthetic recording from the corpus generator — same format.)
+    let plan = corpus::plan_site(
+        0,
+        &corpus::SiteParams {
+            servers: Some(12),
+            median_objects: 40.0,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(7),
+    );
+    let site = corpus::materialize(&plan);
+    println!(
+        "recorded site: {} — {} origins, {} objects, {} KB",
+        site.name,
+        site.origins().len(),
+        site.pairs.len(),
+        site.total_body_bytes() / 1024
+    );
+
+    // 2. Replay it bare (no network emulation).
+    let bare = run_page_load(&LoadSpec::new(&site));
+    println!(
+        "bare ReplayShell:              PLT {:>10}  ({} resources)",
+        bare.plt.to_string(),
+        bare.resource_count()
+    );
+
+    // 3. Replay behind `mm-delay 50` (100 ms RTT).
+    let mut delayed = LoadSpec::new(&site);
+    delayed.net = NetSpec::delay_ms(50);
+    let r = run_page_load(&delayed);
+    println!("+ DelayShell 50 ms:            PLT {:>10}", r.plt.to_string());
+
+    // 4. Replay behind `mm-delay 50 mm-link cellular.trace` — a bursty
+    //    LTE-like 10 Mbit/s trace.
+    let cell = trace::cellular(
+        &trace::CellularParams {
+            mean_mbps: 10.0,
+            period_ms: 30_000,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(42),
+    );
+    let mut cellular = LoadSpec::new(&site);
+    cellular.net = NetSpec {
+        delay: Some(SimDuration::from_millis(50)),
+        link: Some(LinkSpec::symmetric(cell)),
+        ..NetSpec::default()
+    };
+    let r = run_page_load(&cellular);
+    println!("+ LinkShell (LTE-like 10Mbps): PLT {:>10}", r.plt.to_string());
+
+    // 5. Same, with 1% loss each way (`mm-loss`).
+    let mut lossy = LoadSpec::new(&site);
+    lossy.net = NetSpec {
+        delay: Some(SimDuration::from_millis(50)),
+        loss: Some((0.01, 0.01)),
+        ..NetSpec::default()
+    };
+    let r = run_page_load(&lossy);
+    println!("+ LossShell 1%:                PLT {:>10}", r.plt.to_string());
+}

@@ -1,0 +1,65 @@
+//! Working with Mahimahi packet-delivery traces: generate, serialize,
+//! parse, validate, and inspect rate structure — everything `mm-link`
+//! traces need, without leaving Rust.
+//!
+//! Run with: `cargo run --release --example trace_tools`
+
+use mahimahi::trace::{cellular, constant_rate, on_off, CellularParams, Trace};
+use mm_sim::RngStream;
+
+fn main() {
+    // Generate a constant 12 Mbit/s trace (one opportunity per ms).
+    let cbr = constant_rate(12.0, 1000);
+    println!(
+        "CBR trace: {} opportunities / {} ms, mean rate {:.2} Mbit/s",
+        cbr.len(),
+        cbr.period_ms(),
+        cbr.mean_rate_mbps()
+    );
+
+    // Serialize to the mm-link file format and parse it back.
+    let text = cbr.to_file_format();
+    println!("first lines of file format: {:?} ...", &text[..20]);
+    let parsed = Trace::parse(&text).expect("round-trips");
+    assert_eq!(parsed, cbr);
+
+    // A bursty LTE-like trace and its rate structure over time.
+    let lte = cellular(
+        &CellularParams {
+            mean_mbps: 10.0,
+            volatility: 0.7,
+            state_ms: 250,
+            outage_prob: 0.04,
+            period_ms: 20_000,
+        },
+        &mut RngStream::from_seed(1),
+    );
+    println!(
+        "\nLTE-like trace: mean {:.1} Mbit/s over {} s",
+        lte.mean_rate_mbps(),
+        lte.period_ms() / 1000
+    );
+    println!("per-second rate (Mbit/s):");
+    for (t, mbps) in lte.rate_timeseries(1000) {
+        let bar = "#".repeat((mbps / 2.0) as usize);
+        println!("  {:>5} ms {:>6.1} {}", t, mbps, bar);
+    }
+
+    // On-off link: 8 Mbit/s duty-cycled.
+    let oo = on_off(16.0, 400, 400, 4000);
+    println!(
+        "\non-off trace: mean {:.1} Mbit/s (16 Mbit/s at 50% duty)",
+        oo.mean_rate_mbps()
+    );
+
+    // Malformed traces are rejected with precise errors.
+    for bad in ["", "5\n3\n", "abc\n"] {
+        println!("parse({bad:?}) -> {}", Trace::parse(bad).unwrap_err());
+    }
+
+    // Walking delivery opportunities (what LinkShell does internally),
+    // including the wrap past the end of the trace.
+    let t = Trace::from_timestamps(vec![2, 4, 10]).unwrap();
+    let walk: Vec<u64> = (0..8).map(|i| t.opportunity_ms(i)).collect();
+    println!("\nopportunity walk of [2,4,10]: {walk:?} (period 10 ms)");
+}

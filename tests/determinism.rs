@@ -1,0 +1,80 @@
+//! Reproducibility guarantees at workspace level: identical seeds yield
+//! identical measurements end-to-end; seeds vary measurements only
+//! through modelled noise.
+
+use mahimahi::harness::{run_loads, run_page_load, LoadSpec, NetSpec};
+use mahimahi::corpus;
+use mm_sim::RngStream;
+use mm_web::HostProfile;
+
+fn site() -> mm_record::StoredSite {
+    let plan = corpus::plan_site(
+        77,
+        &corpus::SiteParams {
+            servers: Some(10),
+            median_objects: 30.0,
+            ..Default::default()
+        },
+        &mut RngStream::from_seed(5),
+    );
+    corpus::materialize(&plan)
+}
+
+#[test]
+fn same_spec_same_everything() {
+    let s = site();
+    let mut a = LoadSpec::new(&s);
+    a.net = NetSpec::delay_ms(40);
+    a.host_profile = Some(HostProfile::machine_1());
+    a.seed = 123;
+    let r1 = run_page_load(&a);
+    let mut b = LoadSpec::new(&s);
+    b.net = NetSpec::delay_ms(40);
+    b.host_profile = Some(HostProfile::machine_1());
+    b.seed = 123;
+    let r2 = run_page_load(&b);
+    assert_eq!(r1.plt, r2.plt);
+    assert_eq!(r1.total_body_bytes, r2.total_body_bytes);
+    let t1: Vec<_> = r1.resources.iter().map(|t| t.finished_at).collect();
+    let t2: Vec<_> = r2.resources.iter().map(|t| t.finished_at).collect();
+    assert_eq!(t1, t2, "per-resource timings bit-identical");
+}
+
+#[test]
+fn different_machines_statistically_equal() {
+    let s = site();
+    let mut m1 = LoadSpec::new(&s);
+    m1.net = NetSpec::delay_ms(30);
+    m1.host_profile = Some(HostProfile::machine_1());
+    m1.seed = 1;
+    let mut m2 = LoadSpec::new(&s);
+    m2.net = NetSpec::delay_ms(30);
+    m2.host_profile = Some(HostProfile::machine_2());
+    m2.seed = 2;
+    let p1 = run_loads(&m1, 25);
+    let p2 = run_loads(&m2, 25);
+    let mean1: f64 = p1.iter().sum::<f64>() / p1.len() as f64;
+    let mean2: f64 = p2.iter().sum::<f64>() / p2.len() as f64;
+    // Table 1's invariant at test scale: means within 1%.
+    assert!(
+        (mean1 - mean2).abs() / mean1.min(mean2) < 0.01,
+        "means {mean1} vs {mean2}"
+    );
+    assert_ne!(p1, p2, "realizations must differ");
+}
+
+#[test]
+fn corpus_regeneration_stable() {
+    let a = corpus::generate_plans(&corpus::CorpusConfig {
+        n_sites: 40,
+        ..Default::default()
+    });
+    let b = corpus::generate_plans(&corpus::CorpusConfig {
+        n_sites: 40,
+        ..Default::default()
+    });
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.total_bytes(), y.total_bytes());
+        assert_eq!(x.objects.len(), y.objects.len());
+    }
+}

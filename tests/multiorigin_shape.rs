@@ -1,0 +1,45 @@
+//! Smoke test of the paper's central quantitative claims, at reduced
+//! scale so it runs in CI time: Table 2's bandwidth trend and Figure 3's
+//! ordering.
+
+use bench::{fig3, table2};
+
+#[test]
+fn table2_bandwidth_trend() {
+    let r = table2(6, 2014);
+    let cell = |mbps: f64, d: u64| {
+        r.cells
+            .iter()
+            .find(|c| c.mbps == mbps && c.delay_ms == d)
+            .unwrap()
+    };
+    // "Although the page load times are comparable over a 1 Mbit/s link,
+    // not capturing the multi-origin nature yields significantly worse
+    // performance at higher link speeds."
+    let low_bw = cell(1.0, 30).median_diff_pct;
+    let high_bw = cell(25.0, 30).median_diff_pct;
+    assert!(low_bw.abs() < 10.0, "1 Mbit/s diff should be small: {low_bw}");
+    assert!(high_bw > 8.0, "25 Mbit/s diff should be large: {high_bw}");
+    // The difference shrinks as RTT grows (the paper's row trend).
+    let at_300 = cell(25.0, 300).median_diff_pct;
+    assert!(
+        high_bw > at_300,
+        "diff at 30ms ({high_bw}) should exceed diff at 300ms ({at_300})"
+    );
+}
+
+#[test]
+fn fig3_ordering() {
+    let mut r = fig3(8, 2014);
+    let web = r.web.median();
+    let multi = r.multi.median();
+    let single = r.single.median();
+    // Multi-origin replay tracks the web; single-server is far off.
+    assert!(multi < single, "multi {multi} must beat single {single}");
+    let multi_gap = (multi - web).abs() / web;
+    let single_gap = (single - web).abs() / web;
+    assert!(
+        multi_gap < single_gap,
+        "multi gap {multi_gap} must be smaller than single gap {single_gap}"
+    );
+}
