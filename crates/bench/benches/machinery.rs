@@ -10,7 +10,7 @@ use mm_http::{write_request, write_response, Request, RequestParser, Response, R
 use mm_net::{Host, IpAddr, Namespace, PacketIdGen, SocketAddr, TcpFlags, TcpSegment};
 use mm_replay::{Matcher, StoreIndex};
 use mm_shells::{DropTail, Qdisc};
-use mm_sim::{RngStream, Timestamp};
+use mm_sim::Timestamp;
 use mm_trace::{constant_rate, Trace};
 
 fn bench_http(c: &mut Criterion) {

@@ -30,7 +30,12 @@ fn main() {
     println!("\n  servers/site histogram (10-wide bins):");
     for (i, &n) in hist.iter().enumerate() {
         if n > 0 {
-            println!("  {:>3}-{:<3} {}", i * 10, i * 10 + 9, "#".repeat(n / 2 + 1));
+            println!(
+                "  {:>3}-{:<3} {}",
+                i * 10,
+                i * 10 + 9,
+                "#".repeat(n / 2 + 1)
+            );
         }
     }
 }

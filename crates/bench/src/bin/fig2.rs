@@ -17,14 +17,8 @@ fn main() {
         "Figure 2 — shell overhead on page load time ({n_sites} sites)"
     ));
     let mut r = fig2(n_sites, 2014);
-    println!(
-        "  bare ReplayShell:       median {}",
-        ms(r.replay.median())
-    );
-    println!(
-        "  + DelayShell 0 ms:      median {}",
-        ms(r.delay0.median())
-    );
+    println!("  bare ReplayShell:       median {}", ms(r.replay.median()));
+    println!("  + DelayShell 0 ms:      median {}", ms(r.delay0.median()));
     println!(
         "  + LinkShell 1000 Mbps:  median {}",
         ms(r.link1000.median())

@@ -147,7 +147,12 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
 
     // Outermost: ReplayShell's world.
     let root_ns = Namespace::root("replayshell");
-    let shell = Rc::new(ReplayShell::new(&root_ns, spec.site, spec.replay.clone(), &ids));
+    let shell = Rc::new(ReplayShell::new(
+        &root_ns,
+        spec.site,
+        spec.replay.clone(),
+        &ids,
+    ));
 
     if let Some(tcp) = &spec.tcp {
         for host in &shell.hosts {
@@ -236,10 +241,7 @@ pub fn run_loads(spec: &LoadSpec<'_>, n: usize) -> Vec<f64> {
                 host_profile: spec.host_profile.clone(),
                 live_web: spec.live_web.clone(),
                 tcp: spec.tcp.clone(),
-                seed: spec
-                    .seed
-                    .wrapping_mul(1_000_003)
-                    .wrapping_add(i as u64),
+                seed: spec.seed.wrapping_mul(1_000_003).wrapping_add(i as u64),
             };
             run_page_load(&load_spec).plt.as_millis_f64()
         })

@@ -95,8 +95,8 @@ impl PageLoadResult {
 
 /// The host header a URL implies (port elided when default).
 fn host_header(url: &Url) -> String {
-    let default = (url.scheme == "http" && url.port == 80)
-        || (url.scheme == "https" && url.port == 443);
+    let default =
+        (url.scheme == "http" && url.port == 80) || (url.scheme == "https" && url.port == 443);
     if default {
         url.host.clone()
     } else {
@@ -127,6 +127,9 @@ struct Pool {
     queue: VecDeque<FetchJob>,
 }
 
+/// Completion callback invoked when the page load settles.
+type DoneCallback = Box<dyn FnOnce(&mut Simulator, PageLoadResult)>;
+
 struct LoadState {
     started: Timestamp,
     seen: HashSet<String>,
@@ -138,7 +141,7 @@ struct LoadState {
     /// The renderer main thread is busy until this instant; parse jobs
     /// serialize behind it.
     cpu_busy_until: Timestamp,
-    done: Option<Box<dyn FnOnce(&mut Simulator, PageLoadResult)>>,
+    done: Option<DoneCallback>,
 }
 
 struct BrowserInner {

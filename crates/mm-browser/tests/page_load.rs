@@ -86,9 +86,10 @@ fn world(mode: ReplayMode) -> World {
 
 fn run_load(w: &mut World) -> PageLoadResult {
     let slot = w.result.clone();
-    w.browser.navigate(&mut w.sim, "http://10.0.0.1:80/", move |_sim, r| {
-        *slot.borrow_mut() = Some(r);
-    });
+    w.browser
+        .navigate(&mut w.sim, "http://10.0.0.1:80/", move |_sim, r| {
+            *slot.borrow_mut() = Some(r);
+        });
     w.sim.run();
     w.result.borrow_mut().take().expect("page load completed")
 }
@@ -142,7 +143,9 @@ fn unrecorded_subresource_is_404_not_hang() {
     let client = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &root);
     let resolver: mm_browser::Resolver = {
         let shell = shell.clone();
-        Rc::new(move |url: &Url| shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port)))
+        Rc::new(move |url: &Url| {
+            shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port))
+        })
     };
     let browser = Browser::new(client, resolver, BrowserConfig::default());
     let mut w = World {
@@ -152,7 +155,11 @@ fn unrecorded_subresource_is_404_not_hang() {
     };
     let r = run_load(&mut w);
     assert_eq!(r.resource_count(), 2);
-    let missing = r.resources.iter().find(|t| t.url.contains("missing")).unwrap();
+    let missing = r
+        .resources
+        .iter()
+        .find(|t| t.url.contains("missing"))
+        .unwrap();
     assert_eq!(missing.status, 404);
 }
 
@@ -193,11 +200,18 @@ fn connection_pool_respects_limit() {
     let sim = Simulator::new();
     let root = Namespace::root("world");
     let ids = PacketIdGen::new();
-    let shell = Rc::new(ReplayShell::new(&root, &site, ReplayConfig::default(), &ids));
+    let shell = Rc::new(ReplayShell::new(
+        &root,
+        &site,
+        ReplayConfig::default(),
+        &ids,
+    ));
     let client = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &root);
     let resolver: mm_browser::Resolver = {
         let shell = shell.clone();
-        Rc::new(move |url: &Url| shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port)))
+        Rc::new(move |url: &Url| {
+            shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port))
+        })
     };
     let browser = Browser::new(client.clone(), resolver, BrowserConfig::default());
     let mut w = World {
@@ -253,7 +267,12 @@ fn more_origins_means_more_parallelism() {
         let sim = Simulator::new();
         let root = Namespace::root("world");
         let ids = PacketIdGen::new();
-        let shell = Rc::new(ReplayShell::new(&root, &site, ReplayConfig::default(), &ids));
+        let shell = Rc::new(ReplayShell::new(
+            &root,
+            &site,
+            ReplayConfig::default(),
+            &ids,
+        ));
         // Put the browser behind a 30 ms delay shell so handshakes cost
         // something.
         let delay = mm_shells::delay_shell(&root, "d", SimDuration::from_millis(30));

@@ -45,9 +45,9 @@ pub fn generate_plans(config: &CorpusConfig) -> Vec<SitePlan> {
     (0..config.n_sites)
         .map(|i| {
             let mut rng = root.fork_indexed("site", i as u64);
-            let forced_single =
-                config.single_server_sites > 0 && i % single_every.max(1) == 7 % single_every.max(1)
-                    && i / single_every.max(1) < config.single_server_sites;
+            let forced_single = config.single_server_sites > 0
+                && i % single_every.max(1) == 7 % single_every.max(1)
+                && i / single_every.max(1) < config.single_server_sites;
             let params = if forced_single {
                 SiteParams {
                     servers: Some(1),

@@ -17,5 +17,7 @@ pub mod presets;
 
 pub use corpus::{generate_plans, server_distribution, CorpusConfig, ServerDistribution};
 pub use materialize::materialize;
-pub use plan::{draw_server_count, plan_site, ObjectKind, PlannedObject, PlannedOrigin, SiteParams, SitePlan};
+pub use plan::{
+    draw_server_count, plan_site, ObjectKind, PlannedObject, PlannedOrigin, SiteParams, SitePlan,
+};
 pub use presets::{cnbc_like, nytimes_like, wikihow_like};

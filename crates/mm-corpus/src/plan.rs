@@ -268,8 +268,8 @@ pub fn plan_site(site_idx: usize, params: &SiteParams, rng: &mut RngStream) -> S
     }
     // Second wave: remaining objects attach to a scannable parent when one
     // exists, otherwise to the root.
-    for idx in 1..n {
-        if assigned[idx] {
+    for (idx, done) in assigned.iter_mut().enumerate().take(n).skip(1) {
+        if *done {
             continue;
         }
         if parents.is_empty() {
@@ -278,7 +278,7 @@ pub fn plan_site(site_idx: usize, params: &SiteParams, rng: &mut RngStream) -> S
             let p = *rng.choose(&parents);
             objects[p].references.push(idx);
         }
-        assigned[idx] = true;
+        *done = true;
     }
 
     SitePlan {

@@ -87,7 +87,8 @@ impl HeaderMap {
 
     /// Parsed `Content-Length`, if present and well-formed.
     pub fn content_length(&self) -> Option<u64> {
-        self.get("content-length").and_then(|v| v.trim().parse().ok())
+        self.get("content-length")
+            .and_then(|v| v.trim().parse().ok())
     }
 
     /// True if `Transfer-Encoding` includes `chunked`.
@@ -103,10 +104,7 @@ impl HeaderMap {
     /// True if `Connection: close` is declared.
     pub fn connection_close(&self) -> bool {
         self.get("connection")
-            .map(|v| {
-                v.split(',')
-                    .any(|t| t.trim().eq_ignore_ascii_case("close"))
-            })
+            .map(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")))
             .unwrap_or(false)
     }
 }

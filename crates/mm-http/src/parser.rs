@@ -283,8 +283,8 @@ impl RequestParser {
                 let (Some(m), Some(t), Some(v)) = (m, t, v) else {
                     return err(format!("malformed request line: {start:?}"));
                 };
-                let version =
-                    Version::from_token(v).ok_or_else(|| ParseError(format!("bad version {v:?}")))?;
+                let version = Version::from_token(v)
+                    .ok_or_else(|| ParseError(format!("bad version {v:?}")))?;
                 let framing = request_framing(&headers)?;
                 self.machine.body = Some(framing.body);
                 self.pending_head = Some((Method::from_token(m), t.to_string(), version, headers));
@@ -363,20 +363,16 @@ impl ResponseParser {
                 let (Some(v), Some(code)) = (v, code) else {
                     return err(format!("malformed status line: {start:?}"));
                 };
-                let version =
-                    Version::from_token(v).ok_or_else(|| ParseError(format!("bad version {v:?}")))?;
+                let version = Version::from_token(v)
+                    .ok_or_else(|| ParseError(format!("bad version {v:?}")))?;
                 let status: u16 = code
                     .parse()
                     .map_err(|_| ParseError(format!("bad status {code:?}")))?;
                 let to_head = self.head_queue.pop_front().unwrap_or(false);
                 let framing = response_framing(status, &headers, to_head)?;
                 self.machine.body = Some(framing.body);
-                self.pending_head = Some((
-                    version,
-                    status,
-                    reason.unwrap_or("").to_string(),
-                    headers,
-                ));
+                self.pending_head =
+                    Some((version, status, reason.unwrap_or("").to_string(), headers));
             }
             match self.machine.drive_body()? {
                 Some(body) => {
@@ -412,7 +408,7 @@ impl ResponseParser {
                 body,
             }));
         }
-        if self.pending_head.is_some() || self.machine.buf.len() > 0 {
+        if self.pending_head.is_some() || !self.machine.buf.is_empty() {
             return err("connection closed mid-message");
         }
         Ok(None)

@@ -37,9 +37,7 @@ impl Url {
     /// accepted; anything else in a recorded body is not a fetchable
     /// subresource.
     pub fn parse(s: &str) -> Result<Url, UrlParseError> {
-        let (scheme, rest) = s
-            .split_once("://")
-            .ok_or_else(|| UrlParseError(s.into()))?;
+        let (scheme, rest) = s.split_once("://").ok_or_else(|| UrlParseError(s.into()))?;
         if scheme != "http" && scheme != "https" {
             return Err(UrlParseError(format!("unsupported scheme in {s:?}")));
         }

@@ -3,8 +3,8 @@
 
 use bytes::Bytes;
 use mm_http::{
-    chunk_body, write_request, write_response, HeaderMap, Method, Request, RequestParser,
-    Response, ResponseParser, Version,
+    chunk_body, write_request, write_response, HeaderMap, Method, Request, RequestParser, Response,
+    ResponseParser, Version,
 };
 use proptest::prelude::*;
 

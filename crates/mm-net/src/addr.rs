@@ -93,9 +93,7 @@ impl FromStr for IpAddr {
 }
 
 /// An (IP, port) endpoint.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SocketAddr {
     pub ip: IpAddr,
     pub port: u16,

@@ -179,9 +179,7 @@ impl Namespace {
     /// The router sink for this namespace: where hosts send egress packets
     /// and where shell chains terminate.
     pub fn router(&self) -> SinkRef {
-        Rc::new(Router {
-            ns: self.clone(),
-        })
+        Rc::new(Router { ns: self.clone() })
     }
 
     fn route(&self, sim: &mut Simulator, pkt: Packet) {

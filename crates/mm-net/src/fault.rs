@@ -198,8 +198,8 @@ impl PacketSink for TokenBucket {
         let pass = {
             let mut st = self.state.borrow_mut();
             let elapsed = sim.now().saturating_duration_since(st.last_refill);
-            st.tokens = (st.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec)
-                .min(self.burst_bytes);
+            st.tokens =
+                (st.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec).min(self.burst_bytes);
             st.last_refill = sim.now();
             let need = pkt.wire_size() as f64;
             if st.tokens >= need {

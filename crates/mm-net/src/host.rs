@@ -310,7 +310,12 @@ impl Host {
         // event can fire (SYN-ACK produces no app events).
         struct NoApp;
         impl SocketApp for NoApp {
-            fn on_event(&self, _: &mut Simulator, _: &TcpHandle, _: crate::tcp::socket::SocketEvent) {
+            fn on_event(
+                &self,
+                _: &mut Simulator,
+                _: &TcpHandle,
+                _: crate::tcp::socket::SocketEvent,
+            ) {
             }
         }
         let handle = TcpHandle::accept(
@@ -344,8 +349,7 @@ impl HostInner {
                 self.next_ephemeral + 1
             };
             let local = SocketAddr::new(self.ip, port);
-            if !self.sockets.contains_key(&(local, remote)) && !self.listeners.contains_key(&port)
-            {
+            if !self.sockets.contains_key(&(local, remote)) && !self.listeners.contains_key(&port) {
                 return port;
             }
         }
@@ -388,8 +392,11 @@ mod tests {
         data: Rc<RefCell<Vec<u8>>>,
     }
 
+    type SharedLog = Rc<RefCell<Vec<String>>>;
+    type SharedBuf = Rc<RefCell<Vec<u8>>>;
+
     impl Recorder {
-        fn new() -> (Rc<Self>, Rc<RefCell<Vec<String>>>, Rc<RefCell<Vec<u8>>>) {
+        fn new() -> (Rc<Self>, SharedLog, SharedBuf) {
             let events = Rc::new(RefCell::new(Vec::new()));
             let data = Rc::new(RefCell::new(Vec::new()));
             (

@@ -114,7 +114,11 @@ impl Capture {
 
     /// Total wire bytes captured.
     pub fn total_bytes(&self) -> u64 {
-        self.entries.borrow().iter().map(|e| e.wire_size as u64).sum()
+        self.entries
+            .borrow()
+            .iter()
+            .map(|e| e.wire_size as u64)
+            .sum()
     }
 
     /// Clone the entries out (test/report use).

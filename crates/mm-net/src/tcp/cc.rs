@@ -306,7 +306,7 @@ mod tests {
         // Stay within the concave region (t < K ≈ 4.2 s for Wmax = 100 MSS):
         // the window should climb back toward Wmax but not overshoot it.
         for _ in 0..30 {
-            now = now + SimDuration::from_millis(100);
+            now += SimDuration::from_millis(100);
             c.on_ack(10 * MSS64, now, Some(SimDuration::from_millis(100)));
         }
         assert!(c.cwnd() > after_loss, "cubic window should recover");

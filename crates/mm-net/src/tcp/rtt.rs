@@ -41,9 +41,8 @@ impl RttEstimator {
             Some(srtt) => {
                 // RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|
                 let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = SimDuration::from_nanos(
-                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err.as_nanos()) / 4);
                 // SRTT <- 7/8 SRTT + 1/8 R'
                 self.srtt = Some(SimDuration::from_nanos(
                     (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,

@@ -306,9 +306,8 @@ impl TcpInner {
                 let seq = self.snd_nxt;
                 // Piggyback FIN if this is the last data and a close is
                 // pending and the whole remainder fit in this segment.
-                let fin_here = self.fin_pending
-                    && self.send_queued_bytes == 0
-                    && self.fin_seq.is_none();
+                let fin_here =
+                    self.fin_pending && self.send_queued_bytes == 0 && self.fin_seq.is_none();
                 let flags = if fin_here {
                     TcpFlags::FIN_ACK
                 } else {
@@ -410,7 +409,7 @@ impl TcpInner {
             }
             TcpState::SynSent => self.on_segment_syn_sent(now, seg, out),
             TcpState::SynReceived => {
-                if seg.flags.ack && seg.ack >= self.snd_una + 1 {
+                if seg.flags.ack && seg.ack > self.snd_una {
                     self.handle_ack(now, &seg, out);
                     self.state = TcpState::Established;
                     self.pending_events.push(SocketEvent::Connected);
@@ -470,11 +469,7 @@ impl TcpInner {
             // RTT sample from the newest fully-acked, never-retransmitted
             // segment (Karn's algorithm).
             let mut sample: Option<SimDuration> = None;
-            let acked_keys: Vec<u64> = self
-                .retx
-                .range(..ack)
-                .map(|(&k, _)| k)
-                .collect();
+            let acked_keys: Vec<u64> = self.retx.range(..ack).map(|(&k, _)| k).collect();
             for k in acked_keys {
                 let fully_acked = {
                     let e = &self.retx[&k];
@@ -591,10 +586,7 @@ impl TcpInner {
                 self.stats.bytes_received += payload.len() as u64;
                 self.pending_events.push(SocketEvent::Data(payload));
             }
-            loop {
-                let Some((&oseq, _)) = self.ooo.iter().next() else {
-                    break;
-                };
+            while let Some((&oseq, _)) = self.ooo.iter().next() {
                 if oseq > self.rcv_nxt {
                     break;
                 }
@@ -715,6 +707,7 @@ impl TcpHandle {
     }
 
     /// Create the server half in response to a SYN; emits SYN-ACK.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn accept(
         sim: &mut Simulator,
         local: SocketAddr,

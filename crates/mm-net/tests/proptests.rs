@@ -2,7 +2,9 @@
 //! through handshake, segmentation and reassembly.
 
 use bytes::Bytes;
-use mm_net::{Host, IpAddr, Listener, Namespace, PacketIdGen, SocketAddr, SocketApp, SocketEvent, TcpHandle};
+use mm_net::{
+    Host, IpAddr, Listener, Namespace, PacketIdGen, SocketAddr, SocketApp, SocketEvent, TcpHandle,
+};
 use mm_sim::Simulator;
 use proptest::prelude::*;
 use std::cell::RefCell;

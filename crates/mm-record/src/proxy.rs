@@ -19,9 +19,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use mm_http::{write_request, Request, RequestParser, ResponseParser};
-use mm_net::{
-    Host, IpAddr, Listener, Namespace, PacketIdGen, SocketApp, SocketEvent, TcpHandle,
-};
+use mm_net::{Host, IpAddr, Listener, Namespace, PacketIdGen, SocketApp, SocketEvent, TcpHandle};
 use mm_sim::Simulator;
 
 use crate::store::{RequestResponsePair, Scheme, StoredSite};

@@ -74,7 +74,10 @@ impl StoredSite {
 
     /// Total bytes of recorded response bodies (page weight).
     pub fn total_body_bytes(&self) -> u64 {
-        self.pairs.iter().map(|p| p.response.body.len() as u64).sum()
+        self.pairs
+            .iter()
+            .map(|p| p.response.body.len() as u64)
+            .sum()
     }
 
     /// Find the pair answering the root document request, if recorded.
@@ -135,7 +138,11 @@ mod tests {
     #[test]
     fn origins_distinct_by_ip_port() {
         let s = sample_site();
-        assert_eq!(s.origins().len(), 3, "10.0.0.1:80, 10.0.0.2:80, 10.0.0.2:443");
+        assert_eq!(
+            s.origins().len(),
+            3,
+            "10.0.0.1:80, 10.0.0.2:80, 10.0.0.2:443"
+        );
         assert_eq!(s.server_ips().len(), 2);
     }
 

@@ -62,8 +62,7 @@ impl Matcher {
         // Exact query match first.
         for &idx in candidates {
             let cand = self.index.pair(idx);
-            if cand.request.method == req.method
-                && cand.request.query().unwrap_or("") == want_query
+            if cand.request.method == req.method && cand.request.query().unwrap_or("") == want_query
             {
                 self.stats.borrow_mut().exact += 1;
                 return Some(normalize_for_replay(&cand.response));
@@ -192,7 +191,9 @@ mod tests {
         // The matcher is origin-agnostic: content recorded from one origin
         // matches requests arriving at any server (multi-origin property).
         let m = matcher();
-        let r = m.lookup(&Request::get("/other/path", "example.com")).unwrap();
+        let r = m
+            .lookup(&Request::get("/other/path", "example.com"))
+            .unwrap();
         assert_eq!(&r.body[..], b"other");
     }
 

@@ -146,10 +146,7 @@ impl ReplayShell {
 
     /// Resolve an origin to the address actually serving it.
     pub fn resolve(&self, origin: Origin) -> SocketAddr {
-        *self
-            .address_map
-            .get(&origin)
-            .unwrap_or(&origin) // unseen origins fall through unchanged
+        *self.address_map.get(&origin).unwrap_or(&origin) // unseen origins fall through unchanged
     }
 
     /// Number of distinct server hosts spawned.
@@ -245,8 +242,20 @@ mod tests {
             });
         };
         add([10, 0, 0, 1], 80, "example.com", "/", "<html>root</html>");
-        add([10, 0, 0, 2], 80, "cdn.example.com", "/lib.js", "console.log(1)");
-        add([10, 0, 0, 2], 443, "cdn.example.com", "/secure.js", "console.log(2)");
+        add(
+            [10, 0, 0, 2],
+            80,
+            "cdn.example.com",
+            "/lib.js",
+            "console.log(1)",
+        );
+        add(
+            [10, 0, 0, 2],
+            443,
+            "cdn.example.com",
+            "/secure.js",
+            "console.log(2)",
+        );
         add([10, 0, 0, 3], 80, "img.example.com", "/a.png", "PNGDATA");
         s
     }

@@ -139,9 +139,10 @@ mod tests {
         let stack = ShellStack::new(&root)
             .with_shell_overhead(SimDuration::ZERO)
             .delay(SimDuration::from_millis(30))
-            .link(constant_rate(12.0, 1000), &|| {
-                Box::new(DropTail::infinite())
-            });
+            .link(
+                constant_rate(12.0, 1000),
+                &|| Box::new(DropTail::infinite()),
+            );
         let inner = stack.innermost();
 
         let arrivals = Rc::new(RefCell::new(Vec::new()));

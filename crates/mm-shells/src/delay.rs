@@ -150,10 +150,7 @@ mod tests {
         let l = link.clone();
         sim.schedule_at(Timestamp::from_millis(5), move |sim| l.deliver(sim, pkt(1)));
         sim.run();
-        assert_eq!(
-            *arrivals.borrow(),
-            vec![(1, Timestamp::from_millis(35))]
-        );
+        assert_eq!(*arrivals.borrow(), vec![(1, Timestamp::from_millis(35))]);
         assert_eq!(link.stats().forwarded, 1);
     }
 

@@ -12,7 +12,14 @@ pub mod loss;
 pub mod queue;
 
 pub use compose::{ShellLayer, ShellStack};
-pub use delay::{delay_shell, delay_shell_with_overhead, DelayLink, DelayShell, DEFAULT_SHELL_OVERHEAD};
-pub use link::{link_shell, LinkShell, LinkShellConfig, LinkStats, OpportunityPolicy, TraceLink, TraceLinkSink};
+pub use delay::{
+    delay_shell, delay_shell_with_overhead, DelayLink, DelayShell, DEFAULT_SHELL_OVERHEAD,
+};
+pub use link::{
+    link_shell, LinkShell, LinkShellConfig, LinkStats, OpportunityPolicy, TraceLink, TraceLinkSink,
+};
 pub use loss::{loss_shell, LossLink, LossShell, LossStats};
-pub use queue::{factories, CoDel, DropHead, DropTail, EnqueueResult, Pie, Qdisc, QdiscFactory, QdiscStats, QueueLimit};
+pub use queue::{
+    factories, CoDel, DropHead, DropTail, EnqueueResult, Pie, Qdisc, QdiscFactory, QdiscStats,
+    QueueLimit,
+};

@@ -197,7 +197,7 @@ impl PacketSink for TraceLinkSink {
                 // use-it-or-lose-it, so skip everything before "now"
                 // (sub-millisecond remainders round up — the trace has
                 // millisecond granularity).
-                let now_ms = (now.as_nanos() + 999_999) / 1_000_000;
+                let now_ms = now.as_nanos().div_ceil(1_000_000);
                 inner.cursor = inner.trace.first_opportunity_at_or_after(now_ms);
                 true
             } else {
@@ -295,7 +295,9 @@ mod tests {
         }
     }
 
-    fn arrivals_sink() -> (Rc<RefCell<Vec<(u64, Timestamp)>>>, SinkRef) {
+    type Arrivals = Rc<RefCell<Vec<(u64, Timestamp)>>>;
+
+    fn arrivals_sink() -> (Arrivals, SinkRef) {
         let v = Rc::new(RefCell::new(Vec::new()));
         let v2 = v.clone();
         let sink = FnSink::new(move |sim: &mut Simulator, p: Packet| {
@@ -351,10 +353,7 @@ mod tests {
             ingress.deliver(sim, pkt(0, 1460));
         });
         sim.run();
-        assert_eq!(
-            *arrivals.borrow(),
-            vec![(0, Timestamp::from_millis(20))]
-        );
+        assert_eq!(*arrivals.borrow(), vec![(0, Timestamp::from_millis(20))]);
     }
 
     #[test]
@@ -393,7 +392,11 @@ mod tests {
             }
         });
         sim.run();
-        let times: Vec<u64> = arrivals.borrow().iter().map(|&(_, t)| t.as_millis()).collect();
+        let times: Vec<u64> = arrivals
+            .borrow()
+            .iter()
+            .map(|&(_, t)| t.as_millis())
+            .collect();
         assert_eq!(times, vec![10, 20, 30]);
     }
 
@@ -410,7 +413,11 @@ mod tests {
             }
         });
         sim.run();
-        let times: Vec<u64> = arrivals.borrow().iter().map(|&(_, t)| t.as_millis()).collect();
+        let times: Vec<u64> = arrivals
+            .borrow()
+            .iter()
+            .map(|&(_, t)| t.as_millis())
+            .collect();
         assert_eq!(times, vec![10, 20, 30, 40, 50]);
     }
 

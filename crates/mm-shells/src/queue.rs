@@ -30,10 +30,9 @@ pub struct QdiscStats {
 impl QdiscStats {
     /// Mean queueing delay of dequeued packets.
     pub fn mean_sojourn(&self) -> SimDuration {
-        if self.dequeued == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(self.total_sojourn.as_nanos() / self.dequeued)
+        match self.total_sojourn.as_nanos().checked_div(self.dequeued) {
+            None => SimDuration::ZERO,
+            Some(mean) => SimDuration::from_nanos(mean),
         }
     }
 }

@@ -224,7 +224,9 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn recorder() -> (Rc<RefCell<Vec<u64>>>, Rc<RefCell<Vec<u64>>>) {
+    type SharedLog = Rc<RefCell<Vec<u64>>>;
+
+    fn recorder() -> (SharedLog, SharedLog) {
         let v = Rc::new(RefCell::new(Vec::new()));
         (v.clone(), v)
     }

@@ -93,7 +93,10 @@ impl SimDuration {
     /// Scale by a float factor (e.g. RTO backoff). Panics if `factor` is
     /// negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -276,7 +279,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
         assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]

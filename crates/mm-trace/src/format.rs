@@ -165,8 +165,7 @@ impl Trace {
             .iter()
             .enumerate()
             .map(|(w, &c)| {
-                let mbps =
-                    (c as f64 * TRACE_MTU as f64 * 8.0) / (window_ms as f64 / 1000.0) / 1e6;
+                let mbps = (c as f64 * TRACE_MTU as f64 * 8.0) / (window_ms as f64 / 1000.0) / 1e6;
                 (w as u64 * window_ms, mbps)
             })
             .collect()
@@ -228,6 +227,7 @@ mod tests {
         assert_eq!(t.first_opportunity_at_or_after(3), 1); // ts 4
         assert_eq!(t.first_opportunity_at_or_after(5), 2); // ts 10
         assert_eq!(t.first_opportunity_at_or_after(11), 3); // ts 12 (wrap)
+
         // Boundary instant: t=20 is exactly opportunity 5 (10 + period).
         assert_eq!(t.first_opportunity_at_or_after(20), 5);
         assert_eq!(t.opportunity_ms(5), 20);

@@ -171,10 +171,7 @@ mod tests {
         let mut rng = RngStream::from_seed(42);
         let t = cellular(&params, &mut rng);
         let measured = t.mean_rate_mbps();
-        assert!(
-            (measured - 10.0).abs() / 10.0 < 0.35,
-            "measured {measured}"
-        );
+        assert!((measured - 10.0).abs() / 10.0 < 0.35, "measured {measured}");
     }
 
     #[test]

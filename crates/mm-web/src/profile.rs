@@ -50,9 +50,7 @@ impl HostProfile {
     /// Instantiate the noise process for one host. Each (profile, seed,
     /// label) triple yields an independent, reproducible realization.
     pub fn noise(&self, seed: u64, label: &str) -> HostNoise {
-        let rng = RngStream::from_seed(seed)
-            .fork(&self.name)
-            .fork(label);
+        let rng = RngStream::from_seed(seed).fork(&self.name).fork(label);
         HostNoise::new(
             rng,
             Box::new(LogNormal::with_median(self.median_jitter_us, self.sigma)),

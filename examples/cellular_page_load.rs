@@ -51,8 +51,15 @@ fn main() {
     );
     let onoff = trace::on_off(20.0, 500, 500, 10_000); // 10 Mbit/s average
 
-    println!("{:<26} {:>10} {:>10}", "link (10 Mbit/s mean)", "median", "p95");
-    for (name, t) in [("constant bit rate", cbr), ("LTE-like bursty", lte), ("on-off 500ms/500ms", onoff)] {
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "link (10 Mbit/s mean)", "median", "p95"
+    );
+    for (name, t) in [
+        ("constant bit rate", cbr),
+        ("LTE-like bursty", lte),
+        ("on-off 500ms/500ms", onoff),
+    ] {
         let mut s = plt_under(&site, LinkSpec::symmetric(t), loads);
         println!(
             "{:<26} {:>8.0}ms {:>8.0}ms",

@@ -44,7 +44,12 @@ fn build_stack(
     let machine = Namespace::root(&format!("machine-{site_idx}"));
     world.attach_child(&machine, world.router(), machine.router());
     let ids = PacketIdGen::new();
-    let shell = Rc::new(ReplayShell::new(&machine, &site, ReplayConfig::default(), &ids));
+    let shell = Rc::new(ReplayShell::new(
+        &machine,
+        &site,
+        ReplayConfig::default(),
+        &ids,
+    ));
     let stack = ShellStack::new(&machine).delay(SimDuration::from_millis(20));
     let inner = stack.innermost();
     let host = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &inner);

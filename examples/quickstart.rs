@@ -41,7 +41,10 @@ fn main() {
     let mut delayed = LoadSpec::new(&site);
     delayed.net = NetSpec::delay_ms(50);
     let r = run_page_load(&delayed);
-    println!("+ DelayShell 50 ms:            PLT {:>10}", r.plt.to_string());
+    println!(
+        "+ DelayShell 50 ms:            PLT {:>10}",
+        r.plt.to_string()
+    );
 
     // 4. Replay behind `mm-delay 50 mm-link cellular.trace` — a bursty
     //    LTE-like 10 Mbit/s trace.
@@ -60,7 +63,10 @@ fn main() {
         ..NetSpec::default()
     };
     let r = run_page_load(&cellular);
-    println!("+ LinkShell (LTE-like 10Mbps): PLT {:>10}", r.plt.to_string());
+    println!(
+        "+ LinkShell (LTE-like 10Mbps): PLT {:>10}",
+        r.plt.to_string()
+    );
 
     // 5. Same, with 1% loss each way (`mm-loss`).
     let mut lossy = LoadSpec::new(&site);
@@ -70,5 +76,8 @@ fn main() {
         ..NetSpec::default()
     };
     let r = run_page_load(&lossy);
-    println!("+ LossShell 1%:                PLT {:>10}", r.plt.to_string());
+    println!(
+        "+ LossShell 1%:                PLT {:>10}",
+        r.plt.to_string()
+    );
 }

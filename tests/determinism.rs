@@ -2,8 +2,8 @@
 //! identical measurements end-to-end; seeds vary measurements only
 //! through modelled noise.
 
-use mahimahi::harness::{run_loads, run_page_load, LoadSpec, NetSpec};
 use mahimahi::corpus;
+use mahimahi::harness::{run_loads, run_page_load, LoadSpec, NetSpec};
 use mm_sim::RngStream;
 use mm_web::HostProfile;
 

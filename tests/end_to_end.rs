@@ -78,9 +78,10 @@ fn recording_captures_the_whole_page() {
     );
     // Every recorded body matches the original site's content.
     for pair in &recording.pairs {
-        let matching = original.pairs.iter().find(|p| {
-            p.request.target == pair.request.target && p.origin == pair.origin
-        });
+        let matching = original
+            .pairs
+            .iter()
+            .find(|p| p.request.target == pair.request.target && p.origin == pair.origin);
         let m = matching.expect("recorded pair corresponds to an original");
         assert_eq!(m.response.body, pair.response.body);
     }

@@ -18,7 +18,10 @@ fn table2_bandwidth_trend() {
     // performance at higher link speeds."
     let low_bw = cell(1.0, 30).median_diff_pct;
     let high_bw = cell(25.0, 30).median_diff_pct;
-    assert!(low_bw.abs() < 10.0, "1 Mbit/s diff should be small: {low_bw}");
+    assert!(
+        low_bw.abs() < 10.0,
+        "1 Mbit/s diff should be small: {low_bw}"
+    );
     assert!(high_bw > 8.0, "25 Mbit/s diff should be large: {high_bw}");
     // The difference shrinks as RTT grows (the paper's row trend).
     let at_300 = cell(25.0, 300).median_diff_pct;

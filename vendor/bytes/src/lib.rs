@@ -1,0 +1,354 @@
+//! Offline vendored subset of the [`bytes`](https://crates.io/crates/bytes)
+//! crate: just the `Bytes` / `BytesMut` / `BufMut` surface this workspace
+//! uses, with the same semantics (cheap clones of immutable buffers,
+//! `freeze`, `split_to`/`split`). Swap back to the real crate by editing the
+//! `[workspace.dependencies]` entry at the repo root.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+///
+/// Backed by an `Arc<[u8]>` plus a sub-range, so `clone` is O(1) and
+/// `split_to`-produced views share storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (does not allocate a unique backing store).
+    pub fn new() -> Bytes {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Wrap a static slice. (The vendored version copies; the range-sharing
+    /// machinery keeps the copy single.)
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from_vec(bytes.to_vec())
+    }
+
+    /// Copy an arbitrary slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from_vec(data.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same backing storage.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from_vec(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_vec(s.as_bytes().to_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] when construction is done.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.inner.extend_from_slice(data);
+    }
+
+    /// Remove and return the first `at` bytes, leaving the rest in place.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let rest = self.inner.split_off(at);
+        let head = std::mem::replace(&mut self.inner, rest);
+        BytesMut { inner: head }
+    }
+
+    /// Remove and return the entire contents, leaving this buffer empty.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            inner: std::mem::take(&mut self.inner),
+        }
+    }
+
+    /// Clear the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.inner).fmt(f)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+/// Write-side buffer trait (vendored subset: only what the serializers use).
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_and_share() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn bytes_mut_split_and_freeze() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_slice(b"hello");
+        m.put_u8(b'!');
+        let head = m.split_to(2);
+        assert_eq!(&head[..], b"he");
+        assert_eq!(&m[..], b"llo!");
+        let rest = m.split();
+        assert!(m.is_empty());
+        assert_eq!(&rest.freeze()[..], b"llo!");
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline vendored subset of [`criterion`](https://crates.io/crates/criterion):
+//! the `Criterion` / `BenchmarkGroup` / `Bencher` API with wall-clock
+//! measurement and a plain-text report (median over samples, plus
+//! throughput when declared). No statistical analysis, plotting, or
+//! baseline storage — this exists so `cargo bench -p bench` runs and
+//! prints useful numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API parity; the vendored
+/// runner re-runs setup per batch regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declared throughput, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        run_benchmark(id, sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+    let mut line = format!("{id:<40} median {}", fmt_time(median));
+    if median > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / median / (1024.0 * 1024.0);
+                line.push_str(&format!("  ({rate:.1} MiB/s)"));
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median;
+                line.push_str(&format!("  ({rate:.0} elem/s)"));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up, then a timed burst sized to the routine's cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let reps = reps_for(once);
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed();
+        let reps = reps_for(once);
+        let inputs: Vec<I> = (0..reps).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
+    }
+}
+
+/// Aim each sample at roughly 10 ms of work, within [1, 10_000] reps.
+fn reps_for(once: Duration) -> u64 {
+    let target = Duration::from_millis(10);
+    if once.is_zero() {
+        return 10_000;
+    }
+    let reps = target.as_nanos() / once.as_nanos().max(1);
+    reps.clamp(1, 10_000) as u64
+}
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline vendored subset of [`proptest`](https://proptest-rs.github.io/):
+//! the `proptest!` macro, `Strategy` combinators (`prop_map`,
+//! `prop_filter_map`, `prop_oneof!`, `Just`, ranges, tuples,
+//! `prop::collection::vec`, regex-literal string strategies) and the
+//! `prop_assert*` family.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case panics with the generated inputs' debug
+//!   representation via the standard assert message instead;
+//! * deterministic seeding per test function (FNV of the test path), so CI
+//!   failures reproduce locally without a persistence file. Set
+//!   `PROPTEST_CASES` to override the per-test case count.
+
+pub mod strategy;
+pub mod string_gen;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prelude` equivalent.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Run `cases` executions of a closure taking a fresh RNG — the engine
+/// behind the `proptest!` macro.
+pub fn run_cases(
+    config: &test_runner::Config,
+    test_path: &str,
+    mut body: impl FnMut(&mut test_runner::TestRng),
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let mut rng = test_runner::TestRng::deterministic(test_path);
+    for _ in 0..cases {
+        body(&mut rng);
+    }
+}
+
+/// Property-test entry point. Mirrors proptest's macro syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u64..100, label in "[a-z]{1,10}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                $crate::run_cases(
+                    &__cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(let $p = $crate::strategy::Strategy::generate(&($s), __rng);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (panics; no shrinking in the vendored
+/// subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current generated case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}

@@ -1,0 +1,267 @@
+//! Random string generation from the regex subset proptest-style string
+//! strategies use: literals, escaped literals, character classes with
+//! ranges, groups, and the `?`/`*`/`+`/`{m}`/`{m,n}` quantifiers.
+//! Alternation (`|`) and anchors are not supported.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_seq(&chars, &mut pos, false, pattern);
+    assert!(
+        pos == chars.len(),
+        "string strategy: trailing characters in pattern `{pattern}`"
+    );
+    let mut out = String::new();
+    gen_seq(&seq, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool, pattern: &str) -> Vec<(Node, Quant)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        match c {
+            ')' if in_group => {
+                *pos += 1;
+                return seq;
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, true, pattern);
+                let q = parse_quant(chars, pos, pattern);
+                seq.push((Node::Group(inner), q));
+            }
+            '[' => {
+                *pos += 1;
+                let class = parse_class(chars, pos, pattern);
+                let q = parse_quant(chars, pos, pattern);
+                seq.push((Node::Class(class), q));
+            }
+            '\\' => {
+                *pos += 1;
+                assert!(
+                    *pos < chars.len(),
+                    "string strategy: dangling `\\` in `{pattern}`"
+                );
+                let lit = chars[*pos];
+                *pos += 1;
+                let q = parse_quant(chars, pos, pattern);
+                seq.push((Node::Lit(lit), q));
+            }
+            '.' => {
+                *pos += 1;
+                let q = parse_quant(chars, pos, pattern);
+                // Printable ASCII.
+                seq.push((Node::Class(vec![(' ', '~')]), q));
+            }
+            '|' => panic!("string strategy: alternation unsupported in `{pattern}`"),
+            _ => {
+                *pos += 1;
+                let q = parse_quant(chars, pos, pattern);
+                seq.push((Node::Lit(c), q));
+            }
+        }
+    }
+    assert!(
+        !in_group,
+        "string strategy: unterminated group in `{pattern}`"
+    );
+    seq
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(char, char)> {
+    let mut items = Vec::new();
+    loop {
+        assert!(
+            *pos < chars.len(),
+            "string strategy: unterminated class in `{pattern}`"
+        );
+        let c = chars[*pos];
+        if c == ']' {
+            *pos += 1;
+            assert!(
+                !items.is_empty(),
+                "string strategy: empty class in `{pattern}`"
+            );
+            return items;
+        }
+        let lo = if c == '\\' {
+            *pos += 1;
+            assert!(
+                *pos < chars.len(),
+                "string strategy: dangling `\\` in `{pattern}`"
+            );
+            chars[*pos]
+        } else {
+            c
+        };
+        *pos += 1;
+        // `a-z` range, unless the `-` is the final char before `]`.
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+            *pos += 1;
+            let hi = chars[*pos];
+            *pos += 1;
+            assert!(lo <= hi, "string strategy: inverted range in `{pattern}`");
+            items.push((lo, hi));
+        } else {
+            items.push((lo, lo));
+        }
+    }
+}
+
+fn parse_quant(chars: &[char], pos: &mut usize, pattern: &str) -> Quant {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            *pos += 1;
+            Quant {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('+') => {
+            *pos += 1;
+            Quant {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = min_text
+                .parse()
+                .unwrap_or_else(|_| panic!("string strategy: bad repetition in `{pattern}`"));
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if max_text.is_empty() {
+                        min.saturating_add(UNBOUNDED_CAP)
+                    } else {
+                        max_text.parse().unwrap_or_else(|_| {
+                            panic!("string strategy: bad repetition in `{pattern}`")
+                        })
+                    }
+                }
+                _ => min,
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "string strategy: unterminated repetition in `{pattern}`"
+            );
+            *pos += 1;
+            assert!(
+                min <= max,
+                "string strategy: inverted repetition in `{pattern}`"
+            );
+            Quant { min, max }
+        }
+        _ => Quant { min: 1, max: 1 },
+    }
+}
+
+fn gen_seq(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (node, q) in seq {
+        let n = rng.u64_inclusive(q.min as u64, q.max as u64) as u32;
+        for _ in 0..n {
+            gen_node(node, rng, out);
+        }
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(items) => {
+            let total: u64 = items
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut k = rng.u64_inclusive(0, total - 1);
+            for (lo, hi) in items {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if k < span {
+                    out.push(char::from_u32(*lo as u32 + k as u32).unwrap());
+                    return;
+                }
+                k -= span;
+            }
+            unreachable!();
+        }
+        Node::Group(inner) => gen_seq(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string_gen")
+    }
+
+    #[test]
+    fn classes_and_reps() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z][a-zA-Z0-9-]{0,15}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn optional_groups_and_escapes() {
+        let mut r = rng();
+        let mut saw_query = false;
+        for _ in 0..200 {
+            let s = generate("/[a-z0-9/_.-]{0,30}(\\?[a-z0-9=&-]{0,20})?", &mut r);
+            assert!(s.starts_with('/'));
+            if s.contains('?') {
+                saw_query = true;
+            }
+        }
+        assert!(saw_query, "optional group never taken in 200 draws");
+    }
+
+    #[test]
+    fn exact_reps_and_literals() {
+        let mut r = rng();
+        let s = generate("abc[0-9]{3}", &mut r);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("abc"));
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

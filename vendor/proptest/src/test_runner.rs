@@ -1,0 +1,101 @@
+//! Test-run configuration and the deterministic RNG handed to strategies.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Per-`proptest!` block configuration (mirrors `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// FNV-1a, for stable test-path seeding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The RNG strategies draw from. Deterministic per test path so failures
+/// reproduce without a persistence file.
+pub struct TestRng {
+    rng: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Seeded from a stable hash of `path` (typically
+    /// `module_path!()::test_name`).
+    pub fn deterministic(path: &str) -> TestRng {
+        TestRng {
+            rng: ChaCha8Rng::seed_from_u64(fnv1a(path.as_bytes())),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.rng.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// Uniform in `[lo, hi]` for signed bounds.
+    pub fn i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128) as u128;
+        if span == u64::MAX as u128 {
+            return self.next_u64() as i64;
+        }
+        (lo as i128 + self.below(span as u64 + 1) as i128) as i64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform usize drawn from a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        debug_assert!(range.start < range.end);
+        self.u64_inclusive(range.start as u64, range.end as u64 - 1) as usize
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline vendored serde-compatible serialization core.
+//!
+//! This is an API-compatible subset of [`serde`](https://serde.rs) for the
+//! shapes this workspace serializes: the generic `Serialize` / `Deserialize`
+//! / `Serializer` / `Deserializer` traits and the `serde_derive` macros are
+//! all here, but the data model is a concrete JSON-like [`Value`] instead of
+//! serde's fully streaming visitor architecture. `serde_json` renders and
+//! parses that [`Value`]. Swapping back to real serde is a
+//! `[workspace.dependencies]` edit; the derive attribute surface used in
+//! this repo (`#[serde(transparent)]`, `#[serde(with = "...")]`) matches.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The concrete data model: a JSON-shaped value tree.
+///
+/// Maps preserve insertion order (they are association lists), which keeps
+/// record/replay stores byte-stable across round trips.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer (covers every integer width this workspace serializes).
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, order-preserving.
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization-side error trait (mirrors `serde::ser::Error`).
+pub mod ser {
+    /// Constructible from any display-able message.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error carrying `msg`.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error trait (mirrors `serde::de::Error`).
+pub mod de {
+    /// Constructible from any display-able message.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error carrying `msg`.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data.
+///
+/// Unlike real serde there is one required method: accept a complete
+/// [`Value`]. The typed convenience methods feed it.
+pub trait Serializer: Sized {
+    /// Output of successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Accept a complete value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string slice.
+    fn serialize_str(self, s: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(s.to_string()))
+    }
+
+    /// Serialize a bool.
+    fn serialize_bool(self, b: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(b))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Int(v))
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        i64::try_from(v)
+            .map_err(|_| ser::Error::custom("u64 out of range for data model"))
+            .and_then(|i| self.serialize_value(Value::Int(i)))
+    }
+
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Float(v))
+    }
+
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A source of deserialized data.
+///
+/// One required method: yield the complete [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yield the full value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Error produced by [`ValueSerializer`] / [`to_value`].
+#[derive(Debug)]
+pub struct SerError(pub String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl ser::Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// Error produced by [`ValueDeserializer`] / [`from_value`].
+#[derive(Debug)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl de::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// The canonical serializer: produces a [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, SerError> {
+        Ok(v)
+    }
+}
+
+/// The canonical deserializer: wraps a [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn into_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize `t` into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Result<Value, SerError> {
+    t.serialize(ValueSerializer)
+}
+
+/// Deserialize a `T` out of a [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+// ---- helpers used by the derive-generated code -------------------------
+
+/// Serialize a field into a [`Value`], mapping errors into `S::Error`.
+pub fn ser_to_value_or_err<S: Serializer, T: Serialize + ?Sized>(t: &T) -> Result<Value, S::Error> {
+    to_value(t).map_err(<S::Error as ser::Error>::custom)
+}
+
+/// Deserialize a field from a [`Value`], mapping errors into `D::Error`.
+pub fn de_from_value_or_err<'de, D: Deserializer<'de>, T: for<'a> Deserialize<'a>>(
+    v: Value,
+) -> Result<T, D::Error> {
+    from_value(v).map_err(<D::Error as de::Error>::custom)
+}
+
+/// Remove field `k` from an object's entry list, erroring if absent.
+pub fn take_field<'de, D: Deserializer<'de>>(
+    m: &mut Vec<(String, Value)>,
+    k: &str,
+) -> Result<Value, D::Error> {
+    match m.iter().position(|(name, _)| name == k) {
+        Some(i) => Ok(m.remove(i).1),
+        None => Err(<D::Error as de::Error>::custom(format!(
+            "missing field `{k}`"
+        ))),
+    }
+}
+
+/// [`take_field`] + [`de_from_value_or_err`] in one step.
+pub fn de_field<'de, D: Deserializer<'de>, T: for<'a> Deserialize<'a>>(
+    m: &mut Vec<(String, Value)>,
+    k: &str,
+) -> Result<T, D::Error> {
+    de_from_value_or_err::<D, T>(take_field::<D>(m, k)?)
+}
+
+// ---- impls for primitives and std containers ---------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, got {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                match i64::try_from(*self) {
+                    Ok(v) => serializer.serialize_i64(v),
+                    Err(_) => Err(<S::Error as ser::Error>::custom(
+                        "integer out of range for data model",
+                    )),
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.into_value()?;
+                let n = match v {
+                    Value::Int(i) => i,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    other => {
+                        return Err(<D::Error as de::Error>::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    <D::Error as de::Error>::custom("integer out of range for target type")
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected number, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(ser_to_value_or_err::<S, T>(item)?);
+        }
+        serializer.serialize_value(Value::Seq(out))
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| de_from_value_or_err::<D, T>(v))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(t) => {
+                let v = ser_to_value_or_err::<S, T>(t)?;
+                serializer.serialize_value(v)
+            }
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            v => Ok(Some(de_from_value_or_err::<D, T>(v)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(from_value::<u16>(to_value(&7u16).unwrap()).unwrap(), 7);
+        assert_eq!(
+            from_value::<String>(to_value("hi").unwrap()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            from_value::<Vec<u8>>(to_value(&vec![1u8, 2]).unwrap()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            from_value::<Option<u32>>(to_value(&None::<u32>).unwrap()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(from_value::<u8>(Value::Int(300)).is_err());
+        assert!(to_value(&u64::MAX).is_err());
+    }
+}

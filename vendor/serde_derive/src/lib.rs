@@ -1,0 +1,464 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde core. Implemented with hand-rolled token parsing (no `syn`/`quote`
+//! available offline) and supports the item shapes this workspace uses:
+//!
+//! * named-field structs, with optional `#[serde(with = "path")]` per field
+//! * single-field tuple structs (serialized transparently, which also
+//!   covers `#[serde(transparent)]`)
+//! * enums of unit and one-field tuple variants (externally tagged, like
+//!   real serde: `"Variant"` or `{"Variant": value}`)
+//!
+//! Anything outside that subset fails the build with a clear message rather
+//! than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::Ser)
+        .parse()
+        .expect("serde_derive: generated code parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::De)
+        .parse()
+        .expect("serde_derive: generated code parses")
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) => break g.clone(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive: missing item body for `{name}`"),
+        }
+    };
+
+    let shape = match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            let arity = count_top_level_fields(body.stream());
+            if arity != 1 {
+                panic!(
+                    "serde_derive (vendored): tuple struct `{name}` has {arity} fields; \
+                     only single-field tuple structs are supported"
+                );
+            }
+            Shape::Newtype
+        }
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream(), &name)),
+        _ => panic!("serde_derive: unsupported item shape for `{name}`"),
+    };
+
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(_)) => *i += 1,
+                    other => panic!("serde_derive: malformed attribute, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Scan one attribute group's contents for `serde(with = "path")`.
+fn serde_with_from_attr(attr: &TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match (inner.first(), inner.get(1), inner.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = lit.to_string();
+            Some(raw.trim_matches('"').to_string())
+        }
+        _ => {
+            // Other serde attrs this subset understands implicitly
+            // (`transparent`) or ignores (`default` on containers).
+            None
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        // Field attributes: capture serde(with), skip the rest (docs etc.).
+        let mut with = None;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    match tokens.get(i) {
+                        Some(TokenTree::Group(g)) => {
+                            if let Some(w) = serde_with_from_attr(&g.stream()) {
+                                with = Some(w);
+                            }
+                            i += 1;
+                        }
+                        other => panic!("serde_derive: malformed field attribute {other:?}"),
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // A trailing comma does not introduce a new field.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name in `{enum_name}`, got {other:?}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive (vendored): variant `{enum_name}::{name}` has {arity} \
+                         fields; only unit and single-field variants are supported"
+                    );
+                }
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive (vendored): struct variant `{enum_name}::{name}` \
+                     is not supported"
+                );
+            }
+            _ => {}
+        }
+        // Skip to the comma (covers discriminants, which we do not support
+        // serializing differently anyway).
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    match (&item.shape, mode) {
+        (Shape::Named(fields), Mode::Ser) => gen_named_ser(&item.name, fields),
+        (Shape::Named(fields), Mode::De) => gen_named_de(&item.name, fields),
+        (Shape::Newtype, Mode::Ser) => gen_newtype_ser(&item.name),
+        (Shape::Newtype, Mode::De) => gen_newtype_de(&item.name),
+        (Shape::Enum(variants), Mode::Ser) => gen_enum_ser(&item.name, variants),
+        (Shape::Enum(variants), Mode::De) => gen_enum_de(&item.name, variants),
+    }
+}
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_variables, unused_mut, clippy::all)]\n";
+
+fn gen_named_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        let fname = &f.name;
+        match &f.with {
+            None => pushes.push_str(&format!(
+                "__m.push((::std::string::String::from(\"{fname}\"), \
+                 ::serde::ser_to_value_or_err::<__S, _>(&self.{fname})?));\n"
+            )),
+            Some(path) => pushes.push_str(&format!(
+                "__m.push((::std::string::String::from(\"{fname}\"), \
+                 {path}::serialize(&self.{fname}, ::serde::ValueSerializer)\
+                 .map_err(|__e| <__S::Error as ::serde::ser::Error>::custom(__e))?));\n"
+            )),
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         __serializer.serialize_value(::serde::Value::Map(__m))\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_named_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        match &f.with {
+            None => inits.push_str(&format!(
+                "{fname}: ::serde::de_field::<__D, _>(&mut __m, \"{fname}\")?,\n"
+            )),
+            Some(path) => inits.push_str(&format!(
+                "{fname}: {path}::deserialize(::serde::ValueDeserializer(\
+                 ::serde::take_field::<__D>(&mut __m, \"{fname}\")?))\
+                 .map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))?,\n"
+            )),
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let mut __m = match __deserializer.into_value()? {{\n\
+         ::serde::Value::Map(__m) => __m,\n\
+         __other => return ::std::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         \"expected map for struct {name}\")),\n\
+         }};\n\
+         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_newtype_ser(name: &str) -> String {
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         let __v = ::serde::ser_to_value_or_err::<__S, _>(&self.0)?;\n\
+         __serializer.serialize_value(__v)\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_newtype_de(name: &str) -> String {
+    format!(
+        "{IMPL_ATTRS}impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         ::std::result::Result::Ok({name}(::serde::de_from_value_or_err::<__D, _>(\
+         __deserializer.into_value()?)?))\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        if v.newtype {
+            arms.push_str(&format!(
+                "{name}::{vname}(__x) => {{\n\
+                 let __inner = ::serde::ser_to_value_or_err::<__S, _>(__x)?;\n\
+                 __serializer.serialize_value(::serde::Value::Map(vec![(\
+                 ::std::string::String::from(\"{vname}\"), __inner)]))\n\
+                 }}\n"
+            ));
+        } else {
+            arms.push_str(&format!(
+                "{name}::{vname} => __serializer.serialize_value(\
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\"))),\n"
+            ));
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut newtype_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        if v.newtype {
+            newtype_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::de_from_value_or_err::<__D, _>(__val)?)),\n"
+            ));
+        } else {
+            unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         match __deserializer.into_value()? {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+         let (__k, __val) = __m.remove(0);\n\
+         match __k.as_str() {{\n\
+         {newtype_arms}\
+         __other => ::std::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         \"expected string or single-entry map for enum {name}\")),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}
