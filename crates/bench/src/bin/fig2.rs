@@ -6,7 +6,9 @@
 //! 1000 Mbit/s adds 1.5%.
 
 use bench::fig2;
-use bench::report::{header, ms, paper_vs_measured, pct, plot_cdfs};
+use bench::report::{
+    header, ms, paper_vs_measured, pct, plot_cdfs, summary_metrics, write_bench_json,
+};
 
 fn main() {
     let n_sites: usize = std::env::args()
@@ -35,10 +37,23 @@ fn main() {
         &pct(r.link1000_overhead_pct()),
     );
     println!();
+    let mut metrics = Vec::new();
+    metrics.push(("delay0_overhead_pct".to_string(), r.delay0_overhead_pct()));
+    metrics.push((
+        "link1000_overhead_pct".to_string(),
+        r.link1000_overhead_pct(),
+    ));
     let (mut a, mut b, mut c) = (r.replay, r.delay0, r.link1000);
+    metrics.extend(summary_metrics("replay", &mut a));
+    metrics.extend(summary_metrics("delay0", &mut b));
+    metrics.extend(summary_metrics("link1000", &mut c));
     plot_cdfs(&mut [
         ("ReplayShell", &mut a),
         ("DelayShell 0 ms", &mut b),
         ("LinkShell 1000 Mbits/s", &mut c),
     ]);
+    match write_bench_json("fig2", 2014, n_sites, &metrics) {
+        Ok(path) => println!("\n  wrote {}", path.display()),
+        Err(e) => eprintln!("\n  could not write BENCH_fig2.json: {e}"),
+    }
 }

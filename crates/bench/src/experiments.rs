@@ -1,5 +1,6 @@
 //! The experiment drivers, one per paper artifact.
 
+use mahimahi::browser::{MuxConfig, ProtocolMode};
 use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec};
 use mm_corpus::{
     cnbc_like, generate_plans, materialize, nytimes_like, server_distribution, wikihow_like,
@@ -9,6 +10,8 @@ use mm_replay::{ReplayConfig, ReplayMode};
 use mm_sim::{RngStream, SimDuration, Summary};
 use mm_trace::constant_rate;
 use mm_web::{HostProfile, LiveWebConfig};
+
+use crate::parallel::parallel_map;
 
 /// E1/E6 — Figure 2: PLT CDFs for bare ReplayShell, ReplayShell inside
 /// DelayShell 0 ms, and ReplayShell inside LinkShell at 1000 Mbit/s.
@@ -31,32 +34,34 @@ impl Fig2Result {
 }
 
 /// Run Figure 2 over the first `n_sites` corpus sites (500 = the paper).
+///
+/// Sites shard across threads; each site's three arms share one seed
+/// derived from the site index, so the summaries are byte-identical to a
+/// serial run.
 pub fn fig2(n_sites: usize, seed: u64) -> Fig2Result {
     let plans = corpus_subset(n_sites, seed);
     let trace_1000 = constant_rate(1000.0, 1000);
-    let mut replay = Summary::new();
-    let mut delay0 = Summary::new();
-    let mut link1000 = Summary::new();
-    for (i, plan) in plans.iter().enumerate() {
+    let per_site = parallel_map(&plans, |i, plan| {
         let site = materialize(plan);
         let mut spec = LoadSpec::new(&site);
         spec.seed = seed.wrapping_add(i as u64);
         // Arm 1: bare ReplayShell.
-        replay.add(run_page_load(&spec).plt.as_millis_f64());
+        let replay = run_page_load(&spec).plt.as_millis_f64();
         // Arm 2: DelayShell 0 ms.
         spec.net = NetSpec::delay_ms(0);
-        delay0.add(run_page_load(&spec).plt.as_millis_f64());
+        let delay0 = run_page_load(&spec).plt.as_millis_f64();
         // Arm 3: LinkShell 1000 Mbit/s, infinite droptail.
         spec.net = NetSpec {
             link: Some(LinkSpec::symmetric(trace_1000.clone())),
             ..NetSpec::default()
         };
-        link1000.add(run_page_load(&spec).plt.as_millis_f64());
-    }
+        let link1000 = run_page_load(&spec).plt.as_millis_f64();
+        (replay, delay0, link1000)
+    });
     Fig2Result {
-        replay,
-        delay0,
-        link1000,
+        replay: Summary::from_samples(per_site.iter().map(|s| s.0)),
+        delay0: Summary::from_samples(per_site.iter().map(|s| s.1)),
+        link1000: Summary::from_samples(per_site.iter().map(|s| s.2)),
     }
 }
 
@@ -204,18 +209,22 @@ impl Fig3Result {
 }
 
 /// Run Figure 3 with `loads` page loads per arm.
+///
+/// Loads shard across threads. The per-load minimum RTTs are drawn
+/// serially up front from the same RNG stream the serial loop used, so
+/// sharding leaves every load's conditions — and the summaries — exactly
+/// as a serial run produces them.
 pub fn fig3(loads: usize, seed: u64) -> Fig3Result {
     let plan = nytimes_like(seed);
     let site = materialize(&plan);
-    let mut web = Summary::new();
-    let mut multi = Summary::new();
-    let mut single = Summary::new();
+    // "For fair comparison, we record the minimum round trip time to
+    // www.nytimes.com for each page load on the Web and use DelayShell
+    // to emulate this for each page load with ReplayShell."
     let mut rtt_rng = RngStream::from_seed(seed).fork("min-rtt");
-    for i in 0..loads {
-        // "For fair comparison, we record the minimum round trip time to
-        // www.nytimes.com for each page load on the Web and use DelayShell
-        // to emulate this for each page load with ReplayShell."
-        let min_rtt_ms = 8 + rtt_rng.gen_range_inclusive(0, 6);
+    let min_rtts: Vec<u64> = (0..loads)
+        .map(|_| 8 + rtt_rng.gen_range_inclusive(0, 6))
+        .collect();
+    let per_load = parallel_map(&min_rtts, |i, &min_rtt_ms| {
         let delay = NetSpec::delay_ms(min_rtt_ms);
         let load_seed = seed.wrapping_mul(97).wrapping_add(i as u64);
 
@@ -227,22 +236,121 @@ pub fn fig3(loads: usize, seed: u64) -> Fig3Result {
         web_spec.live_web = Some(LiveWebConfig::default());
         web_spec.replay.think_time = mm_web::live_think_time(&LiveWebConfig::default());
         web_spec.seed = load_seed;
-        web.add(run_page_load(&web_spec).plt.as_millis_f64());
+        let web = run_page_load(&web_spec).plt.as_millis_f64();
 
         // Arm 2: multi-origin replay.
         let mut multi_spec = LoadSpec::new(&site);
         multi_spec.net = delay.clone();
         multi_spec.seed = load_seed;
-        multi.add(run_page_load(&multi_spec).plt.as_millis_f64());
+        let multi = run_page_load(&multi_spec).plt.as_millis_f64();
 
         // Arm 3: single-server replay.
         let mut single_spec = LoadSpec::new(&site);
         single_spec.net = delay;
         single_spec.replay.mode = ReplayMode::SingleServer;
         single_spec.seed = load_seed;
-        single.add(run_page_load(&single_spec).plt.as_millis_f64());
+        let single = run_page_load(&single_spec).plt.as_millis_f64();
+        (web, multi, single)
+    });
+    Fig3Result {
+        web: Summary::from_samples(per_load.iter().map(|s| s.0)),
+        multi: Summary::from_samples(per_load.iter().map(|s| s.1)),
+        single: Summary::from_samples(per_load.iter().map(|s| s.2)),
     }
-    Fig3Result { web, multi, single }
+}
+
+/// E7 — the protocol-comparison experiment (the shape of the paper's §5
+/// SPDY case study): PLT for HTTP/1.1 vs the mm-mux multiplexed
+/// transport, swept over link rate × RTT, under otherwise-identical
+/// emulated conditions.
+pub struct FigMuxCell {
+    pub mbps: f64,
+    pub delay_ms: u64,
+    /// One-way delay doubled: the RTT this cell emulates.
+    pub rtt_ms: u64,
+    pub http1: Summary,
+    pub mux: Summary,
+    /// Per-site paired speedup samples, percent (positive = mux faster):
+    /// each site is loaded under both protocols with the same seed, so
+    /// the paired difference is the experiment's primary statistic (the
+    /// same design as Table 2's per-site single-vs-multi comparison).
+    pub paired_speedup_pct: Summary,
+}
+
+impl FigMuxCell {
+    /// Median PLT ratio HTTP/1.1 : mux. Above 1.0 means multiplexing is
+    /// faster at this operating point.
+    pub fn median_ratio(&mut self) -> f64 {
+        self.http1.median() / self.mux.median()
+    }
+
+    /// Median of the per-site paired speedups, percent (positive = mux
+    /// faster on the median site).
+    pub fn median_speedup_pct(&mut self) -> f64 {
+        self.paired_speedup_pct.median()
+    }
+}
+
+pub struct FigMuxResult {
+    pub cells: Vec<FigMuxCell>,
+}
+
+impl FigMuxResult {
+    /// The cell for a given operating point.
+    pub fn cell_mut(&mut self, mbps: f64, delay_ms: u64) -> Option<&mut FigMuxCell> {
+        self.cells
+            .iter_mut()
+            .find(|c| c.mbps == mbps && c.delay_ms == delay_ms)
+    }
+}
+
+/// The (link rate, one-way delay) grid figmux sweeps — the same grid as
+/// Table 2, so the two experiments share operating points.
+pub const FIGMUX_RATES_MBPS: [f64; 3] = [1.0, 14.0, 25.0];
+/// One-way delays of the figmux sweep, ms.
+pub const FIGMUX_DELAYS_MS: [u64; 3] = [30, 120, 300];
+
+/// Run the protocol comparison over `n_sites` corpus sites. Per cell,
+/// every site is loaded twice — HTTP/1.1 pools and one mux connection
+/// per origin — with the same seed, server think time, and network.
+/// Sites shard across threads with per-site seeds (serial-identical).
+pub fn figmux(n_sites: usize, seed: u64) -> FigMuxResult {
+    let plans = corpus_subset(n_sites, seed);
+    let mut cells = Vec::new();
+    for &mbps in &FIGMUX_RATES_MBPS {
+        let trace = constant_rate(mbps, 1000);
+        for &delay_ms in &FIGMUX_DELAYS_MS {
+            let per_site = parallel_map(&plans, |i, plan| {
+                let site = materialize(plan);
+                let net = NetSpec {
+                    delay: Some(SimDuration::from_millis(delay_ms)),
+                    link: Some(LinkSpec::symmetric(trace.clone())),
+                    ..NetSpec::default()
+                };
+                let mut h1 = LoadSpec::new(&site);
+                h1.net = net.clone();
+                h1.seed = seed.wrapping_add(i as u64);
+                let http1 = run_page_load(&h1).plt.as_millis_f64();
+                let mut mx = LoadSpec::new(&site);
+                mx.net = net;
+                mx.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
+                mx.seed = h1.seed;
+                let mux = run_page_load(&mx).plt.as_millis_f64();
+                (http1, mux)
+            });
+            cells.push(FigMuxCell {
+                mbps,
+                delay_ms,
+                rtt_ms: delay_ms * 2,
+                http1: Summary::from_samples(per_site.iter().map(|s| s.0)),
+                mux: Summary::from_samples(per_site.iter().map(|s| s.1)),
+                paired_speedup_pct: Summary::from_samples(
+                    per_site.iter().map(|&(h, m)| (h - m) / h * 100.0),
+                ),
+            });
+        }
+    }
+    FigMuxResult { cells }
 }
 
 /// E5 — §4's corpus statistic: the distribution of physical servers per

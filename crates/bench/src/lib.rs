@@ -5,6 +5,8 @@
 //! tests in `tests/`.
 
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 
 pub use experiments::*;
+pub use parallel::parallel_map;

@@ -9,10 +9,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use mm_browser::{Browser, BrowserConfig, PageLoadResult, Resolver};
+use mm_browser::{Browser, BrowserConfig, PageLoadResult, ProtocolMode, Resolver};
 use mm_net::{Host, IpAddr, Namespace, PacketIdGen, SocketAddr};
 use mm_record::StoredSite;
-use mm_replay::{ReplayConfig, ReplayShell};
+use mm_replay::{ReplayConfig, ReplayShell, ServerProtocol};
 use mm_shells::{CoDel, DropHead, DropTail, Pie, Qdisc, QueueLimit, ShellStack};
 use mm_sim::{RngStream, SimDuration, Simulator};
 use mm_trace::Trace;
@@ -145,18 +145,42 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     let rng = RngStream::from_seed(spec.seed);
     let ids = PacketIdGen::new();
 
-    // Outermost: ReplayShell's world.
-    let root_ns = Namespace::root("replayshell");
-    let shell = Rc::new(ReplayShell::new(
-        &root_ns,
-        spec.site,
-        spec.replay.clone(),
-        &ids,
-    ));
+    // Outermost: ReplayShell's world. The browser's protocol choice is
+    // passed through to the servers so both ends of the connection speak
+    // the same wire format — one knob on the spec drives the whole stack.
+    let mut replay_config = spec.replay.clone();
+    if let ProtocolMode::Mux(mux) = &spec.browser.protocol {
+        replay_config.protocol = ServerProtocol::Mux(mux.clone());
+    }
+    let shell = {
+        let root_ns = Namespace::root("replayshell");
+        Rc::new(ReplayShell::new(&root_ns, spec.site, replay_config, &ids))
+    };
+    let root_ns = shell.ns.clone();
 
     if let Some(tcp) = &spec.tcp {
         for host in &shell.hosts {
             host.set_tcp_config(tcp.clone());
+        }
+    }
+    // An explicit IW in `spec.tcp` is the experimenter's ablation knob and
+    // must win over the mux deployment default.
+    let explicit_iw = spec.tcp.as_ref().and_then(|t| t.initial_cwnd_segments);
+    if let ProtocolMode::Mux(mux) = &spec.browser.protocol {
+        if explicit_iw.is_none() {
+            if let Some(iw) = mux.server_initial_cwnd_segments {
+                // Model the deployed SPDY-era server stack: a raised
+                // initial cwnd on the servers (only), so one multiplexed
+                // connection can match the burst capacity of an HTTP/1.1
+                // pool.
+                for host in &shell.hosts {
+                    let config = mm_net::TcpConfig {
+                        initial_cwnd_segments: Some(iw),
+                        ..host.tcp_config()
+                    };
+                    host.set_tcp_config(config);
+                }
+            }
         }
     }
     if let Some(live) = &spec.live_web {

@@ -21,10 +21,33 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use mm_http::{write_request, Request, Response, ResponseParser, Url};
+use mm_mux::{MuxClient, MuxConfig, MuxError, PRIORITY_BULK, PRIORITY_ROOT, PRIORITY_SUBRESOURCE};
 use mm_net::{Host, SocketAddr, SocketApp, SocketEvent, TcpHandle};
 use mm_sim::{SimDuration, Simulator, Timestamp};
 
 use crate::scan::{extract_urls, is_scannable};
+
+/// The application protocol the browser speaks to every origin.
+///
+/// This is the knob the paper's SPDY case study turns: load the same
+/// recorded page over HTTP/1.1 and over a multiplexed transport, under
+/// identical emulated network conditions, and compare PLTs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// HTTP/1.1: up to `pool_size` persistent connections per origin, one
+    /// request in flight per connection, no pipelining (the 2014 browser
+    /// default this crate originally modelled).
+    Http1 { pool_size: usize },
+    /// mm-mux: ONE connection per origin carrying every request as a
+    /// concurrent stream, with the root document at higher priority.
+    Mux(MuxConfig),
+}
+
+impl Default for ProtocolMode {
+    fn default() -> Self {
+        ProtocolMode::Http1 { pool_size: 6 }
+    }
+}
 
 /// Browser configuration.
 ///
@@ -36,8 +59,9 @@ use crate::scan::{extract_urls, is_scannable};
 /// the paper's Figure 2 shows, with network emulation adding on top.
 #[derive(Clone)]
 pub struct BrowserConfig {
-    /// Maximum persistent connections per origin (6, like Chrome/Firefox).
-    pub max_conns_per_origin: usize,
+    /// Wire protocol and its concurrency shape (HTTP/1.1 with a 6-deep
+    /// pool per origin by default, like Chrome/Firefox of the era).
+    pub protocol: ProtocolMode,
     /// Fixed main-thread cost per resource (parse/decode/layout share).
     pub parse_delay_base: SimDuration,
     /// Additional main-thread cost per KiB of body.
@@ -50,7 +74,7 @@ pub struct BrowserConfig {
 impl Default for BrowserConfig {
     fn default() -> Self {
         BrowserConfig {
-            max_conns_per_origin: 6,
+            protocol: ProtocolMode::default(),
             parse_delay_base: SimDuration::from_millis(18),
             parse_delay_per_kb: SimDuration::from_micros(150),
             max_resources: 10_000,
@@ -123,7 +147,11 @@ type ConnRef = Rc<RefCell<Conn>>;
 struct Pool {
     /// Where this origin's connections actually go (post-resolver).
     addr: SocketAddr,
+    /// HTTP/1.1 connections (unused in mux mode).
     conns: Vec<ConnRef>,
+    /// The origin's single multiplexed connection (mux mode only).
+    mux: Option<MuxClient>,
+    /// Jobs not yet handed to a connection.
     queue: VecDeque<FetchJob>,
 }
 
@@ -210,10 +238,11 @@ impl Browser {
 
     /// Queue a fetch for `url` (no-op if already seen this load).
     fn fetch(&self, sim: &mut Simulator, url: Url) {
-        let authority = {
+        let (authority, mux) = {
             let mut inner = self.inner.borrow_mut();
             let resolver = inner.resolver.clone();
             let max = inner.config.max_resources;
+            let mux = matches!(inner.config.protocol, ProtocolMode::Mux(_));
             let Some(load) = inner.load.as_mut() else {
                 return;
             };
@@ -237,12 +266,17 @@ impl Browser {
             let pool = load.pools.entry(authority.clone()).or_insert_with(|| Pool {
                 addr,
                 conns: Vec::new(),
+                mux: None,
                 queue: VecDeque::new(),
             });
             pool.queue.push_back(FetchJob { url, timing_idx });
-            authority
+            (authority, mux)
         };
-        self.pump_pool(sim, &authority);
+        if mux {
+            self.pump_mux(sim, &authority);
+        } else {
+            self.pump_pool(sim, &authority);
+        }
     }
 
     /// Dispatch queued jobs in the pool for `authority`: reuse idle
@@ -258,7 +292,10 @@ impl Browser {
             }
             let step = {
                 let mut inner = self.inner.borrow_mut();
-                let max_conns = inner.config.max_conns_per_origin;
+                let max_conns = match &inner.config.protocol {
+                    ProtocolMode::Http1 { pool_size } => *pool_size,
+                    ProtocolMode::Mux(_) => unreachable!("pump_pool is HTTP/1.1-only"),
+                };
                 let Some(load) = inner.load.as_mut() else {
                     return;
                 };
@@ -306,6 +343,121 @@ impl Browser {
         let mut req = Request::get(url.target.clone(), host_header(url));
         req.headers.append("Accept", "*/*");
         req
+    }
+
+    /// Dispatch queued jobs for `authority` over its single multiplexed
+    /// connection, opening it on first use. The client enforces the
+    /// concurrent-stream cap internally, so every job is handed over at
+    /// once and queues there in priority order.
+    fn pump_mux(&self, sim: &mut Simulator, authority: &str) {
+        loop {
+            enum Step {
+                Submit(MuxClient, FetchJob),
+                Connect(SocketAddr, MuxConfig),
+                Done,
+            }
+            let step = {
+                let mut inner = self.inner.borrow_mut();
+                let config = match &inner.config.protocol {
+                    ProtocolMode::Mux(c) => c.clone(),
+                    ProtocolMode::Http1 { .. } => unreachable!("pump_mux is mux-only"),
+                };
+                let Some(load) = inner.load.as_mut() else {
+                    return;
+                };
+                let Some(pool) = load.pools.get_mut(authority) else {
+                    return;
+                };
+                if pool.queue.is_empty() {
+                    Step::Done
+                } else {
+                    match &pool.mux {
+                        Some(client) if !client.is_dead() => {
+                            Step::Submit(client.clone(), pool.queue.pop_front().unwrap())
+                        }
+                        _ => Step::Connect(pool.addr, config),
+                    }
+                }
+            };
+            match step {
+                Step::Done => return,
+                Step::Submit(client, job) => {
+                    // The root document preempts everything; discovery-
+                    // bearing subresources preempt leaf content.
+                    let priority = if job.timing_idx == 0 {
+                        PRIORITY_ROOT
+                    } else if crate::scan::likely_scannable_url(&job.url) {
+                        PRIORITY_SUBRESOURCE
+                    } else {
+                        PRIORITY_BULK
+                    };
+                    let req = Self::build_request(&job.url);
+                    let me = self.clone();
+                    let auth = authority.to_string();
+                    client.request(sim, req, priority, move |sim, result| {
+                        me.on_mux_result(sim, &auth, job, result);
+                    });
+                }
+                Step::Connect(addr, config) => {
+                    let host = self.inner.borrow().host.clone();
+                    let client = MuxClient::connect(sim, &host, addr, config);
+                    let mut inner = self.inner.borrow_mut();
+                    if let Some(load) = inner.load.as_mut() {
+                        if let Some(pool) = load.pools.get_mut(authority) {
+                            pool.mux = Some(client);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A mux stream settled (response or connection failure).
+    fn on_mux_result(
+        &self,
+        sim: &mut Simulator,
+        authority: &str,
+        job: FetchJob,
+        result: Result<Response, MuxError>,
+    ) {
+        match result {
+            Ok(resp) => self.complete_resource(sim, job.timing_idx, resp),
+            Err(_) => {
+                // One automatic retry per job on a fresh connection,
+                // matching the HTTP/1.1 path's policy.
+                let retry = {
+                    let mut inner = self.inner.borrow_mut();
+                    let Some(load) = inner.load.as_mut() else {
+                        return;
+                    };
+                    if load.timings[job.timing_idx].failed {
+                        load.timings[job.timing_idx].finished_at = sim.now();
+                        load.outstanding -= 1;
+                        false
+                    } else {
+                        load.timings[job.timing_idx].failed = true;
+                        match load.pools.get_mut(authority) {
+                            Some(pool) => {
+                                if pool.mux.as_ref().is_some_and(|c| c.is_dead()) {
+                                    pool.mux = None;
+                                }
+                                pool.queue.push_back(job);
+                                true
+                            }
+                            None => {
+                                load.timings[job.timing_idx].finished_at = sim.now();
+                                load.outstanding -= 1;
+                                false
+                            }
+                        }
+                    }
+                };
+                if retry {
+                    self.pump_mux(sim, authority);
+                }
+                self.maybe_finish(sim);
+            }
+        }
     }
 
     fn open_connection(&self, sim: &mut Simulator, authority: &str, addr: SocketAddr) {
@@ -376,6 +528,15 @@ impl Browser {
         let Some(job) = job else {
             return; // unsolicited response; ignore
         };
+        // This connection is free again.
+        self.pump_pool(sim, authority);
+        self.complete_resource(sim, job.timing_idx, resp);
+    }
+
+    /// Record a fetched resource, charge its parse cost to the renderer
+    /// main thread, and scan it for subresources once parsed. Shared by
+    /// the HTTP/1.1 and mux paths.
+    fn complete_resource(&self, sim: &mut Simulator, timing_idx: usize, resp: Response) {
         let parse_done_at = {
             let mut inner = self.inner.borrow_mut();
             let cfg_base = inner.config.parse_delay_base;
@@ -383,7 +544,7 @@ impl Browser {
             let Some(load) = inner.load.as_mut() else {
                 return;
             };
-            let t = &mut load.timings[job.timing_idx];
+            let t = &mut load.timings[timing_idx];
             t.finished_at = sim.now();
             t.status = resp.status;
             t.body_bytes = resp.body.len() as u64;
@@ -405,9 +566,6 @@ impl Browser {
             load.cpu_busy_until = start + cost;
             load.cpu_busy_until
         };
-        // This connection is free again.
-        self.pump_pool(sim, authority);
-
         // Parse for subresources once the main thread has processed this
         // resource, then retire it.
         let me = self.clone();
@@ -495,6 +653,8 @@ impl SocketApp for ConnApp {
             SocketEvent::PeerClosed | SocketEvent::Reset => {
                 self.browser.on_conn_dead(sim, &self.authority, &self.conn);
             }
+            // Requests are tiny; the browser never paces its writes.
+            SocketEvent::SendQueueDrained => {}
         }
     }
 }

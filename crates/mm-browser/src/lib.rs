@@ -9,5 +9,6 @@
 pub mod browser;
 pub mod scan;
 
-pub use browser::{Browser, BrowserConfig, PageLoadResult, Resolver, ResourceTiming};
-pub use scan::{extract_urls, is_scannable};
+pub use browser::{Browser, BrowserConfig, PageLoadResult, ProtocolMode, Resolver, ResourceTiming};
+pub use mm_mux::MuxConfig;
+pub use scan::{extract_urls, is_scannable, likely_scannable_url};

@@ -22,6 +22,25 @@ pub fn is_scannable(resp: &Response) -> bool {
     }
 }
 
+/// Guess, at request time, whether a URL names a resource that can
+/// reference further subresources — the signal a real browser has from
+/// the referencing tag and the URL's extension. Drives mux stream
+/// priorities: discovery-bearing resources (markup, styles, scripts) are
+/// requested ahead of leaf content so the dependency closure unrolls as
+/// fast as possible.
+pub fn likely_scannable_url(url: &Url) -> bool {
+    let path = url.target.split('?').next().unwrap_or("");
+    let last_segment = path.rsplit('/').next().unwrap_or("");
+    match last_segment.rsplit_once('.') {
+        Some((_, ext)) => matches!(
+            ext.to_ascii_lowercase().as_str(),
+            "html" | "htm" | "css" | "js" | "json" | "xml" | "svg"
+        ),
+        // Extension-less paths are typically documents.
+        None => true,
+    }
+}
+
 /// Extract all absolute URLs from a body. Terminators are whitespace,
 /// quotes and markup delimiters; malformed URLs are skipped.
 pub fn extract_urls(body: &[u8]) -> Vec<Url> {

@@ -64,6 +64,7 @@ fn world(mode: ReplayMode) -> World {
         ReplayConfig {
             mode,
             think_time: SimDuration::ZERO,
+            ..ReplayConfig::default()
         },
         &ids,
     );
@@ -311,4 +312,54 @@ fn more_origins_means_more_parallelism() {
         plts[1],
         plts[0]
     );
+}
+
+#[test]
+fn mux_load_uses_one_connection_per_origin() {
+    use mm_browser::{MuxConfig, ProtocolMode};
+    use mm_replay::ServerProtocol;
+
+    let sim = Simulator::new();
+    let root = Namespace::root("world");
+    let ids = PacketIdGen::new();
+    let shell = Rc::new(ReplayShell::new(
+        &root,
+        &test_site(),
+        ReplayConfig {
+            think_time: SimDuration::ZERO,
+            protocol: ServerProtocol::Mux(MuxConfig::default()),
+            ..ReplayConfig::default()
+        },
+        &ids,
+    ));
+    let client_host = Host::new_in(IpAddr::new(100, 64, 0, 2), ids, &root);
+    let resolver: mm_browser::Resolver = {
+        let shell = shell.clone();
+        Rc::new(move |url: &Url| {
+            shell.resolve(SocketAddr::new(url.host.parse().unwrap(), url.port))
+        })
+    };
+    let browser = Browser::new(
+        client_host.clone(),
+        resolver,
+        BrowserConfig {
+            protocol: ProtocolMode::Mux(MuxConfig::default()),
+            ..BrowserConfig::default()
+        },
+    );
+    let mut w = World {
+        sim,
+        browser,
+        result: Rc::new(RefCell::new(None)),
+    };
+    let r = run_load(&mut w);
+    assert_eq!(r.resource_count(), 5, "full dependency closure over mux");
+    assert_eq!(r.failures, 0);
+    assert_eq!(r.total_body_bytes, {
+        let mut multi = world(ReplayMode::MultiOrigin);
+        run_load(&mut multi).total_body_bytes
+    });
+    // One multiplexed connection per distinct origin (3 origins here),
+    // versus up to 6 each for HTTP/1.1.
+    assert_eq!(client_host.stats().connections_initiated, 3);
 }

@@ -1,0 +1,423 @@
+//! The client (browser) end of a multiplexed connection.
+//!
+//! One [`MuxClient`] owns one TCP connection to one origin and carries
+//! every request to that origin as a stream. Requests beyond the
+//! concurrent-stream limit queue in priority order (lowest byte first,
+//! FIFO within a priority), so the root document always dispatches ahead
+//! of queued subresources.
+//!
+//! Re-entrancy discipline mirrors the rest of the workspace: no
+//! application callback ever runs while the client's state is borrowed.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use mm_http::{Request, Response};
+use mm_net::{Host, SocketAddr, SocketApp, SocketEvent, TcpHandle};
+use mm_sim::Simulator;
+
+use crate::flow::WindowRefill;
+use crate::frame::{request_fields, response_from_fields, Frame, FrameDecoder};
+use crate::MuxConfig;
+
+/// Why a request could not be completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxError {
+    /// The connection died (reset, closed, or refused) with the request
+    /// outstanding.
+    ConnectionClosed,
+    /// The peer sent bytes that do not decode as frames.
+    Protocol,
+}
+
+impl std::fmt::Display for MuxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxError::ConnectionClosed => f.write_str("mux connection closed"),
+            MuxError::Protocol => f.write_str("mux protocol error"),
+        }
+    }
+}
+
+impl std::error::Error for MuxError {}
+
+/// Completion callback for one request.
+pub type DoneFn = Box<dyn FnOnce(&mut Simulator, Result<Response, MuxError>)>;
+
+struct PendingRequest {
+    req: Request,
+    priority: u8,
+    done: DoneFn,
+}
+
+struct ActiveStream {
+    /// Response head, once its HEADERS frame arrived.
+    head: Option<Response>,
+    body: BytesMut,
+    refill: WindowRefill,
+    done: Option<DoneFn>,
+}
+
+struct ClientInner {
+    config: MuxConfig,
+    handle: Option<TcpHandle>,
+    connected: bool,
+    dead: bool,
+    decoder: FrameDecoder,
+    /// The server's advertised concurrent-stream cap (ours until its
+    /// SETTINGS arrive).
+    peer_max_streams: u32,
+    /// Next client-initiated stream id (odd, like HTTP/2).
+    next_stream: u32,
+    /// Queued requests by priority; BTreeMap keeps dispatch deterministic.
+    pending: BTreeMap<u8, VecDeque<PendingRequest>>,
+    active: BTreeMap<u32, ActiveStream>,
+    conn_refill: WindowRefill,
+}
+
+impl ClientInner {
+    fn stream_limit(&self) -> usize {
+        self.config
+            .max_concurrent_streams
+            .min(self.peer_max_streams) as usize
+    }
+
+    fn pop_pending(&mut self) -> Option<PendingRequest> {
+        let (&priority, _) = self.pending.iter().find(|(_, q)| !q.is_empty())?;
+        let req = self.pending.get_mut(&priority).unwrap().pop_front();
+        if self.pending.get(&priority).is_some_and(|q| q.is_empty()) {
+            self.pending.remove(&priority);
+        }
+        req
+    }
+}
+
+/// A multiplexed connection to one origin.
+#[derive(Clone)]
+pub struct MuxClient {
+    inner: Rc<RefCell<ClientInner>>,
+}
+
+impl MuxClient {
+    /// Open a multiplexed connection from `host` to `addr`.
+    pub fn connect(
+        sim: &mut Simulator,
+        host: &Host,
+        addr: SocketAddr,
+        config: MuxConfig,
+    ) -> MuxClient {
+        let connection_window = config.connection_window;
+        let peer_max = config.max_concurrent_streams;
+        let client = MuxClient {
+            inner: Rc::new(RefCell::new(ClientInner {
+                config,
+                handle: None,
+                connected: false,
+                dead: false,
+                decoder: FrameDecoder::new(),
+                peer_max_streams: peer_max,
+                next_stream: 1,
+                pending: BTreeMap::new(),
+                active: BTreeMap::new(),
+                conn_refill: WindowRefill::new(connection_window),
+            })),
+        };
+        let app = Rc::new(ClientApp {
+            client: client.clone(),
+        });
+        let handle = host.connect(sim, addr, app);
+        client.inner.borrow_mut().handle = Some(handle);
+        client
+    }
+
+    /// Submit `req` as a new stream; `done` fires with the response (or
+    /// the error that killed the connection). Queues behind the
+    /// concurrent-stream limit in `priority` order.
+    pub fn request(
+        &self,
+        sim: &mut Simulator,
+        req: Request,
+        priority: u8,
+        done: impl FnOnce(&mut Simulator, Result<Response, MuxError>) + 'static,
+    ) {
+        let done: DoneFn = Box::new(done);
+        let dead = self.inner.borrow().dead;
+        if dead {
+            done(sim, Err(MuxError::ConnectionClosed));
+            return;
+        }
+        self.inner
+            .borrow_mut()
+            .pending
+            .entry(priority)
+            .or_default()
+            .push_back(PendingRequest {
+                req,
+                priority,
+                done,
+            });
+        self.pump(sim);
+    }
+
+    /// True once the connection has failed; outstanding and future
+    /// requests on a dead client fail with `ConnectionClosed`.
+    pub fn is_dead(&self) -> bool {
+        self.inner.borrow().dead
+    }
+
+    /// Streams currently in flight (tests/diagnostics).
+    pub fn active_streams(&self) -> usize {
+        self.inner.borrow().active.len()
+    }
+
+    /// Requests queued behind the concurrent-stream limit.
+    pub fn queued_requests(&self) -> usize {
+        self.inner.borrow().pending.values().map(|q| q.len()).sum()
+    }
+
+    /// Dispatch queued requests while stream slots are free.
+    fn pump(&self, sim: &mut Simulator) {
+        loop {
+            let step = {
+                let mut inner = self.inner.borrow_mut();
+                if !inner.connected || inner.dead || inner.active.len() >= inner.stream_limit() {
+                    None
+                } else {
+                    match inner.pop_pending() {
+                        None => None,
+                        Some(p) => {
+                            let stream = inner.next_stream;
+                            inner.next_stream += 2;
+                            let headers = Frame::Headers {
+                                stream,
+                                end_stream: p.req.body.is_empty(),
+                                priority: p.priority,
+                                fields: request_fields(&p.req),
+                            }
+                            .encode();
+                            // Request bodies ride un-flow-controlled DATA:
+                            // the page-load workload only sends GETs, and
+                            // upload flow control would model a direction
+                            // the experiments never stress.
+                            let body = (!p.req.body.is_empty()).then(|| {
+                                Frame::Data {
+                                    stream,
+                                    end_stream: true,
+                                    payload: p.req.body.clone(),
+                                }
+                                .encode()
+                            });
+                            let window = inner.config.initial_stream_window;
+                            inner.active.insert(
+                                stream,
+                                ActiveStream {
+                                    head: None,
+                                    body: BytesMut::new(),
+                                    refill: WindowRefill::new(window),
+                                    done: Some(p.done),
+                                },
+                            );
+                            let handle = inner.handle.clone().expect("connected client has handle");
+                            Some((handle, headers, body))
+                        }
+                    }
+                }
+            };
+            match step {
+                None => return,
+                Some((handle, headers, body)) => {
+                    handle.send(sim, headers);
+                    if let Some(body) = body {
+                        handle.send(sim, body);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode and act on inbound bytes.
+    fn on_data(&self, sim: &mut Simulator, bytes: &[u8]) {
+        type Completion = (DoneFn, Result<Response, MuxError>);
+        let mut outgoing: Vec<Bytes> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut protocol_error = false;
+        let handle = {
+            let mut inner = self.inner.borrow_mut();
+            let frames = match inner.decoder.feed(bytes) {
+                Ok(frames) => frames,
+                Err(_) => {
+                    protocol_error = true;
+                    Vec::new()
+                }
+            };
+            for frame in frames {
+                match frame {
+                    Frame::Settings {
+                        max_concurrent_streams,
+                        ..
+                    } => {
+                        inner.peer_max_streams = max_concurrent_streams;
+                    }
+                    Frame::Headers {
+                        stream,
+                        end_stream,
+                        fields,
+                        ..
+                    } => {
+                        let Ok(head) = response_from_fields(&fields) else {
+                            protocol_error = true;
+                            break;
+                        };
+                        let Some(active) = inner.active.get_mut(&stream) else {
+                            continue; // stale stream; ignore
+                        };
+                        active.head = Some(head);
+                        if end_stream {
+                            if let Some(c) = inner.complete_stream(stream) {
+                                completions.push(c);
+                            }
+                        }
+                    }
+                    Frame::Data {
+                        stream,
+                        end_stream,
+                        payload,
+                    } => {
+                        let n = payload.len() as u64;
+                        let Some(active) = inner.active.get_mut(&stream) else {
+                            continue;
+                        };
+                        active.body.extend_from_slice(&payload);
+                        if !end_stream {
+                            if let Some(inc) = active.refill.consumed(n) {
+                                outgoing.push(
+                                    Frame::WindowUpdate {
+                                        stream,
+                                        increment: inc.min(u32::MAX as u64) as u32,
+                                    }
+                                    .encode(),
+                                );
+                            }
+                        }
+                        if let Some(inc) = inner.conn_refill.consumed(n) {
+                            outgoing.push(
+                                Frame::WindowUpdate {
+                                    stream: 0,
+                                    increment: inc.min(u32::MAX as u64) as u32,
+                                }
+                                .encode(),
+                            );
+                        }
+                        if end_stream {
+                            if let Some(c) = inner.complete_stream(stream) {
+                                completions.push(c);
+                            }
+                        }
+                    }
+                    // The client sends nothing flow controlled, so inbound
+                    // WINDOW_UPDATEs carry no information for it.
+                    Frame::WindowUpdate { .. } => {}
+                }
+            }
+            inner.handle.clone()
+        };
+        if protocol_error {
+            if let Some(h) = &handle {
+                h.abort(sim);
+            }
+            // Streams completed by valid frames earlier in this batch
+            // already left `active`; deliver their results before failing
+            // the rest, or their callbacks would be dropped and the page
+            // load would never settle.
+            for (done, result) in completions {
+                done(sim, result);
+            }
+            self.fail_all(sim, MuxError::Protocol);
+            return;
+        }
+        if let Some(h) = &handle {
+            for wire in outgoing {
+                h.send(sim, wire);
+            }
+        }
+        for (done, result) in completions {
+            done(sim, result);
+        }
+        self.pump(sim);
+    }
+
+    /// Fail every outstanding and queued request.
+    fn fail_all(&self, sim: &mut Simulator, err: MuxError) {
+        let callbacks: Vec<DoneFn> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.dead = true;
+            let mut cbs: Vec<DoneFn> = Vec::new();
+            for s in std::mem::take(&mut inner.active).into_values() {
+                if let Some(done) = s.done {
+                    cbs.push(done);
+                }
+            }
+            for q in std::mem::take(&mut inner.pending).into_values() {
+                for p in q {
+                    cbs.push(p.done);
+                }
+            }
+            cbs
+        };
+        for done in callbacks {
+            done(sim, Err(err));
+        }
+    }
+}
+
+impl ClientInner {
+    /// Retire `stream`, producing its completion callback and response.
+    fn complete_stream(&mut self, stream: u32) -> Option<(DoneFn, Result<Response, MuxError>)> {
+        let s = self.active.remove(&stream)?;
+        let done = s.done?;
+        match s.head {
+            Some(mut resp) => {
+                resp.body = s.body.freeze();
+                Some((done, Ok(resp)))
+            }
+            // DATA before HEADERS: the peer is broken.
+            None => Some((done, Err(MuxError::Protocol))),
+        }
+    }
+}
+
+struct ClientApp {
+    client: MuxClient,
+}
+
+impl SocketApp for ClientApp {
+    fn on_event(&self, sim: &mut Simulator, handle: &TcpHandle, ev: SocketEvent) {
+        match ev {
+            SocketEvent::Connected => {
+                let wire = {
+                    let mut inner = self.client.inner.borrow_mut();
+                    inner.connected = true;
+                    Frame::Settings {
+                        max_concurrent_streams: inner.config.max_concurrent_streams,
+                        initial_window: inner.config.initial_stream_window.min(u32::MAX as u64)
+                            as u32,
+                        connection_window: inner.config.connection_window.min(u32::MAX as u64)
+                            as u32,
+                    }
+                    .encode()
+                };
+                handle.send(sim, wire);
+                self.client.pump(sim);
+            }
+            SocketEvent::Data(bytes) => self.client.on_data(sim, &bytes),
+            SocketEvent::PeerClosed | SocketEvent::Reset => {
+                self.client.fail_all(sim, MuxError::ConnectionClosed);
+            }
+            // The client's writes (requests, WINDOW_UPDATEs) are small
+            // and unpaced; drain edges carry no information for it.
+            SocketEvent::SendQueueDrained => {}
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Client ↔ server over the simulated network: streams, concurrency
+//! limits, priorities, flow control, and connection death.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mm_http::{Request, Response};
+use mm_mux::{MuxClient, MuxConfig, MuxError, MuxHandler, MuxResponder, MuxServerConn};
+use mm_net::{Host, IpAddr, Listener, Namespace, PacketIdGen, SocketAddr, SocketApp, TcpHandle};
+use mm_sim::{SimDuration, Simulator};
+
+/// Serves `/echo/<n>` with an `n`-byte body; tracks peak concurrency.
+struct TestHandler {
+    in_flight: Rc<RefCell<(usize, usize)>>, // (current, peak)
+    delay: SimDuration,
+}
+
+impl MuxHandler for TestHandler {
+    fn handle(&self, sim: &mut Simulator, req: Request, responder: MuxResponder) {
+        let n: usize = req
+            .path()
+            .rsplit('/')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4);
+        let body: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let resp = Response::ok(Bytes::from(body), "application/octet-stream");
+        {
+            let mut f = self.in_flight.borrow_mut();
+            f.0 += 1;
+            f.1 = f.1.max(f.0);
+        }
+        let in_flight = self.in_flight.clone();
+        if self.delay.is_zero() {
+            in_flight.borrow_mut().0 -= 1;
+            responder.respond(sim, resp);
+        } else {
+            let at = sim.now() + self.delay;
+            sim.schedule_at(at, move |sim| {
+                in_flight.borrow_mut().0 -= 1;
+                responder.respond(sim, resp);
+            });
+        }
+    }
+}
+
+struct MuxListener {
+    config: MuxConfig,
+    handler: Rc<TestHandler>,
+}
+
+impl Listener for MuxListener {
+    fn on_connection(&self, _sim: &mut Simulator, h: TcpHandle) -> Rc<dyn SocketApp> {
+        Rc::new(MuxServerConn::new(
+            h,
+            self.config.clone(),
+            self.handler.clone(),
+        ))
+    }
+}
+
+struct World {
+    sim: Simulator,
+    client_host: Host,
+    server_addr: SocketAddr,
+    in_flight: Rc<RefCell<(usize, usize)>>,
+}
+
+fn world(config: &MuxConfig, server_delay: SimDuration) -> World {
+    let sim = Simulator::new();
+    let ns = Namespace::root("mux-test");
+    let ids = PacketIdGen::new();
+    let server = Host::new_in(IpAddr::new(10, 0, 0, 1), ids.clone(), &ns);
+    let client_host = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+    let in_flight = Rc::new(RefCell::new((0, 0)));
+    server.listen(
+        80,
+        Rc::new(MuxListener {
+            config: config.clone(),
+            handler: Rc::new(TestHandler {
+                in_flight: in_flight.clone(),
+                delay: server_delay,
+            }),
+        }),
+    );
+    World {
+        sim,
+        client_host,
+        server_addr: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 80),
+        in_flight,
+    }
+}
+
+type Results = Rc<RefCell<Vec<(String, Result<Response, MuxError>)>>>;
+
+fn fetch(w: &mut World, client: &MuxClient, path: &str, priority: u8, out: &Results) {
+    let slot = out.clone();
+    let label = path.to_string();
+    client.request(
+        &mut w.sim,
+        Request::get(path, "10.0.0.1"),
+        priority,
+        move |_sim, result| {
+            slot.borrow_mut().push((label, result));
+        },
+    );
+}
+
+#[test]
+fn many_streams_one_connection() {
+    let cfg = MuxConfig::default();
+    let mut w = world(&cfg, SimDuration::ZERO);
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..20 {
+        fetch(&mut w, &client, &format!("/echo/{}", 100 + i), 1, &out);
+    }
+    w.sim.run();
+    let results = out.borrow();
+    assert_eq!(results.len(), 20);
+    for (path, result) in results.iter() {
+        let resp = result.as_ref().expect("stream completed");
+        assert_eq!(resp.status, 200);
+        let n: usize = path.rsplit('/').next().unwrap().parse().unwrap();
+        assert_eq!(resp.body.len(), n);
+        assert!(resp
+            .body
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == (i % 251) as u8));
+    }
+    // Everything rode one TCP connection.
+    assert_eq!(w.client_host.stats().connections_initiated, 1);
+}
+
+#[test]
+fn concurrent_streams_capped() {
+    let cfg = MuxConfig {
+        max_concurrent_streams: 4,
+        ..MuxConfig::default()
+    };
+    // Server think time keeps streams open long enough to overlap.
+    let mut w = world(&cfg, SimDuration::from_millis(50));
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    for _ in 0..12 {
+        fetch(&mut w, &client, "/echo/64", 1, &out);
+    }
+    assert_eq!(
+        client.queued_requests(),
+        12,
+        "nothing dispatches pre-connect"
+    );
+    w.sim.run();
+    assert_eq!(out.borrow().len(), 12);
+    let peak = w.in_flight.borrow().1;
+    assert!(peak <= 4, "server saw {peak} concurrent requests");
+    assert!(peak >= 2, "streams never overlapped");
+}
+
+#[test]
+fn priority_jumps_the_queue() {
+    let cfg = MuxConfig {
+        max_concurrent_streams: 1,
+        ..MuxConfig::default()
+    };
+    let mut w = world(&cfg, SimDuration::from_millis(10));
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    // Three subresources queued first, then the "root" at priority 0.
+    fetch(&mut w, &client, "/echo/8", 1, &out);
+    fetch(&mut w, &client, "/echo/9", 1, &out);
+    fetch(&mut w, &client, "/echo/10", 1, &out);
+    fetch(&mut w, &client, "/root", 0, &out);
+    w.sim.run();
+    let order: Vec<String> = out.borrow().iter().map(|(p, _)| p.clone()).collect();
+    // One stream at a time, so completion order == dispatch order; the
+    // priority-0 request must run first.
+    assert_eq!(order[0], "/root");
+}
+
+#[test]
+fn large_body_flow_controlled() {
+    // Windows far smaller than the body: the transfer must stall for
+    // WINDOW_UPDATEs and still complete intact.
+    let cfg = MuxConfig {
+        initial_stream_window: 8 * 1024,
+        connection_window: 16 * 1024,
+        frame_max_data: 2 * 1024,
+        ..MuxConfig::default()
+    };
+    let mut w = world(&cfg, SimDuration::ZERO);
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    fetch(&mut w, &client, "/echo/200000", 1, &out);
+    w.sim.run();
+    let results = out.borrow();
+    let resp = results[0].1.as_ref().expect("completed");
+    assert_eq!(resp.body.len(), 200_000);
+    assert!(resp
+        .body
+        .iter()
+        .enumerate()
+        .all(|(i, &b)| b == (i % 251) as u8));
+}
+
+#[test]
+fn two_streams_interleave_under_tiny_frames() {
+    let cfg = MuxConfig {
+        frame_max_data: 1024,
+        ..MuxConfig::default()
+    };
+    let mut w = world(&cfg, SimDuration::ZERO);
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    fetch(&mut w, &client, "/echo/50000", 1, &out);
+    fetch(&mut w, &client, "/echo/50000", 1, &out);
+    w.sim.run();
+    let results = out.borrow();
+    assert_eq!(results.len(), 2);
+    for (_, r) in results.iter() {
+        assert_eq!(r.as_ref().unwrap().body.len(), 50_000);
+    }
+}
+
+#[test]
+fn refused_connection_fails_requests() {
+    let cfg = MuxConfig::default();
+    let mut w = world(&cfg, SimDuration::ZERO);
+    // Port 81 has no listener: the SYN is refused with RST.
+    let addr = SocketAddr::new(IpAddr::new(10, 0, 0, 1), 81);
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, addr, cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    fetch(&mut w, &client, "/echo/1", 1, &out);
+    w.sim.run();
+    assert!(client.is_dead());
+    let results = out.borrow();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].1, Err(MuxError::ConnectionClosed));
+    // Requests after death fail immediately, too.
+    drop(results);
+    fetch(&mut w, &client, "/echo/2", 1, &out);
+    assert_eq!(out.borrow().len(), 2);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let cfg = MuxConfig::default();
+        let mut w = world(&cfg, SimDuration::from_millis(5));
+        let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, cfg);
+        let out: Results = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            fetch(
+                &mut w,
+                &client,
+                &format!("/echo/{}", 1000 * (i + 1)),
+                1,
+                &out,
+            );
+        }
+        w.sim.run();
+        w.sim.now()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn mismatched_connection_windows_negotiate() {
+    // Server configured with a large connection window, client with a
+    // tiny one: SETTINGS negotiation must make the server respect the
+    // client's window (and its WINDOW_UPDATE cadence), or the transfer
+    // would stall forever mid-body.
+    let server_cfg = MuxConfig::default(); // 2 MiB connection window
+    let client_cfg = MuxConfig {
+        initial_stream_window: 32 * 1024,
+        connection_window: 64 * 1024,
+        ..MuxConfig::default()
+    };
+    let mut w = world(&server_cfg, SimDuration::ZERO);
+    let client = MuxClient::connect(&mut w.sim, &w.client_host, w.server_addr, client_cfg);
+    let out: Results = Rc::new(RefCell::new(Vec::new()));
+    fetch(&mut w, &client, "/echo/500000", 1, &out);
+    w.sim.run();
+    let results = out.borrow();
+    let resp = results[0].1.as_ref().expect("completed despite mismatch");
+    assert_eq!(resp.body.len(), 500_000);
+}

@@ -420,6 +420,7 @@ mod tests {
                 }
                 SocketEvent::PeerClosed => self.events.borrow_mut().push("peer_closed".into()),
                 SocketEvent::Reset => self.events.borrow_mut().push("reset".into()),
+                SocketEvent::SendQueueDrained => {}
             }
         }
     }

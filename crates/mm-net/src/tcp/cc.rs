@@ -58,8 +58,13 @@ pub struct Reno {
 impl Reno {
     /// Standard initial state (IW10, effectively-infinite ssthresh).
     pub fn new() -> Self {
+        Self::with_initial_window(INITIAL_WINDOW)
+    }
+
+    /// Initial state with an explicit initial window in bytes.
+    pub fn with_initial_window(iw: u64) -> Self {
         Reno {
-            cwnd: INITIAL_WINDOW,
+            cwnd: iw.max(MIN_CWND),
             ssthresh: u64::MAX,
             acked_bytes: 0,
         }
@@ -134,8 +139,13 @@ const CUBIC_BETA: f64 = 0.7;
 impl Cubic {
     /// Standard initial state.
     pub fn new() -> Self {
+        Self::with_initial_window(INITIAL_WINDOW)
+    }
+
+    /// Initial state with an explicit initial window in bytes.
+    pub fn with_initial_window(iw: u64) -> Self {
         Cubic {
-            cwnd: INITIAL_WINDOW,
+            cwnd: iw.max(MIN_CWND),
             ssthresh: u64::MAX,
             w_max: 0.0,
             epoch_start: None,
@@ -225,11 +235,12 @@ impl CongestionControl for Cubic {
     }
 }
 
-/// Construct a boxed controller for the given algorithm.
-pub fn make_controller(alg: CcAlgorithm) -> Box<dyn CongestionControl> {
+/// Construct a boxed controller for the given algorithm with the given
+/// initial window in bytes.
+pub fn make_controller(alg: CcAlgorithm, initial_window: u64) -> Box<dyn CongestionControl> {
     match alg {
-        CcAlgorithm::Reno => Box::new(Reno::new()),
-        CcAlgorithm::Cubic => Box::new(Cubic::new()),
+        CcAlgorithm::Reno => Box::new(Reno::with_initial_window(initial_window)),
+        CcAlgorithm::Cubic => Box::new(Cubic::with_initial_window(initial_window)),
     }
 }
 
@@ -328,8 +339,8 @@ mod tests {
 
     #[test]
     fn factory_produces_both() {
-        let r = make_controller(CcAlgorithm::Reno);
-        let c = make_controller(CcAlgorithm::Cubic);
+        let r = make_controller(CcAlgorithm::Reno, INITIAL_WINDOW);
+        let c = make_controller(CcAlgorithm::Cubic, INITIAL_WINDOW);
         assert_eq!(r.cwnd(), INITIAL_WINDOW);
         assert_eq!(c.cwnd(), INITIAL_WINDOW);
     }

@@ -47,6 +47,11 @@ pub struct TcpConfig {
     pub delayed_ack: Option<SimDuration>,
     /// Maximum consecutive RTOs before the connection is reset.
     pub max_retries: u32,
+    /// Initial congestion window in segments; `None` = IW10 (RFC 6928,
+    /// the era's Linux default). Raised by servers deploying multiplexed
+    /// protocols — Google's SPDY servers ran IW32 so one connection could
+    /// do the work of a browser's six.
+    pub initial_cwnd_segments: Option<u32>,
 }
 
 impl Default for TcpConfig {
@@ -58,6 +63,7 @@ impl Default for TcpConfig {
             min_rto: SimDuration::from_millis(200),
             delayed_ack: None,
             max_retries: 15,
+            initial_cwnd_segments: None,
         }
     }
 }
@@ -89,6 +95,14 @@ pub enum SocketEvent {
     PeerClosed,
     /// The connection was reset (RST or retry exhaustion).
     Reset,
+    /// Every byte the app queued has been handed to the wire: the send
+    /// queue is empty (bytes may still be in flight awaiting ACK). The
+    /// simulated analogue of an epoll writability edge — lets an
+    /// application self-clock its writes to the connection's actual
+    /// throughput instead of dumping everything into the unbounded send
+    /// buffer up front (which would freeze its scheduling decisions at
+    /// enqueue time).
+    SendQueueDrained,
 }
 
 /// Application-side observer of socket events.
@@ -189,7 +203,13 @@ impl TcpInner {
         egress: SinkRef,
         packet_ids: Rc<std::cell::Cell<u64>>,
     ) -> Self {
-        let cc = make_controller(config.cc);
+        let cc = make_controller(
+            config.cc,
+            match config.initial_cwnd_segments {
+                Some(segments) => segments as u64 * crate::packet::MSS as u64,
+                None => crate::tcp::cc::INITIAL_WINDOW,
+            },
+        );
         let rtt = RttEstimator::new(config.initial_rto, config.min_rto);
         TcpInner {
             local,
@@ -285,6 +305,7 @@ impl TcpInner {
     /// Transmit as much new data as the window allows; returns packets.
     fn transmit_new(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         use crate::packet::MSS;
+        let had_backlog = self.send_queued_bytes > 0;
         loop {
             let window = self.send_window();
             let flight = self.flight_size();
@@ -348,6 +369,9 @@ impl TcpInner {
                 out.push(pkt);
                 break;
             }
+        }
+        if had_backlog && self.send_queued_bytes == 0 {
+            self.pending_events.push(SocketEvent::SendQueueDrained);
         }
     }
 
@@ -833,6 +857,13 @@ impl TcpHandle {
     /// Smoothed RTT estimate, if measured.
     pub fn srtt(&self) -> Option<SimDuration> {
         self.inner.borrow().rtt.srtt()
+    }
+
+    /// Bytes the app has queued that have not yet been put on the wire.
+    /// Pairs with [`SocketEvent::SendQueueDrained`] for self-clocked
+    /// writers.
+    pub fn unsent_bytes(&self) -> u64 {
+        self.inner.borrow().send_queued_bytes
     }
 
     /// Replace the application observer (used by the host's two-phase

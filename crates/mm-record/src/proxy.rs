@@ -213,6 +213,7 @@ impl SocketApp for LanSide {
                 }
                 SocketEvent::PeerClosed => vec![Action::CloseWan],
                 SocketEvent::Reset => vec![Action::AbortBoth],
+                SocketEvent::SendQueueDrained => Vec::new(),
             }
         };
         run_actions(&self.state, sim, actions);
@@ -257,6 +258,7 @@ impl SocketApp for WanSide {
                     vec![Action::CloseLan]
                 }
                 SocketEvent::Reset => vec![Action::AbortBoth],
+                SocketEvent::SendQueueDrained => Vec::new(),
             }
         };
         run_actions(&self.state, sim, actions);

@@ -13,5 +13,5 @@ pub mod store_index;
 
 pub use matcher::{MatchStats, Matcher};
 pub use normalize::normalize_for_replay;
-pub use server::{ReplayConfig, ReplayMode, ReplayShell};
+pub use server::{ReplayConfig, ReplayMode, ReplayShell, ServerProtocol};
 pub use store_index::StoreIndex;

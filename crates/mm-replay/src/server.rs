@@ -16,7 +16,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use mm_http::{write_response, RequestParser, Response};
+use mm_http::{write_response, Request, RequestParser, Response};
+use mm_mux::{MuxConfig, MuxHandler, MuxResponder, MuxServerConn};
 use mm_net::{
     Host, Listener, Namespace, Origin, PacketIdGen, SocketAddr, SocketApp, SocketEvent, TcpHandle,
 };
@@ -37,6 +38,17 @@ pub enum ReplayMode {
     SingleServer,
 }
 
+/// Application protocol the replay servers speak. Must match what the
+/// browser speaks — the harness keeps the two in sync.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ServerProtocol {
+    /// Plain HTTP/1.1, one request at a time per connection.
+    #[default]
+    Http1,
+    /// The mm-mux multiplexed transport: one connection, many streams.
+    Mux(MuxConfig),
+}
+
 /// ReplayShell configuration.
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -47,6 +59,8 @@ pub struct ReplayConfig {
     /// Figure 3 measures (replay is slightly *slower* than the live CDN
     /// serving the same bytes).
     pub think_time: SimDuration,
+    /// Wire protocol spoken on every listening port.
+    pub protocol: ServerProtocol,
 }
 
 impl Default for ReplayConfig {
@@ -54,6 +68,7 @@ impl Default for ReplayConfig {
         ReplayConfig {
             mode: ReplayMode::MultiOrigin,
             think_time: SimDuration::from_millis(25),
+            protocol: ServerProtocol::Http1,
         }
     }
 }
@@ -103,6 +118,7 @@ impl ReplayShell {
                         Rc::new(ReplayListener {
                             matcher: matcher.clone(),
                             think_time: config.think_time,
+                            protocol: config.protocol.clone(),
                             cpu,
                         }),
                     );
@@ -127,6 +143,7 @@ impl ReplayShell {
                             Rc::new(ReplayListener {
                                 matcher: matcher.clone(),
                                 think_time: config.think_time,
+                                protocol: config.protocol.clone(),
                                 cpu: cpu.clone(),
                             }),
                         );
@@ -158,6 +175,7 @@ impl ReplayShell {
 struct ReplayListener {
     matcher: Rc<Matcher>,
     think_time: SimDuration,
+    protocol: ServerProtocol,
     /// The server machine's CPU: request matching (Apache + CGI in the
     /// real system) serializes per host. Under the single-server ablation
     /// every connection shares one CPU — the contention this models is a
@@ -166,13 +184,54 @@ struct ReplayListener {
 }
 
 impl Listener for ReplayListener {
-    fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
-        Rc::new(ReplayConn {
-            matcher: self.matcher.clone(),
-            think_time: self.think_time,
-            cpu: self.cpu.clone(),
-            parser: RefCell::new(RequestParser::new()),
-        })
+    fn on_connection(&self, _sim: &mut Simulator, h: TcpHandle) -> Rc<dyn SocketApp> {
+        match &self.protocol {
+            ServerProtocol::Http1 => Rc::new(ReplayConn {
+                matcher: self.matcher.clone(),
+                think_time: self.think_time,
+                cpu: self.cpu.clone(),
+                parser: RefCell::new(RequestParser::new()),
+            }),
+            ServerProtocol::Mux(config) => Rc::new(MuxServerConn::new(
+                h,
+                config.clone(),
+                Rc::new(MuxReplayHandler {
+                    matcher: self.matcher.clone(),
+                    think_time: self.think_time,
+                    cpu: self.cpu.clone(),
+                }),
+            )),
+        }
+    }
+}
+
+/// Request handler behind a mux-speaking replay server: the same matcher
+/// lookup and CPU-serialized think time as the HTTP/1.1 path, so a
+/// protocol A/B study varies the wire protocol and nothing else.
+struct MuxReplayHandler {
+    matcher: Rc<Matcher>,
+    think_time: SimDuration,
+    cpu: Rc<Cell<Timestamp>>,
+}
+
+impl MuxHandler for MuxReplayHandler {
+    fn handle(&self, sim: &mut Simulator, req: Request, responder: MuxResponder) {
+        let resp = self
+            .matcher
+            .lookup(&req)
+            .unwrap_or_else(Response::not_found);
+        if self.think_time.is_zero() {
+            responder.respond(sim, resp);
+        } else {
+            // Serialize the matching work on this server's CPU, exactly
+            // like the HTTP/1.1 replay path.
+            let start = self.cpu.get().max(sim.now());
+            let done = start + self.think_time;
+            self.cpu.set(done);
+            sim.schedule_at(done, move |sim| {
+                responder.respond(sim, resp);
+            });
+        }
     }
 }
 
@@ -373,6 +432,7 @@ mod tests {
             ReplayConfig {
                 mode: ReplayMode::SingleServer,
                 think_time: SimDuration::ZERO,
+                ..ReplayConfig::default()
             },
             &ids,
         );
@@ -400,6 +460,7 @@ mod tests {
             ReplayConfig {
                 mode: ReplayMode::MultiOrigin,
                 think_time: SimDuration::from_millis(50),
+                ..ReplayConfig::default()
             },
             &ids,
         );

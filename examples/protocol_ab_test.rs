@@ -2,15 +2,17 @@
 //! HTTP, and network-protocol designers use it to A/B transport changes
 //! under identical emulated conditions.
 //!
-//! This example compares TCP Reno vs CUBIC, and connection-pool sizes
-//! (2/6/12 connections per origin), loading the same recorded site over
-//! the same 14 Mbit/s / 80 ms RTT emulated path — the kind of study the
-//! paper's introduction motivates.
+//! This example compares TCP Reno vs CUBIC, connection-pool sizes
+//! (2/6/12 connections per origin), and HTTP/1.1 against the mm-mux
+//! multiplexed transport (the paper's SPDY-style study), loading the
+//! same recorded site over the same 14 Mbit/s / 80 ms RTT emulated
+//! path — the kind of study the paper's introduction motivates.
 //!
 //! Run with: `cargo run --release --example protocol_ab_test`
 
 use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec};
 use mahimahi::{corpus, trace};
+use mm_browser::{MuxConfig, ProtocolMode};
 use mm_net::CcAlgorithm;
 use mm_sim::{RngStream, SimDuration};
 
@@ -54,9 +56,26 @@ fn main() {
     for conns in [2usize, 6, 12] {
         let mut spec = LoadSpec::new(&site);
         spec.net = net.clone();
-        spec.browser.max_conns_per_origin = conns;
+        spec.browser.protocol = ProtocolMode::Http1 { pool_size: conns };
         let r = run_page_load(&spec);
         println!("  {conns:<6} PLT {}", r.plt);
+    }
+
+    // A/B: wire protocol — HTTP/1.1 pools vs one multiplexed connection
+    // per origin (the paper's SPDY case study, §5).
+    println!("\nwire protocol:");
+    for (name, protocol) in [
+        ("HTTP/1.1 (6 conns/origin)", ProtocolMode::default()),
+        (
+            "mux (1 conn, 32 streams)",
+            ProtocolMode::Mux(MuxConfig::default()),
+        ),
+    ] {
+        let mut spec = LoadSpec::new(&site);
+        spec.net = net.clone();
+        spec.browser.protocol = protocol;
+        let r = run_page_load(&spec);
+        println!("  {name:<26} PLT {}", r.plt);
     }
 
     // A/B: server think time (CDN speed).
