@@ -71,6 +71,7 @@ fn bench_qdisc(c: &mut Criterion) {
             seq: 0,
             ack: 0,
             window: 0,
+            sack: Default::default(),
             payload: Bytes::from(vec![0u8; 1460]),
         },
         corrupted: false,
@@ -155,6 +156,76 @@ fn bench_tcp_transfer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_tcp_lossy_transfer(c: &mut Criterion) {
+    use mm_net::fault::RandomDrop;
+    use mm_net::{Listener, SocketApp, SocketEvent, TcpConfig, TcpHandle};
+    use std::cell::RefCell;
+    struct Echo;
+    impl Listener for Echo {
+        fn on_connection(&self, _s: &mut mm_sim::Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+            struct Sink;
+            impl SocketApp for Sink {
+                fn on_event(&self, _s: &mut mm_sim::Simulator, _h: &TcpHandle, _e: SocketEvent) {}
+            }
+            Rc::new(Sink)
+        }
+    }
+    struct SendOnce {
+        data: RefCell<Option<Bytes>>,
+    }
+    impl SocketApp for SendOnce {
+        fn on_event(&self, sim: &mut mm_sim::Simulator, h: &TcpHandle, ev: SocketEvent) {
+            if matches!(ev, SocketEvent::Connected) {
+                if let Some(d) = self.data.borrow_mut().take() {
+                    h.send(sim, d);
+                }
+            }
+        }
+    }
+    // The lossy counterpart of `transfer_1mb_simulated`: 1 MB through an
+    // i.i.d. 1% drop on the data path, NewReno vs SACK loss recovery.
+    let mut g = c.benchmark_group("tcp");
+    let payload = Bytes::from(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (name, sack) in [
+        ("transfer_1mb_1pct_loss_newreno", false),
+        ("transfer_1mb_1pct_loss_sack", true),
+    ] {
+        let payload = payload.clone();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = mm_sim::Simulator::new();
+                let ns = Namespace::root("w");
+                let ids = PacketIdGen::new();
+                let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
+                let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+                let cfg = TcpConfig {
+                    sack,
+                    ..TcpConfig::default()
+                };
+                client.set_tcp_config(cfg.clone());
+                server.set_tcp_config(cfg);
+                ns.add_host(client.ip(), client.sink());
+                client.set_egress(RandomDrop::new(
+                    0.01,
+                    mm_sim::RngStream::from_seed(7),
+                    ns.router(),
+                ));
+                server.listen(80, Rc::new(Echo));
+                client.connect(
+                    &mut sim,
+                    SocketAddr::new(server.ip(), 80),
+                    Rc::new(SendOnce {
+                        data: RefCell::new(Some(payload.clone())),
+                    }),
+                );
+                sim.run();
+            })
+        });
+    }
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(20)
 }
@@ -162,6 +233,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer
+    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_lossy_transfer
 }
 criterion_main!(benches);

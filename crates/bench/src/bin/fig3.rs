@@ -6,7 +6,9 @@
 //! single-server replay's is 29.6% above.
 
 use bench::fig3;
-use bench::report::{header, ms, paper_vs_measured, pct, plot_cdfs};
+use bench::report::{
+    header, ms, paper_vs_measured, pct, plot_cdfs, summary_metrics, write_bench_json,
+};
 
 fn main() {
     let loads: usize = std::env::args()
@@ -32,10 +34,20 @@ fn main() {
         &pct(r.single_gap_pct()),
     );
     println!();
+    let mut metrics = Vec::new();
+    metrics.push(("multi_gap_pct".to_string(), r.multi_gap_pct()));
+    metrics.push(("single_gap_pct".to_string(), r.single_gap_pct()));
     let (mut w, mut m, mut s) = (r.web, r.multi, r.single);
+    metrics.extend(summary_metrics("web", &mut w));
+    metrics.extend(summary_metrics("multi", &mut m));
+    metrics.extend(summary_metrics("single", &mut s));
     plot_cdfs(&mut [
         ("Actual Web", &mut w),
         ("Replay Multi-origin", &mut m),
         ("Replay Single Server", &mut s),
     ]);
+    match write_bench_json("fig3", 2014, loads, &metrics) {
+        Ok(path) => println!("\n  wrote {}", path.display()),
+        Err(e) => eprintln!("\n  could not write BENCH_fig3.json: {e}"),
+    }
 }

@@ -3,7 +3,7 @@
 //!
 //! Paper: means within 0.5% across machines; σ within 1.6% of the mean.
 
-use bench::report::{header, paper_vs_measured};
+use bench::report::{header, paper_vs_measured, write_bench_json};
 use bench::table1;
 
 fn main() {
@@ -36,4 +36,24 @@ fn main() {
         "≤ 1.6%",
         &format!("{:.3}%", r.worst_cv() * 100.0),
     );
+    let mut metrics = vec![
+        (
+            "worst_cross_machine_mean_diff_pct".to_string(),
+            r.worst_cross_machine_mean_diff() * 100.0,
+        ),
+        ("worst_cv_pct".to_string(), r.worst_cv() * 100.0),
+    ];
+    for (site, machine, summary) in &r.cells {
+        let key = format!(
+            "{}_{}",
+            site.replace(['.', '-'], "_"),
+            machine.to_lowercase().replace(' ', "_")
+        );
+        metrics.push((format!("{key}_mean_ms"), summary.mean()));
+        metrics.push((format!("{key}_std_ms"), summary.std_dev()));
+    }
+    match write_bench_json("table1", 2014, loads, &metrics) {
+        Ok(path) => println!("\n  wrote {}", path.display()),
+        Err(e) => eprintln!("\n  could not write BENCH_table1.json: {e}"),
+    }
 }

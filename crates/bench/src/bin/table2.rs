@@ -8,7 +8,7 @@
 //!   14 Mbit/s  19.3%, 127.3%  6.2%, 42.4%   3.3%, 20.3%
 //!   25 Mbit/s  21.4%, 111.6%  6.3%, 51.8%   2.6%, 15.0%
 
-use bench::report::header;
+use bench::report::{header, write_bench_json};
 use bench::table2;
 
 const PAPER: [[(f64, f64); 3]; 3] = [
@@ -53,4 +53,14 @@ fn main() {
         );
     }
     println!("\n  each cell: measured median%,p95% (p: paper values)");
+    let mut metrics = Vec::new();
+    for cell in &r.cells {
+        let prefix = format!("{:.0}mbps_{}ms", cell.mbps, cell.delay_ms);
+        metrics.push((format!("median_diff_pct_{prefix}"), cell.median_diff_pct));
+        metrics.push((format!("p95_diff_pct_{prefix}"), cell.p95_diff_pct));
+    }
+    match write_bench_json("table2", 2014, n_sites, &metrics) {
+        Ok(path) => println!("\n  wrote {}", path.display()),
+        Err(e) => eprintln!("\n  could not write BENCH_table2.json: {e}"),
+    }
 }

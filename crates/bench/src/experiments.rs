@@ -1,14 +1,15 @@
 //! The experiment drivers, one per paper artifact.
 
 use mahimahi::browser::{MuxConfig, ProtocolMode};
-use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec};
+use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec, QdiscKind};
+use mahimahi::net::TcpConfig;
 use mm_corpus::{
     cnbc_like, generate_plans, materialize, nytimes_like, server_distribution, wikihow_like,
     CorpusConfig, ServerDistribution, SitePlan,
 };
 use mm_replay::{ReplayConfig, ReplayMode};
 use mm_sim::{RngStream, SimDuration, Summary};
-use mm_trace::constant_rate;
+use mm_trace::{cellular, constant_rate, CellularParams};
 use mm_web::{HostProfile, LiveWebConfig};
 
 use crate::parallel::parallel_map;
@@ -351,6 +352,175 @@ pub fn figmux(n_sites: usize, seed: u64) -> FigMuxResult {
         }
     }
     FigMuxResult { cells }
+}
+
+/// E8 — figcell: the cellular workload. Mahimahi's headline use case is
+/// evaluating protocols over recorded cellular links (bursty rate
+/// variation, outages, deep buffers); the paper's Verizon/AT&T LTE traces
+/// are not redistributable, so seeded Markov-modulated traces with the
+/// same qualitative structure stand in (see `mm-trace::generate::cellular`
+/// and DESIGN.md). The sweep crosses cellular regime × queue discipline ×
+/// protocol × SACK, loading every site under all four
+/// (protocol, recovery) arms with the same seed so the per-site paired
+/// differences are the primary statistic.
+pub struct FigCellCell {
+    /// Cellular regime name (see [`figcell_regimes`]).
+    pub regime: String,
+    /// Queue-discipline label (see [`figcell_qdiscs`]).
+    pub qdisc: String,
+    pub http1: Summary,
+    pub http1_sack: Summary,
+    pub mux: Summary,
+    pub mux_sack: Summary,
+    /// Per-site paired speedup of SACK over NewReno under mux, percent
+    /// (positive = SACK faster) — the experiment's headline number: does
+    /// modern loss recovery restore the multiplexing win under loss?
+    pub mux_sack_speedup_pct: Summary,
+    /// Same pairing for the HTTP/1.1 pool.
+    pub http1_sack_speedup_pct: Summary,
+    /// Paired speedup of mux+SACK over HTTP/1.1+SACK, percent.
+    pub mux_vs_http1_sack_pct: Summary,
+}
+
+pub struct FigCellResult {
+    pub cells: Vec<FigCellCell>,
+}
+
+impl FigCellResult {
+    /// The cell for a given (regime, qdisc) operating point.
+    pub fn cell_mut(&mut self, regime: &str, qdisc: &str) -> Option<&mut FigCellCell> {
+        self.cells
+            .iter_mut()
+            .find(|c| c.regime == regime && c.qdisc == qdisc)
+    }
+}
+
+/// One-way propagation delay of the figcell sweep (cellular RTTs sat
+/// around 60–120 ms in the paper's era).
+pub const FIGCELL_DELAY_MS: u64 = 40;
+
+/// The cellular regimes figcell sweeps: (name, trace parameters).
+pub fn figcell_regimes() -> Vec<(&'static str, CellularParams)> {
+    vec![
+        (
+            // Healthy LTE: high mean rate, mild variation, rare outages.
+            "lte-good",
+            CellularParams {
+                mean_mbps: 14.0,
+                volatility: 0.4,
+                state_ms: 200,
+                outage_prob: 0.01,
+                period_ms: 60_000,
+            },
+        ),
+        (
+            // Loaded LTE: moderate rate, strong variation, real outages.
+            "lte-variable",
+            CellularParams {
+                mean_mbps: 6.0,
+                volatility: 0.8,
+                state_ms: 150,
+                outage_prob: 0.05,
+                period_ms: 60_000,
+            },
+        ),
+        (
+            // Congested 3G-ish tail: low rate, deep fades.
+            "umts-congested",
+            CellularParams {
+                mean_mbps: 2.2,
+                volatility: 0.7,
+                state_ms: 250,
+                outage_prob: 0.08,
+                period_ms: 60_000,
+            },
+        ),
+    ]
+}
+
+/// The queue disciplines figcell sweeps: (label, kind). Infinite droptail
+/// is the paper's configuration (no loss, deep bufferbloat); 32-packet
+/// droptail models a bounded device buffer (loss under bursts — where
+/// loss recovery matters); CoDel is the AQM answer.
+pub fn figcell_qdiscs() -> Vec<(&'static str, QdiscKind)> {
+    vec![
+        ("inf-droptail", QdiscKind::Infinite),
+        ("droptail32", QdiscKind::DropTailPackets(32)),
+        ("codel", QdiscKind::Codel),
+    ]
+}
+
+/// Run the cellular sweep over `n_sites` corpus sites. Per (regime,
+/// qdisc) cell every site is loaded four times — {HTTP/1.1, mux} ×
+/// {NewReno, SACK} — with the same seed, server think time, network and
+/// trace. Sites shard across threads with per-site seeds
+/// (serial-identical). The downlink follows the regime's cellular trace;
+/// the uplink is a 1 Mbit/s CBR (uplink-limited requests are not the
+/// phenomenon under study).
+pub fn figcell(n_sites: usize, seed: u64) -> FigCellResult {
+    let plans = corpus_subset(n_sites, seed);
+    let uplink = constant_rate(1.0, 1000);
+    let mut cells = Vec::new();
+    for (regime_name, params) in figcell_regimes() {
+        // One trace realization per regime, shared by every arm and site
+        // so the pairing isolates protocol/recovery, not trace luck.
+        let mut trace_rng = RngStream::from_seed(seed).fork("figcell").fork(regime_name);
+        let downlink = cellular(&params, &mut trace_rng);
+        for (qdisc_name, qdisc) in figcell_qdiscs() {
+            let uplink = uplink.clone();
+            let downlink = downlink.clone();
+            let per_site = parallel_map(&plans, move |i, plan| {
+                let site = materialize(plan);
+                let load = |mux: bool, sack: bool| {
+                    let mut spec = LoadSpec::new(&site);
+                    spec.net = NetSpec {
+                        delay: Some(SimDuration::from_millis(FIGCELL_DELAY_MS)),
+                        link: Some(LinkSpec {
+                            uplink: uplink.clone(),
+                            downlink: downlink.clone(),
+                            qdisc,
+                        }),
+                        ..NetSpec::default()
+                    };
+                    if mux {
+                        spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
+                    }
+                    spec.tcp = Some(TcpConfig {
+                        sack,
+                        ..TcpConfig::default()
+                    });
+                    spec.seed = seed.wrapping_add(i as u64);
+                    run_page_load(&spec).plt.as_millis_f64()
+                };
+                (
+                    load(false, false),
+                    load(false, true),
+                    load(true, false),
+                    load(true, true),
+                )
+            });
+            cells.push(FigCellCell {
+                regime: regime_name.to_string(),
+                qdisc: qdisc_name.to_string(),
+                http1: Summary::from_samples(per_site.iter().map(|s| s.0)),
+                http1_sack: Summary::from_samples(per_site.iter().map(|s| s.1)),
+                mux: Summary::from_samples(per_site.iter().map(|s| s.2)),
+                mux_sack: Summary::from_samples(per_site.iter().map(|s| s.3)),
+                mux_sack_speedup_pct: Summary::from_samples(
+                    per_site.iter().map(|&(_, _, m, ms)| (m - ms) / m * 100.0),
+                ),
+                http1_sack_speedup_pct: Summary::from_samples(
+                    per_site.iter().map(|&(h, hs, _, _)| (h - hs) / h * 100.0),
+                ),
+                mux_vs_http1_sack_pct: Summary::from_samples(
+                    per_site
+                        .iter()
+                        .map(|&(_, hs, _, ms)| (hs - ms) / hs * 100.0),
+                ),
+            });
+        }
+    }
+    FigCellResult { cells }
 }
 
 /// E5 — §4's corpus statistic: the distribution of physical servers per

@@ -152,17 +152,17 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     if let ProtocolMode::Mux(mux) = &spec.browser.protocol {
         replay_config.protocol = ServerProtocol::Mux(mux.clone());
     }
+    // The per-load TCP knob flows through ReplayConfig/BrowserConfig so
+    // replay worlds and browsers built outside this harness wire up the
+    // same way; an explicit config on either side wins.
+    if replay_config.tcp.is_none() {
+        replay_config.tcp = spec.tcp.clone();
+    }
     let shell = {
         let root_ns = Namespace::root("replayshell");
         Rc::new(ReplayShell::new(&root_ns, spec.site, replay_config, &ids))
     };
     let root_ns = shell.ns.clone();
-
-    if let Some(tcp) = &spec.tcp {
-        for host in &shell.hosts {
-            host.set_tcp_config(tcp.clone());
-        }
-    }
     // An explicit IW in `spec.tcp` is the experimenter's ablation knob and
     // must win over the mux deployment default.
     let explicit_iw = spec.tcp.as_ref().and_then(|t| t.initial_cwnd_segments);
@@ -213,11 +213,12 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
 
     // The browser host, innermost.
     let browser_host = Host::new_in(BROWSER_IP, ids, &inner_ns);
-    if let Some(tcp) = &spec.tcp {
-        browser_host.set_tcp_config(tcp.clone());
-    }
     if let Some(profile) = &spec.host_profile {
         browser_host.set_noise(profile.noise(spec.seed, "browser"));
+    }
+    let mut browser_config = spec.browser.clone();
+    if browser_config.tcp.is_none() {
+        browser_config.tcp = spec.tcp.clone();
     }
 
     let resolver: Resolver = {
@@ -230,7 +231,7 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
             shell.resolve(SocketAddr::new(ip, url.port))
         })
     };
-    let browser = Browser::new(browser_host, resolver, spec.browser.clone());
+    let browser = Browser::new(browser_host, resolver, browser_config);
     if let Some(profile) = &spec.host_profile {
         let rng = RngStream::from_seed(spec.seed)
             .fork(&profile.name)

@@ -69,6 +69,10 @@ pub struct BrowserConfig {
     /// Cap on resources fetched per page (runaway guard; real pages in the
     /// corpus stay far below it).
     pub max_resources: usize,
+    /// TCP configuration for the browser's connections (`None` keeps the
+    /// host default) — the client half of the harness's per-load TCP
+    /// knob, e.g. `TcpConfig::sack`.
+    pub tcp: Option<mm_net::TcpConfig>,
 }
 
 impl Default for BrowserConfig {
@@ -78,6 +82,7 @@ impl Default for BrowserConfig {
             parse_delay_base: SimDuration::from_millis(18),
             parse_delay_per_kb: SimDuration::from_micros(150),
             max_resources: 10_000,
+            tcp: None,
         }
     }
 }
@@ -192,6 +197,9 @@ pub struct Browser {
 impl Browser {
     /// A browser on `host` resolving origins through `resolver`.
     pub fn new(host: Host, resolver: Resolver, config: BrowserConfig) -> Browser {
+        if let Some(tcp) = &config.tcp {
+            host.set_tcp_config(tcp.clone());
+        }
         Browser {
             inner: Rc::new(RefCell::new(BrowserInner {
                 host,

@@ -287,6 +287,7 @@ impl Host {
                         seq: pkt.segment.ack,
                         ack: pkt.segment.seq_end(),
                         window: 0,
+                        sack: Default::default(),
                         payload: bytes::Bytes::new(),
                     },
                     corrupted: false,
@@ -577,6 +578,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 0,
+                sack: Default::default(),
                 payload: Bytes::new(),
             },
             corrupted: true,

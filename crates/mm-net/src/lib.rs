@@ -22,6 +22,6 @@ pub mod tcp;
 pub use addr::{IpAddr, Origin, SocketAddr};
 pub use fabric::{Namespace, NsCounters};
 pub use host::{Host, HostNoise, HostStats, Listener, PacketIdGen};
-pub use packet::{Packet, TcpFlags, TcpSegment, HEADER_BYTES, MSS, MTU};
+pub use packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, HEADER_BYTES, MSS, MTU};
 pub use sink::{BlackHole, Capture, FnSink, PacketSink, SinkRef, Tap};
 pub use tcp::{CcAlgorithm, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};

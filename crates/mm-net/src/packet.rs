@@ -89,6 +89,59 @@ impl fmt::Display for TcpFlags {
     }
 }
 
+/// One selective-acknowledgment block: bytes `[start, end)` have been
+/// received above the cumulative ACK (RFC 2018).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SackBlock {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl SackBlock {
+    /// A block covering `[start, end)`. Panics on empty/inverted ranges.
+    pub fn new(start: u64, end: u64) -> SackBlock {
+        assert!(start < end, "SACK block [{start}, {end}) is empty");
+        SackBlock { start, end }
+    }
+
+    /// Bytes covered by this block.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Blocks are never empty; kept for clippy's len-without-is-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A real TCP header fits at most 4 SACK blocks in its options (3 when a
+/// timestamp option is present, as it was on era Linux). The model keeps
+/// the era-Linux limit.
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// The SACK portion of the segment header's option space (RFC 2018).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SackOption {
+    /// On SYN / SYN-ACK: the "SACK-permitted" option — this endpoint is
+    /// willing to receive SACK blocks.
+    pub permitted: bool,
+    /// On ACKs while the receiver holds out-of-order data: up to
+    /// [`MAX_SACK_BLOCKS`] received-above-cumulative ranges, the block
+    /// containing the most recently received segment first.
+    pub blocks: Vec<SackBlock>,
+}
+
+impl SackOption {
+    /// A SYN option advertising SACK support.
+    pub fn permitted() -> SackOption {
+        SackOption {
+            permitted: true,
+            blocks: Vec::new(),
+        }
+    }
+}
+
 /// A TCP segment. Sequence numbers are 64-bit byte offsets into the flow
 /// (no 32-bit wraparound — a documented simulation simplification).
 #[derive(Debug, Clone)]
@@ -102,6 +155,8 @@ pub struct TcpSegment {
     pub ack: u64,
     /// Receiver advertised window in bytes.
     pub window: u64,
+    /// SACK option space (negotiation flag on SYNs, blocks on ACKs).
+    pub sack: SackOption,
     /// Application payload.
     pub payload: Bytes,
 }
@@ -177,6 +232,7 @@ mod tests {
                 seq: 100,
                 ack: 0,
                 window: 65535,
+                sack: Default::default(),
                 payload: Bytes::from(vec![0u8; payload_len]),
             },
             corrupted: false,

@@ -175,6 +175,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 65535,
+                sack: Default::default(),
                 payload: Bytes::from_static(b"hello"),
             },
             corrupted: false,

@@ -30,6 +30,15 @@ pub trait CongestionControl {
     /// Loss detected via three duplicate ACKs (fast retransmit). Returns
     /// the new cwnd to use during fast recovery.
     fn on_fast_retransmit(&mut self, flight_size: u64, now: Timestamp);
+    /// Loss detected via the SACK scoreboard (RFC 6675 recovery entry).
+    /// The default applies the same multiplicative reduction as a fast
+    /// retransmit; while recovery runs, the socket's proportional rate
+    /// reduction (RFC 6937) governs the send rate against the `ssthresh`
+    /// this sets, so the window shrinks in proportion to delivered data
+    /// instead of collapsing in one step.
+    fn on_sack_recovery(&mut self, flight_size: u64, now: Timestamp) {
+        self.on_fast_retransmit(flight_size, now);
+    }
     /// Loss detected via retransmission timeout.
     fn on_timeout(&mut self, flight_size: u64, now: Timestamp);
     /// Fast recovery finished (the lost segment's range was acked).

@@ -1,11 +1,15 @@
 //! Simplified-but-complete TCP: handshake, reliable byte stream, NewReno /
-//! CUBIC congestion control, RFC 6298 timers. See [`socket`] for the state
-//! machine and DESIGN.md for the documented simplifications.
+//! CUBIC congestion control, RFC 6298 timers, and opt-in SACK loss
+//! recovery ([`sack`]: RFC 2018 blocks, RFC 6675 scoreboard, RFC 3042
+//! limited transmit, PRR). See [`socket`] for the state machine and
+//! DESIGN.md for the documented simplifications.
 
 pub mod cc;
 pub mod rtt;
+pub mod sack;
 pub mod socket;
 
 pub use cc::{CcAlgorithm, CongestionControl, Cubic, Reno, INITIAL_WINDOW};
 pub use rtt::RttEstimator;
+pub use sack::{ReceiverSack, Scoreboard, DUP_THRESH};
 pub use socket::{SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};

@@ -4,8 +4,14 @@
 //! stream with MSS segmentation, cumulative ACKs, out-of-order reassembly,
 //! NewReno fast retransmit/fast recovery, RFC 6298 RTO with Karn's rule,
 //! receiver flow control, graceful FIN close in both directions, and RST.
+//! With [`TcpConfig::sack`] (negotiated on the SYN exchange, default off)
+//! the NewReno go-back-N recovery is replaced by selective retransmission:
+//! RFC 2018 SACK blocks from the receiver, an RFC 6675 scoreboard with
+//! pipe accounting / `IsLost` / rescue retransmission on the sender,
+//! RFC 3042 limited transmit, and RFC 6937-style proportional rate
+//! reduction while in recovery.
 //! Simplifications (documented in DESIGN.md): 64-bit sequence space (no
-//! wraparound), no SACK, no Nagle (browsers disable it), unbounded send
+//! wraparound), no Nagle (browsers disable it), unbounded send
 //! buffer (page-load workloads are bounded by construction), immediate ACKs
 //! by default (delayed ACK available as a config flag).
 //!
@@ -22,10 +28,11 @@ use bytes::{Bytes, BytesMut};
 use mm_sim::{SimDuration, Simulator, Timer, Timestamp};
 
 use crate::addr::SocketAddr;
-use crate::packet::{Packet, TcpFlags, TcpSegment};
+use crate::packet::{Packet, SackOption, TcpFlags, TcpSegment, MSS};
 use crate::sink::SinkRef;
 use crate::tcp::cc::{make_controller, CcAlgorithm, CongestionControl};
 use crate::tcp::rtt::RttEstimator;
+use crate::tcp::sack::{ReceiverSack, Scoreboard, DUP_THRESH};
 
 /// Socket configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +59,12 @@ pub struct TcpConfig {
     /// protocols — Google's SPDY servers ran IW32 so one connection could
     /// do the work of a browser's six.
     pub initial_cwnd_segments: Option<u32>,
+    /// Offer selective acknowledgments on the handshake and, when both
+    /// ends agree, replace go-back-N loss recovery with RFC 6675
+    /// selective retransmission (plus limited transmit and proportional
+    /// rate reduction). Default off: the NewReno baseline stays
+    /// byte-identical.
+    pub sack: bool,
 }
 
 impl Default for TcpConfig {
@@ -64,6 +77,7 @@ impl Default for TcpConfig {
             delayed_ack: None,
             max_retries: 15,
             initial_cwnd_segments: None,
+            sack: false,
         }
     }
 }
@@ -145,15 +159,37 @@ pub struct TcpInner {
     cc: Box<dyn CongestionControl>,
     rtt: RttEstimator,
     dup_acks: u32,
-    /// High-water mark for NewReno recovery (snd_nxt at loss time).
+    /// High-water mark for recovery (snd_nxt at loss time) — NewReno fast
+    /// recovery, SACK recovery, and RTO recovery all key off it.
     recovery_point: Option<u64>,
     consecutive_timeouts: u32,
+    /// SACK negotiated on this connection (config requested it and the
+    /// peer's SYN/SYN-ACK carried SACK-permitted).
+    sack_enabled: bool,
+    /// Sender-side scoreboard of sacked coverage above `snd_una`.
+    scoreboard: Scoreboard,
+    /// Proportional rate reduction (RFC 6937) state, valid in recovery:
+    /// bytes reported delivered (acked + newly sacked) since entry,
+    /// bytes sent since entry, and the flight size at entry.
+    prr_delivered: u64,
+    prr_out: u64,
+    recover_fs: u64,
+    /// One rescue retransmission (RFC 6675 NextSeg rule 4) per recovery.
+    rescue_done: bool,
+    /// RFC 6675 §5.1: after a retransmission timeout every unsacked
+    /// segment below the then-`snd_nxt` is presumed lost (an RTO means
+    /// the tail generated no SACKs at all — pure tail loss — so the
+    /// scoreboard alone can never flag it). Segments below this mark
+    /// leave the pipe estimate until retransmitted.
+    lost_point: u64,
 
     // --- receive side ---
     /// Next in-order byte expected from the peer.
     rcv_nxt: u64,
     /// Out-of-order segments awaiting the gap to fill.
     ooo: BTreeMap<u64, Bytes>,
+    /// SACK block generator over the out-of-order queue.
+    rcv_sack: ReceiverSack,
     /// Peer FIN's sequence number, if received out of order.
     peer_fin_seq: Option<u64>,
     /// Segments since last ACK (delayed-ACK accounting).
@@ -186,6 +222,10 @@ pub struct TcpStats {
     pub retransmissions: u64,
     pub timeouts: u64,
     pub fast_retransmits: u64,
+    /// Fast-retransmit recoveries entered through the SACK path.
+    pub sack_recoveries: u64,
+    /// New-data segments sent by limited transmit (RFC 3042).
+    pub limited_transmits: u64,
 }
 
 /// Shared handle to a TCP connection.
@@ -229,8 +269,16 @@ impl TcpInner {
             dup_acks: 0,
             recovery_point: None,
             consecutive_timeouts: 0,
+            sack_enabled: false,
+            scoreboard: Scoreboard::new(),
+            prr_delivered: 0,
+            prr_out: 0,
+            recover_fs: 0,
+            rescue_done: false,
+            lost_point: 0,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
+            rcv_sack: ReceiverSack::new(),
             peer_fin_seq: None,
             unacked_segments: 0,
             egress,
@@ -259,6 +307,18 @@ impl TcpInner {
     fn make_packet(&mut self, flags: TcpFlags, seq: u64, payload: Bytes) -> Packet {
         self.stats.segments_sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
+        // SACK-permitted rides on the handshake: a client SYN offers it
+        // whenever the config asks; a SYN-ACK confirms only if the peer
+        // offered too (sack_enabled is settled before the SYN-ACK).
+        let sack = SackOption {
+            permitted: flags.syn
+                && if flags.ack {
+                    self.sack_enabled
+                } else {
+                    self.config.sack
+                },
+            blocks: Vec::new(),
+        };
         Packet {
             id: self.next_packet_id(),
             src: self.local,
@@ -268,10 +328,26 @@ impl TcpInner {
                 seq,
                 ack: self.rcv_nxt,
                 window: self.advertised_window(),
+                sack,
                 payload,
             },
             corrupted: false,
         }
+    }
+
+    /// Build a pure ACK, attaching SACK blocks while the reassembly queue
+    /// holds out-of-order data (RFC 2018: every ACK sent during a hole
+    /// reports the blocks).
+    fn make_ack_packet(&mut self) -> Packet {
+        let mut pkt = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+        if self.sack_enabled && !self.ooo.is_empty() {
+            let blocks = self.rcv_sack.blocks(
+                self.ooo.iter().map(|(&seq, data)| (seq, data.len() as u64)),
+                self.rcv_nxt,
+            );
+            pkt.segment.sack.blocks = blocks;
+        }
+        pkt
     }
 
     /// Bytes in flight.
@@ -385,11 +461,21 @@ impl TcpInner {
 
     /// Retransmit the earliest unacknowledged segment.
     fn retransmit_head(&mut self, out: &mut Vec<Packet>) {
-        let Some((&seq, entry)) = self.retx.iter_mut().next() else {
+        let Some((&seq, _)) = self.retx.iter().next() else {
             return;
+        };
+        self.retransmit_seq(seq, out);
+    }
+
+    /// Retransmit the retx entry starting at `seq`. Returns the sequence
+    /// space re-sent (0 if there is no such entry).
+    fn retransmit_seq(&mut self, seq: u64, out: &mut Vec<Packet>) -> u64 {
+        let Some(entry) = self.retx.get_mut(&seq) else {
+            return 0;
         };
         entry.retransmitted = true;
         let seg = entry.segment.clone();
+        let seq_len = seg.seq_len();
         self.stats.retransmissions += 1;
         let mut flags = seg.flags;
         flags.ack = self.state != TcpState::SynSent;
@@ -406,12 +492,211 @@ impl TcpInner {
                 seq,
                 ack: if flags.ack { self.rcv_nxt } else { 0 },
                 window: self.advertised_window(),
+                sack: SackOption {
+                    permitted: flags.syn
+                        && if flags.ack {
+                            self.sack_enabled
+                        } else {
+                            self.config.sack
+                        },
+                    blocks: Vec::new(),
+                },
                 payload: seg.payload,
             },
             corrupted: false,
         };
         self.stats.segments_sent += 1;
         out.push(pkt);
+        seq_len
+    }
+
+    /// RFC 6675 pipe: an estimate of the bytes still in the network. Per
+    /// outstanding segment: sacked coverage contributes nothing, lost and
+    /// never-retransmitted bytes contribute nothing, everything else
+    /// counts once. (RFC 6675 counts a retransmitted octet twice if its
+    /// original is also presumed present; here the original of a
+    /// retransmitted segment is presumed gone — that presumption is why
+    /// it was retransmitted — so each octet counts at most once and pipe
+    /// never exceeds the outstanding sequence space, an invariant the
+    /// property tests pin down.)
+    fn pipe(&self) -> u64 {
+        let mut pipe = 0;
+        for (&seq, e) in &self.retx {
+            let end = e.segment.seq_end();
+            if self.scoreboard.is_sacked(seq, end) {
+                continue;
+            }
+            if e.retransmitted || !self.entry_is_lost(seq, end) {
+                pipe += e.segment.seq_len();
+            }
+        }
+        pipe
+    }
+
+    /// Is the outstanding segment `[seq, end)` presumed lost — either by
+    /// the scoreboard's DupThresh evidence or by a timeout having declared
+    /// everything below `lost_point` gone?
+    fn entry_is_lost(&self, seq: u64, end: u64) -> bool {
+        if seq < self.lost_point && !self.scoreboard.is_sacked(seq, end) {
+            return true;
+        }
+        self.scoreboard.is_lost(seq, end)
+    }
+
+    /// Is the first outstanding segment presumed lost? (RFC 6675's
+    /// recovery trigger alongside the DupThresh rule.)
+    fn head_is_lost(&self) -> bool {
+        match self.retx.iter().next() {
+            Some((&seq, e)) => self.entry_is_lost(seq, e.segment.seq_end()),
+            None => false,
+        }
+    }
+
+    /// Enter SACK loss recovery: multiplicative reduction via the
+    /// congestion controller, PRR state reset, and the immediate fast
+    /// retransmission of the first hole.
+    fn enter_sack_recovery(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
+        self.stats.fast_retransmits += 1;
+        self.stats.sack_recoveries += 1;
+        self.recovery_point = Some(self.snd_nxt);
+        let flight = self.flight_size();
+        self.cc.on_sack_recovery(flight, now);
+        self.prr_delivered = 0;
+        self.prr_out = 0;
+        self.recover_fs = flight.max(1);
+        self.rescue_done = false;
+        // The entry retransmission is not PRR-gated (it is the classic
+        // fast retransmit); everything after goes through sack_transmit.
+        let sent = self.sack_send_next(now, out);
+        self.prr_out += sent;
+    }
+
+    /// Proportional-rate-reduction send loop (RFC 6937), run on every ACK
+    /// while in SACK recovery: compute the send budget from delivered
+    /// bytes, then emit RFC 6675 NextSeg choices until it runs out.
+    fn sack_transmit(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
+        if self.recovery_point.is_none() {
+            return;
+        }
+        // The budget is computed ONCE per ack (RFC 6937's sndcnt), not
+        // per segment — recomputing the slow-start bound inside the send
+        // loop would hand every ack an unbounded burst.
+        let pipe = self.pipe();
+        let ssthresh = self.cc.ssthresh();
+        let mut budget = if pipe > ssthresh {
+            // Proportional phase: delivery rate scaled by the target
+            // reduction, ssthresh / recover_fs.
+            (self.prr_delivered * ssthresh)
+                .div_ceil(self.recover_fs)
+                .saturating_sub(self.prr_out)
+        } else {
+            // Slow-start reduction bound: at most one extra MSS over
+            // what was delivered, never overfilling past ssthresh.
+            (ssthresh - pipe).min(self.prr_delivered.saturating_sub(self.prr_out) + MSS as u64)
+        };
+        while budget > 0 {
+            let sent = self.sack_send_next(now, out);
+            if sent == 0 {
+                return;
+            }
+            self.prr_out += sent;
+            budget = budget.saturating_sub(sent);
+        }
+    }
+
+    /// RFC 6675 NextSeg: pick and transmit the next segment during SACK
+    /// recovery. Returns the sequence space sent (0 = nothing eligible).
+    ///
+    /// 1. the first unsacked, unretransmitted segment presumed lost;
+    /// 2. otherwise new, never-sent data;
+    /// 3. otherwise one rescue retransmission per recovery of the highest
+    ///    unsacked segment, so a lost *retransmission* of the final hole
+    ///    cannot strand the connection until RTO. (RFC 6675's rule 3 —
+    ///    blind retransmission of in-flight, not-yet-lost segments — is
+    ///    deliberately omitted, as in Linux: under AQM it turns every
+    ///    recovery into spurious duplicate traffic on a loaded link.)
+    fn sack_send_next(&mut self, now: Timestamp, out: &mut Vec<Packet>) -> u64 {
+        let Some(rp) = self.recovery_point else {
+            return 0;
+        };
+        // Rule 1.
+        let mut rule1: Option<u64> = None;
+        for (&seq, e) in self.retx.range(..rp) {
+            if e.retransmitted {
+                continue;
+            }
+            let end = e.segment.seq_end();
+            if self.scoreboard.is_sacked(seq, end) {
+                continue;
+            }
+            if self.entry_is_lost(seq, end) {
+                rule1 = Some(seq);
+                break;
+            }
+        }
+        if let Some(seq) = rule1 {
+            return self.retransmit_seq(seq, out);
+        }
+        // Rule 2 (gated by the peer's advertised window; PRR owns the
+        // congestion budget).
+        if self.send_queued_bytes > 0 && self.flight_size() + MSS as u64 <= self.snd_wnd {
+            return self.send_new_segment(now, out);
+        }
+        // Rescue.
+        if !self.rescue_done {
+            let rescue = self
+                .retx
+                .range(..rp)
+                .rev()
+                .find(|(&seq, e)| !self.scoreboard.is_sacked(seq, e.segment.seq_end()))
+                .map(|(&seq, _)| seq);
+            if let Some(seq) = rescue {
+                self.rescue_done = true;
+                return self.retransmit_seq(seq, out);
+            }
+        }
+        0
+    }
+
+    /// Send exactly one segment of new data (≤ MSS), bypassing the cwnd
+    /// gate — the callers (limited transmit, PRR) own their own budgets.
+    /// Piggybacks a pending FIN exactly like `transmit_new`.
+    fn send_new_segment(&mut self, now: Timestamp, out: &mut Vec<Packet>) -> u64 {
+        if self.send_queued_bytes == 0 {
+            return 0;
+        }
+        let payload = self.dequeue_payload(MSS);
+        if payload.is_empty() {
+            return 0;
+        }
+        let seq = self.snd_nxt;
+        let fin_here = self.fin_pending && self.send_queued_bytes == 0 && self.fin_seq.is_none();
+        let flags = if fin_here {
+            TcpFlags::FIN_ACK
+        } else {
+            TcpFlags::ACK
+        };
+        let pkt = self.make_packet(flags, seq, payload);
+        let seg = pkt.segment.clone();
+        self.snd_nxt = seg.seq_end();
+        if fin_here {
+            self.fin_seq = Some(seg.seq_end() - 1);
+            self.enter_fin_state();
+        }
+        let len = seg.seq_len();
+        self.retx.insert(
+            seq,
+            RetxEntry {
+                segment: seg,
+                sent_at: now,
+                retransmitted: false,
+            },
+        );
+        out.push(pkt);
+        if self.send_queued_bytes == 0 {
+            self.pending_events.push(SocketEvent::SendQueueDrained);
+        }
+        len
     }
 
     /// Handle an incoming segment. Produces response packets and queues
@@ -457,6 +742,8 @@ impl TcpInner {
 
     fn on_segment_syn_sent(&mut self, now: Timestamp, seg: TcpSegment, out: &mut Vec<Packet>) {
         if seg.flags.syn && seg.flags.ack && seg.ack == self.snd_nxt {
+            // SACK is on only if we offered and the SYN-ACK confirmed.
+            self.sack_enabled = self.config.sack && seg.sack.permitted;
             // Our SYN is acked; record RTT if not retransmitted.
             if let Some(entry) = self.retx.remove(&(self.snd_nxt - 1)) {
                 if !entry.retransmitted {
@@ -483,12 +770,26 @@ impl TcpInner {
         if ack > self.snd_nxt {
             return; // acks data we never sent; ignore
         }
+        // Fold SACK blocks into the scoreboard first; both the dup-ack
+        // and the cumulative-ack paths feed on the newly sacked count.
+        let newly_sacked = if self.sack_enabled && !seg.sack.blocks.is_empty() {
+            self.scoreboard
+                .add_blocks(&seg.sack.blocks, self.snd_una.max(ack))
+        } else {
+            0
+        };
         if ack > self.snd_una {
             let newly_acked = ack - self.snd_una;
             self.snd_una = ack;
             self.snd_wnd = seg.window;
             self.consecutive_timeouts = 0;
             self.rearm_rto = true;
+            // Sacked coverage the cumulative ack swallows was already
+            // counted into PRR's delivered total when it was sacked;
+            // RFC 6937's DeliveredData must not count it twice.
+            let sacked_before = self.scoreboard.sacked_bytes();
+            self.scoreboard.advance(ack);
+            let swallowed_sacked = sacked_before - self.scoreboard.sacked_bytes();
 
             // RTT sample from the newest fully-acked, never-retransmitted
             // segment (Karn's algorithm).
@@ -534,6 +835,14 @@ impl TcpInner {
                     self.dup_acks = 0;
                     self.cc.on_recovery_exit();
                 }
+                Some(_) if self.sack_enabled => {
+                    // Partial ack during SACK recovery: feed PRR with the
+                    // delivered bytes and let the scoreboard pick the
+                    // selective retransmissions — no go-back-N.
+                    self.prr_delivered +=
+                        newly_acked.saturating_sub(swallowed_sacked) + newly_sacked;
+                    self.sack_transmit(now, out);
+                }
                 Some(_) => {
                     // Partial ack during recovery (NewReno): retransmit the
                     // next hole immediately, and let the window grow so
@@ -544,6 +853,11 @@ impl TcpInner {
                 None => {
                     self.dup_acks = 0;
                     self.cc.on_ack(newly_acked, now, self.rtt.srtt());
+                    // A cumulative ack can itself reveal a loss: enough
+                    // sacked coverage above the new hole (RFC 6675 §5).
+                    if self.sack_enabled && self.head_is_lost() {
+                        self.enter_sack_recovery(now, out);
+                    }
                 }
             }
 
@@ -562,13 +876,38 @@ impl TcpInner {
             && !seg.flags.syn
             && self.flight_size() > 0
         {
-            // Duplicate ACK.
+            // Duplicate ACK (with SACK, usually carrying new blocks).
             self.dup_acks += 1;
-            if self.dup_acks == 3 && self.recovery_point.is_none() {
-                self.stats.fast_retransmits += 1;
-                self.recovery_point = Some(self.snd_nxt);
-                self.cc.on_fast_retransmit(self.flight_size(), now);
-                self.retransmit_head(out);
+            match self.recovery_point {
+                None if self.sack_enabled => {
+                    if self.dup_acks >= DUP_THRESH as u32 || self.head_is_lost() {
+                        self.enter_sack_recovery(now, out);
+                    } else if self.send_queued_bytes > 0
+                        && self.flight_size() + MSS as u64 <= self.snd_wnd
+                    {
+                        // RFC 3042 limited transmit: the first two dup
+                        // acks each send one new segment past cwnd (but
+                        // never past the peer's advertised window —
+                        // condition 3 of the RFC), so a small window
+                        // keeps its ack clock alive.
+                        if self.send_new_segment(now, out) > 0 {
+                            self.stats.limited_transmits += 1;
+                        }
+                    }
+                }
+                None => {
+                    if self.dup_acks == 3 {
+                        self.stats.fast_retransmits += 1;
+                        self.recovery_point = Some(self.snd_nxt);
+                        self.cc.on_fast_retransmit(self.flight_size(), now);
+                        self.retransmit_head(out);
+                    }
+                }
+                Some(_) if self.sack_enabled => {
+                    self.prr_delivered += newly_sacked;
+                    self.sack_transmit(now, out);
+                }
+                Some(_) => {}
             }
         }
     }
@@ -623,6 +962,9 @@ impl TcpInner {
                     self.pending_events.push(SocketEvent::Data(chunk));
                 }
             }
+            if self.sack_enabled {
+                self.rcv_sack.on_advance(self.rcv_nxt);
+            }
             // Process FIN once all data before it has arrived.
             if let Some(fin_seq) = self.peer_fin_seq {
                 if self.rcv_nxt == fin_seq {
@@ -632,8 +974,12 @@ impl TcpInner {
             }
             self.queue_ack(now, out, false);
         } else {
-            // Out of order: stash and send an immediate duplicate ACK.
+            // Out of order: stash and send an immediate duplicate ACK
+            // (carrying SACK blocks when negotiated).
             if !payload.is_empty() {
+                if self.sack_enabled {
+                    self.rcv_sack.on_arrival(seq, seq + payload.len() as u64);
+                }
                 self.ooo.entry(seq).or_insert(payload);
             }
             self.queue_ack(now, out, true);
@@ -662,14 +1008,14 @@ impl TcpInner {
                 if self.unacked_segments >= 2 {
                     self.unacked_segments = 0;
                     self.ack_timer.cancel();
-                    let pkt = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+                    let pkt = self.make_ack_packet();
                     out.push(pkt);
                 }
                 // else: the host arms the delayed-ack timer after `drive`.
             }
             _ => {
                 self.unacked_segments = 0;
-                let pkt = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+                let pkt = self.make_ack_packet();
                 out.push(pkt);
             }
         }
@@ -683,6 +1029,7 @@ impl TcpInner {
         self.send_queued_bytes = 0;
         self.retx.clear();
         self.ooo.clear();
+        self.scoreboard.clear();
     }
 
     /// Current state (tests/diagnostics).
@@ -753,6 +1100,8 @@ impl TcpHandle {
         inner.app = Some(app);
         inner.rcv_nxt = syn.seq + 1;
         inner.snd_wnd = syn.window;
+        // Settle SACK before the SYN-ACK so it carries the confirmation.
+        inner.sack_enabled = inner.config.sack && syn.sack.permitted;
         let now = sim.now();
         let syn_ack = inner.make_packet(TcpFlags::SYN_ACK, 0, Bytes::new());
         inner.snd_nxt = 1;
@@ -866,6 +1215,24 @@ impl TcpHandle {
         self.inner.borrow().send_queued_bytes
     }
 
+    /// RFC 6675 pipe estimate — bytes believed still in the network
+    /// (diagnostics/tests; meaningful whether or not SACK is on, since an
+    /// empty scoreboard makes it degenerate to outstanding bytes).
+    pub fn pipe_estimate(&self) -> u64 {
+        self.inner.borrow().pipe()
+    }
+
+    /// Outstanding sequence space (`snd_nxt - snd_una`), the flight size
+    /// the pipe estimate can never exceed.
+    pub fn flight_bytes(&self) -> u64 {
+        self.inner.borrow().flight_size()
+    }
+
+    /// Whether SACK was negotiated on this connection.
+    pub fn sack_enabled(&self) -> bool {
+        self.inner.borrow().sack_enabled
+    }
+
     /// Replace the application observer (used by the host's two-phase
     /// accept, before any event can have fired).
     pub(crate) fn set_app(&self, app: Rc<dyn SocketApp>) {
@@ -927,8 +1294,7 @@ impl TcpHandle {
                         None
                     } else {
                         inner.unacked_segments = 0;
-                        let seq = inner.snd_nxt;
-                        Some(inner.make_packet(TcpFlags::ACK, seq, Bytes::new()))
+                        Some(inner.make_ack_packet())
                     }
                 };
                 if let Some(pkt) = pkt {
@@ -967,13 +1333,39 @@ impl TcpHandle {
                 let flight = inner.flight_size();
                 inner.cc.on_timeout(flight, now);
                 inner.rtt.backoff();
-                // Go-back-N recovery: keep a recovery point so every
-                // partial ACK immediately retransmits the next hole
-                // (otherwise each lost segment would cost its own RTO —
-                // catastrophic under burst loss).
+                // Keep a recovery point so every partial ACK immediately
+                // retransmits the next hole (otherwise each lost segment
+                // would cost its own RTO — catastrophic under burst loss).
                 inner.recovery_point = Some(inner.snd_nxt);
                 inner.dup_acks = 0;
-                inner.retransmit_head(&mut packets);
+                if inner.sack_enabled {
+                    // RFC 6675 §5.1: an RTO clears the per-segment
+                    // retransmission marks (Karn's rule), keeps the sacked
+                    // coverage (this receiver never reneges), and declares
+                    // every unsacked outstanding segment lost — an RTO
+                    // means the tail produced no SACKs, so the scoreboard
+                    // alone could never flag it. Recovery restarts PRR
+                    // from the post-timeout flight and resends the first
+                    // actual hole.
+                    for e in inner.retx.values_mut() {
+                        e.retransmitted = false;
+                    }
+                    inner.lost_point = inner.snd_nxt;
+                    inner.prr_delivered = 0;
+                    inner.prr_out = 0;
+                    inner.recover_fs = flight.max(1);
+                    inner.rescue_done = false;
+                    let first_hole = inner
+                        .retx
+                        .iter()
+                        .find(|&(&seq, e)| !inner.scoreboard.is_sacked(seq, e.segment.seq_end()))
+                        .map(|(&seq, _)| seq);
+                    if let Some(seq) = first_hole {
+                        inner.retransmit_seq(seq, &mut packets);
+                    }
+                } else {
+                    inner.retransmit_head(&mut packets);
+                }
             }
         }
         if !dead {
@@ -1030,6 +1422,7 @@ mod tests {
             seq,
             ack: 0,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::copy_from_slice(payload),
         }
     }
@@ -1103,6 +1496,7 @@ mod tests {
                     seq: 0,
                     ack: 0,
                     window: 0,
+                    sack: Default::default(),
                     payload: Bytes::from(vec![0; 1460]),
                 },
                 sent_at: Timestamp::ZERO,
@@ -1115,6 +1509,7 @@ mod tests {
             seq: 0,
             ack: 0,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         for _ in 0..3 {
@@ -1147,6 +1542,7 @@ mod tests {
             seq: 0,
             ack: 0,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         inner.on_segment(Timestamp::from_millis(1), dup.clone(), &mut out);
@@ -1157,6 +1553,7 @@ mod tests {
             seq: 0,
             ack: 100,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         inner.on_segment(Timestamp::from_millis(2), ack, &mut out);
@@ -1174,6 +1571,7 @@ mod tests {
             seq: 0,
             ack: 0,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         inner.on_segment(Timestamp::ZERO, fin, &mut out);
@@ -1196,6 +1594,7 @@ mod tests {
             seq: 0,
             ack: 0,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::from_static(b"bye"),
         };
         inner.on_segment(Timestamp::ZERO, fin, &mut out);
@@ -1215,6 +1614,7 @@ mod tests {
             seq: 5,
             ack: 0,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         inner.on_segment(Timestamp::ZERO, fin, &mut out);
@@ -1233,6 +1633,7 @@ mod tests {
             seq: 0,
             ack: 0,
             window: 0,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         inner.on_segment(Timestamp::ZERO, rst, &mut out);
@@ -1283,6 +1684,7 @@ mod tests {
             seq: 0,
             ack: 500,
             window: 1 << 20,
+            sack: Default::default(),
             payload: Bytes::new(),
         };
         inner.on_segment(Timestamp::from_millis(5), ack, &mut out);

@@ -61,6 +61,11 @@ pub struct ReplayConfig {
     pub think_time: SimDuration,
     /// Wire protocol spoken on every listening port.
     pub protocol: ServerProtocol,
+    /// TCP configuration for every replay server host (`None` keeps the
+    /// host default). The harness passes its per-load TCP knob — e.g.
+    /// `TcpConfig::sack` for the figcell experiment — through here so a
+    /// replay world built outside the harness gets the same wiring.
+    pub tcp: Option<mm_net::TcpConfig>,
 }
 
 impl Default for ReplayConfig {
@@ -69,6 +74,7 @@ impl Default for ReplayConfig {
             mode: ReplayMode::MultiOrigin,
             think_time: SimDuration::from_millis(25),
             protocol: ServerProtocol::Http1,
+            tcp: None,
         }
     }
 }
@@ -94,6 +100,11 @@ impl ReplayShell {
     pub fn new(ns: &Namespace, site: &StoredSite, config: ReplayConfig, ids: &PacketIdGen) -> Self {
         assert!(!site.pairs.is_empty(), "cannot replay an empty recording");
         let matcher = Rc::new(Matcher::new(StoreIndex::build(site)));
+        let apply_tcp = |host: &Host| {
+            if let Some(tcp) = &config.tcp {
+                host.set_tcp_config(tcp.clone());
+            }
+        };
         let origins = site.origins();
 
         let mut hosts: Vec<Host> = Vec::new();
@@ -106,6 +117,7 @@ impl ReplayShell {
                 for origin in &origins {
                     let host = by_ip.entry(origin.ip).or_insert_with(|| {
                         let h = Host::new_in(origin.ip, ids.clone(), ns);
+                        apply_tcp(&h);
                         hosts.push(h.clone());
                         h
                     });
@@ -131,6 +143,7 @@ impl ReplayShell {
                 // port.
                 let the_ip = origins[0].ip;
                 let host = Host::new_in(the_ip, ids.clone(), ns);
+                apply_tcp(&host);
                 hosts.push(host.clone());
                 // One CPU shared by everything: the whole point of the
                 // ablation is that a single machine serves the site.

@@ -160,6 +160,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 0,
+                sack: Default::default(),
                 payload: Bytes::from(vec![0u8; 1460]),
             },
             corrupted: false,
@@ -212,6 +213,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 0,
+                sack: Default::default(),
                 payload: Bytes::new(),
             },
             corrupted: false,

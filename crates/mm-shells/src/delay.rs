@@ -132,6 +132,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 0,
+                sack: Default::default(),
                 payload: Bytes::new(),
             },
             corrupted: false,

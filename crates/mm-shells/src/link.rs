@@ -113,55 +113,74 @@ impl TraceLink {
         timer.arm_at(sim, at, move |sim| TraceLink::on_opportunity(&me, sim));
     }
 
+    /// Consume one delivery opportunity from the queue into `to_deliver`.
+    fn consume_opportunity(inner: &mut LinkInner, now: Timestamp, to_deliver: &mut Vec<Packet>) {
+        let before = to_deliver.len();
+        let mut budget = MTU;
+        loop {
+            // Peek via len; qdisc has no peek, so dequeue and decide.
+            if inner.qdisc.len_packets() == 0 {
+                break;
+            }
+            match inner.policy {
+                OpportunityPolicy::PacketPerOpportunity => {
+                    if let Some(pkt) = inner.qdisc.dequeue(now) {
+                        inner.stats.delivered += 1;
+                        inner.stats.delivered_bytes += pkt.wire_size() as u64;
+                        to_deliver.push(pkt);
+                    }
+                    break;
+                }
+                OpportunityPolicy::ByteBudget => {
+                    // All model packets are ≤ MTU, so the head always
+                    // fits in a fresh opportunity; stop once the next
+                    // packet would exceed the remaining budget.
+                    match inner.qdisc.peek_size() {
+                        Some(sz) if sz <= budget => {}
+                        _ => break,
+                    }
+                    let Some(pkt) = inner.qdisc.dequeue(now) else {
+                        break;
+                    };
+                    let sz = pkt.wire_size();
+                    budget = budget.saturating_sub(sz);
+                    inner.stats.delivered += 1;
+                    inner.stats.delivered_bytes += sz as u64;
+                    to_deliver.push(pkt);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        if to_deliver.len() > before {
+            inner.stats.opportunities_used += 1;
+        }
+        inner.cursor += 1;
+    }
+
     fn on_opportunity(self_rc: &Rc<Self>, sim: &mut Simulator) {
         let now = sim.now();
         let mut to_deliver: Vec<Packet> = Vec::new();
         {
             let mut inner = self_rc.inner.borrow_mut();
             inner.wakeup_armed = false;
-            let mut budget = MTU;
-            loop {
-                // Peek via len; qdisc has no peek, so dequeue and decide.
-                if inner.qdisc.len_packets() == 0 {
-                    break;
-                }
-                match inner.policy {
-                    OpportunityPolicy::PacketPerOpportunity => {
-                        if let Some(pkt) = inner.qdisc.dequeue(now) {
-                            inner.stats.delivered += 1;
-                            inner.stats.delivered_bytes += pkt.wire_size() as u64;
-                            to_deliver.push(pkt);
-                        }
-                        break;
-                    }
-                    OpportunityPolicy::ByteBudget => {
-                        // All model packets are ≤ MTU, so the head always
-                        // fits in a fresh opportunity; stop once the next
-                        // packet would exceed the remaining budget.
-                        match inner.qdisc.peek_size() {
-                            Some(sz) if sz <= budget => {}
-                            _ => break,
-                        }
-                        let Some(pkt) = inner.qdisc.dequeue(now) else {
-                            break;
-                        };
-                        let sz = pkt.wire_size();
-                        budget = budget.saturating_sub(sz);
-                        inner.stats.delivered += 1;
-                        inner.stats.delivered_bytes += sz as u64;
-                        to_deliver.push(pkt);
-                        if budget == 0 {
-                            break;
-                        }
-                    }
-                }
+            // Batch every same-timestamp opportunity into this one wakeup:
+            // high-rate traces put tens of opportunities on one
+            // millisecond tick, and one timer event per burst (instead of
+            // one per packet) keeps the hot path off the event queue. The
+            // deliveries are identical to the per-opportunity walk — same
+            // packets, same order, same timestamps (packets were handed to
+            // `next` only after this whole borrow ended in the unbatched
+            // path too, so downstream scheduling order is preserved).
+            Self::consume_opportunity(&mut inner, now, &mut to_deliver);
+            while inner.qdisc.len_packets() > 0
+                && Self::opportunity_time(&inner.trace, inner.cursor) <= now
+            {
+                Self::consume_opportunity(&mut inner, now, &mut to_deliver);
             }
-            if !to_deliver.is_empty() {
-                inner.stats.opportunities_used += 1;
-            }
-            inner.cursor += 1;
             if inner.qdisc.len_packets() > 0 {
-                // More work: rearm for the next opportunity.
+                // More work: rearm for the next (future) opportunity.
                 inner.wakeup_armed = true;
                 let at = Self::opportunity_time(&inner.trace, inner.cursor).max(now);
                 let timer = inner.timer.clone();
@@ -289,6 +308,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 0,
+                sack: Default::default(),
                 payload: Bytes::from(vec![0; payload]),
             },
             corrupted: false,
@@ -485,6 +505,41 @@ mod tests {
         assert_eq!(arrivals.borrow().len(), 1);
         assert_eq!(shell.uplink.stats().delivered, 1);
         assert_eq!(shell.downlink.stats().delivered, 0);
+    }
+
+    #[test]
+    fn same_timestamp_opportunities_batch_into_one_wakeup() {
+        // 1000 Mbit/s ≈ 83 MTU opportunities per millisecond: a burst of
+        // full-size packets shares one millisecond tick. The dequeue loop
+        // must serve the whole tick from a single timer wakeup, not one
+        // event per opportunity.
+        let mut sim = Simulator::new();
+        let (arrivals, sink) = arrivals_sink();
+        let trace = constant_rate(1000.0, 1000);
+        let (link, ingress) = make_link(trace, sink);
+        sim.schedule_now(move |sim| {
+            for i in 0..80 {
+                ingress.deliver(sim, pkt(i, 1460));
+            }
+        });
+        sim.run();
+        let got = arrivals.borrow().clone();
+        // All 80 packets fit in the 83 opportunities of the 1 ms tick,
+        // in order.
+        assert_eq!(got.len(), 80);
+        assert!(got.iter().all(|&(_, t)| t == Timestamp::from_millis(1)));
+        assert_eq!(
+            got.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            (0..80).collect::<Vec<_>>()
+        );
+        assert_eq!(link.stats().opportunities_used, 80);
+        // One enqueue event + ONE wakeup for the whole burst (the lazy
+        // walker arms no further timers once the queue drains).
+        assert!(
+            sim.events_executed() <= 3,
+            "burst took {} events; batching regressed",
+            sim.events_executed()
+        );
     }
 
     #[test]

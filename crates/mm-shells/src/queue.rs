@@ -554,6 +554,7 @@ mod tests {
                 seq: 0,
                 ack: 0,
                 window: 0,
+                sack: Default::default(),
                 payload: Bytes::from(vec![0; payload]),
             },
             corrupted: false,

@@ -18,6 +18,7 @@ fn pkt(id: u64, payload: usize) -> Packet {
             seq: 0,
             ack: 0,
             window: 0,
+            sack: Default::default(),
             payload: Bytes::from(vec![0u8; payload]),
         },
         corrupted: false,
