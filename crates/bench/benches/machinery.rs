@@ -158,7 +158,7 @@ fn bench_tcp_transfer(c: &mut Criterion) {
 
 fn bench_tcp_lossy_transfer(c: &mut Criterion) {
     use mm_net::fault::RandomDrop;
-    use mm_net::{Listener, SocketApp, SocketEvent, TcpConfig, TcpHandle};
+    use mm_net::{Listener, RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpHandle};
     use std::cell::RefCell;
     struct Echo;
     impl Listener for Echo {
@@ -183,13 +183,14 @@ fn bench_tcp_lossy_transfer(c: &mut Criterion) {
         }
     }
     // The lossy counterpart of `transfer_1mb_simulated`: 1 MB through an
-    // i.i.d. 1% drop on the data path, NewReno vs SACK loss recovery.
+    // i.i.d. 1% drop on the data path, across the loss-recovery tiers.
     let mut g = c.benchmark_group("tcp");
     let payload = Bytes::from(vec![7u8; 1 << 20]);
     g.throughput(Throughput::Bytes(payload.len() as u64));
-    for (name, sack) in [
-        ("transfer_1mb_1pct_loss_newreno", false),
-        ("transfer_1mb_1pct_loss_sack", true),
+    for (name, recovery) in [
+        ("transfer_1mb_1pct_loss_newreno", RecoveryTier::Reno),
+        ("transfer_1mb_1pct_loss_sack", RecoveryTier::Sack),
+        ("transfer_1mb_1pct_loss_racktlp", RecoveryTier::RackTlp),
     ] {
         let payload = payload.clone();
         g.bench_function(name, |b| {
@@ -200,7 +201,7 @@ fn bench_tcp_lossy_transfer(c: &mut Criterion) {
                 let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
                 let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
                 let cfg = TcpConfig {
-                    sack,
+                    recovery,
                     ..TcpConfig::default()
                 };
                 client.set_tcp_config(cfg.clone());

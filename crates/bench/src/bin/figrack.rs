@@ -1,0 +1,77 @@
+//! figrack — the loss-recovery-tier sweep: page loads over the figcell
+//! cellular regimes × loss-producing queue disciplines (DropTail-32,
+//! CoDel), under the mux protocol, with `TcpConfig::recovery` as the
+//! swept axis: NewReno vs SACK vs RACK-TLP + F-RTO.
+//!
+//! The question figrack answers: figcell left the CoDel column mixed —
+//! under AQM, SACK's recovery speed buys little and the unrecoverable
+//! RTO backoff can make multiplexed chains slower. Does time-based loss
+//! detection (tail loss probes instead of RTOs, spurious-timeout undo)
+//! flip those cells non-negative? Writes `BENCH_figrack.json`.
+
+use bench::report::{header, ms, summary_metrics, write_bench_json};
+use bench::{figrack, FIGCELL_DELAY_MS};
+
+fn main() {
+    let n_sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let seed = 2014u64;
+    header(&format!(
+        "figrack — recovery tier × qdisc over cellular traces, mux protocol ({n_sites} sites, {}ms RTT)",
+        FIGCELL_DELAY_MS * 2
+    ));
+    let mut r = figrack(n_sites, seed);
+    println!(
+        "  {:<15} {:<12} | {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
+        "regime", "qdisc", "reno", "sack", "racktlp", "sack%", "rack%", "rack:sack%"
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for cell in &mut r.cells {
+        println!(
+            "  {:<15} {:<12} | {:>10} {:>10} {:>10} | {:>7.1}% {:>7.1}% {:>9.1}%",
+            cell.regime,
+            cell.qdisc,
+            ms(cell.reno.median()),
+            ms(cell.sack.median()),
+            ms(cell.racktlp.median()),
+            cell.sack_speedup_pct.median(),
+            cell.racktlp_speedup_pct.median(),
+            cell.racktlp_vs_sack_pct.median(),
+        );
+        let prefix = format!(
+            "{}_{}",
+            cell.regime.replace('-', "_"),
+            cell.qdisc.replace('-', "_")
+        );
+        metrics.extend(summary_metrics(&format!("reno_{prefix}"), &mut cell.reno));
+        metrics.extend(summary_metrics(&format!("sack_{prefix}"), &mut cell.sack));
+        metrics.extend(summary_metrics(
+            &format!("racktlp_{prefix}"),
+            &mut cell.racktlp,
+        ));
+        metrics.push((
+            format!("sack_speedup_pct_{prefix}"),
+            cell.sack_speedup_pct.median(),
+        ));
+        metrics.push((
+            format!("racktlp_speedup_pct_{prefix}"),
+            cell.racktlp_speedup_pct.median(),
+        ));
+        metrics.push((
+            format!("racktlp_vs_sack_pct_{prefix}"),
+            cell.racktlp_vs_sack_pct.median(),
+        ));
+    }
+    println!();
+    println!("  sack%      = median per-site paired speedup of SACK over NewReno (figcell's");
+    println!("               mux:sack%, reproduced cell-for-cell as the baseline);");
+    println!("  rack%      = the same pairing for RACK-TLP + F-RTO over NewReno;");
+    println!("  rack:sack% = RACK-TLP over SACK (positive = the time-based machinery pays);");
+    println!("  every site is loaded under all three tiers with the same seed and trace.");
+    match write_bench_json("figrack", seed, n_sites, &metrics) {
+        Ok(path) => println!("\n  wrote {}", path.display()),
+        Err(e) => eprintln!("\n  could not write BENCH_figrack.json: {e}"),
+    }
+}

@@ -2,7 +2,7 @@
 
 use mahimahi::browser::{MuxConfig, ProtocolMode};
 use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec, QdiscKind};
-use mahimahi::net::TcpConfig;
+use mahimahi::net::{RecoveryTier, TcpConfig};
 use mm_corpus::{
     cnbc_like, generate_plans, materialize, nytimes_like, server_distribution, wikihow_like,
     CorpusConfig, ServerDistribution, SitePlan,
@@ -486,7 +486,11 @@ pub fn figcell(n_sites: usize, seed: u64) -> FigCellResult {
                         spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
                     }
                     spec.tcp = Some(TcpConfig {
-                        sack,
+                        recovery: if sack {
+                            RecoveryTier::Sack
+                        } else {
+                            RecoveryTier::Reno
+                        },
                         ..TcpConfig::default()
                     });
                     spec.seed = seed.wrapping_add(i as u64);
@@ -521,6 +525,125 @@ pub fn figcell(n_sites: usize, seed: u64) -> FigCellResult {
         }
     }
     FigCellResult { cells }
+}
+
+/// E9 — figrack: does modern time-based loss detection (RACK-TLP +
+/// F-RTO, `RecoveryTier::RackTlp`) fix the cells where plain SACK did
+/// not pay? The figcell sweep left an honest mixed result under CoDel
+/// (0%, −23%, +5% across cellular regimes): AQM keeps queues short, so
+/// recovery *speed* buys little, and without spurious-RTO detection the
+/// RTO tail — and its unrecoverable backoff — dominates serial mux
+/// chains. figrack reruns the figcell cellular regimes over the two
+/// loss-producing qdiscs with the recovery *tier* as the swept axis,
+/// under the mux protocol (one connection per origin: the configuration
+/// most exposed to tail loss and spurious timeouts). Traces, seeds and
+/// per-site pairing are identical to figcell, so the Sack column here
+/// reproduces figcell's mux numbers exactly and the RackTlp column is
+/// directly comparable.
+pub struct FigRackCell {
+    pub regime: String,
+    pub qdisc: String,
+    /// PLT summaries per recovery tier, all under mux.
+    pub reno: Summary,
+    pub sack: Summary,
+    pub racktlp: Summary,
+    /// Per-site paired speedup of SACK over NewReno, percent (positive =
+    /// SACK faster) — figcell's `mux_sack_speedup_pct`, the PR 3
+    /// baseline the RackTlp column must not fall below.
+    pub sack_speedup_pct: Summary,
+    /// Per-site paired speedup of RackTlp over NewReno, percent.
+    pub racktlp_speedup_pct: Summary,
+    /// Per-site paired speedup of RackTlp over SACK, percent (positive =
+    /// the time-based machinery pays on top of selective retransmission).
+    pub racktlp_vs_sack_pct: Summary,
+}
+
+pub struct FigRackResult {
+    pub cells: Vec<FigRackCell>,
+}
+
+impl FigRackResult {
+    /// The cell for a given (regime, qdisc) operating point.
+    pub fn cell_mut(&mut self, regime: &str, qdisc: &str) -> Option<&mut FigRackCell> {
+        self.cells
+            .iter_mut()
+            .find(|c| c.regime == regime && c.qdisc == qdisc)
+    }
+}
+
+/// The loss-producing queue disciplines figrack sweeps (infinite
+/// droptail never drops, so recovery tiers cannot differ there beyond
+/// outage-RTO tails figcell already measures).
+pub fn figrack_qdiscs() -> Vec<(&'static str, QdiscKind)> {
+    vec![
+        ("droptail32", QdiscKind::DropTailPackets(32)),
+        ("codel", QdiscKind::Codel),
+    ]
+}
+
+/// Run the recovery-tier sweep over `n_sites` corpus sites. Per (regime,
+/// qdisc) cell every site is loaded three times — mux × {Reno, Sack,
+/// RackTlp} — with the same seed, think time, network and trace
+/// realization as figcell (same RNG forks), so cross-experiment columns
+/// line up. Sites shard across threads with per-site seeds
+/// (serial-identical).
+pub fn figrack(n_sites: usize, seed: u64) -> FigRackResult {
+    let plans = corpus_subset(n_sites, seed);
+    let uplink = constant_rate(1.0, 1000);
+    let mut cells = Vec::new();
+    for (regime_name, params) in figcell_regimes() {
+        // Identical trace realization to figcell: same forks, same seed.
+        let mut trace_rng = RngStream::from_seed(seed).fork("figcell").fork(regime_name);
+        let downlink = cellular(&params, &mut trace_rng);
+        for (qdisc_name, qdisc) in figrack_qdiscs() {
+            let uplink = uplink.clone();
+            let downlink = downlink.clone();
+            let per_site = parallel_map(&plans, move |i, plan| {
+                let site = materialize(plan);
+                let load = |recovery: RecoveryTier| {
+                    let mut spec = LoadSpec::new(&site);
+                    spec.net = NetSpec {
+                        delay: Some(SimDuration::from_millis(FIGCELL_DELAY_MS)),
+                        link: Some(LinkSpec {
+                            uplink: uplink.clone(),
+                            downlink: downlink.clone(),
+                            qdisc,
+                        }),
+                        ..NetSpec::default()
+                    };
+                    spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
+                    spec.tcp = Some(TcpConfig {
+                        recovery,
+                        ..TcpConfig::default()
+                    });
+                    spec.seed = seed.wrapping_add(i as u64);
+                    run_page_load(&spec).plt.as_millis_f64()
+                };
+                (
+                    load(RecoveryTier::Reno),
+                    load(RecoveryTier::Sack),
+                    load(RecoveryTier::RackTlp),
+                )
+            });
+            cells.push(FigRackCell {
+                regime: regime_name.to_string(),
+                qdisc: qdisc_name.to_string(),
+                reno: Summary::from_samples(per_site.iter().map(|s| s.0)),
+                sack: Summary::from_samples(per_site.iter().map(|s| s.1)),
+                racktlp: Summary::from_samples(per_site.iter().map(|s| s.2)),
+                sack_speedup_pct: Summary::from_samples(
+                    per_site.iter().map(|&(r, s, _)| (r - s) / r * 100.0),
+                ),
+                racktlp_speedup_pct: Summary::from_samples(
+                    per_site.iter().map(|&(r, _, k)| (r - k) / r * 100.0),
+                ),
+                racktlp_vs_sack_pct: Summary::from_samples(
+                    per_site.iter().map(|&(_, s, k)| (s - k) / s * 100.0),
+                ),
+            });
+        }
+    }
+    FigRackResult { cells }
 }
 
 /// E5 — §4's corpus statistic: the distribution of physical servers per

@@ -71,7 +71,7 @@ pub struct BrowserConfig {
     pub max_resources: usize,
     /// TCP configuration for the browser's connections (`None` keeps the
     /// host default) — the client half of the harness's per-load TCP
-    /// knob, e.g. `TcpConfig::sack`.
+    /// knob, e.g. `TcpConfig::recovery`.
     pub tcp: Option<mm_net::TcpConfig>,
 }
 

@@ -24,4 +24,6 @@ pub use fabric::{Namespace, NsCounters};
 pub use host::{Host, HostNoise, HostStats, Listener, PacketIdGen};
 pub use packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, HEADER_BYTES, MSS, MTU};
 pub use sink::{BlackHole, Capture, FnSink, PacketSink, SinkRef, Tap};
-pub use tcp::{CcAlgorithm, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};
+pub use tcp::{
+    CcAlgorithm, RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats,
+};

@@ -41,6 +41,12 @@ pub trait CongestionControl {
     }
     /// Loss detected via retransmission timeout.
     fn on_timeout(&mut self, flight_size: u64, now: Timestamp);
+    /// The preceding timeout was proven spurious (F-RTO, RFC 5682): the
+    /// acknowledgments were merely delayed and the original flight is
+    /// arriving. Undo the window collapse by restoring the state the
+    /// last `on_timeout` destroyed. Default: no-op (controllers that
+    /// don't save prior state simply forgo the undo).
+    fn on_spurious_timeout(&mut self) {}
     /// Fast recovery finished (the lost segment's range was acked).
     fn on_recovery_exit(&mut self);
     /// True while in slow start.
@@ -62,6 +68,8 @@ pub struct Reno {
     ssthresh: u64,
     /// Fractional-MSS accumulator for congestion avoidance.
     acked_bytes: u64,
+    /// (cwnd, ssthresh) before the last timeout, for the F-RTO undo.
+    prior: Option<(u64, u64)>,
 }
 
 impl Reno {
@@ -76,6 +84,7 @@ impl Reno {
             cwnd: iw.max(MIN_CWND),
             ssthresh: u64::MAX,
             acked_bytes: 0,
+            prior: None,
         }
     }
 }
@@ -115,9 +124,17 @@ impl CongestionControl for Reno {
     }
 
     fn on_timeout(&mut self, flight_size: u64, _now: Timestamp) {
+        self.prior = Some((self.cwnd, self.ssthresh));
         self.ssthresh = (flight_size / 2).max(MIN_CWND);
         self.cwnd = MSS64;
         self.acked_bytes = 0;
+    }
+
+    fn on_spurious_timeout(&mut self) {
+        if let Some((cwnd, ssthresh)) = self.prior.take() {
+            self.cwnd = cwnd;
+            self.ssthresh = ssthresh;
+        }
     }
 
     fn on_recovery_exit(&mut self) {
@@ -138,6 +155,19 @@ pub struct Cubic {
     /// Reno-equivalent window for the TCP-friendly region.
     w_est: f64,
     acked_bytes: u64,
+    /// Full pre-timeout state for the F-RTO undo.
+    prior: Option<CubicPrior>,
+}
+
+/// Snapshot of the CUBIC state a timeout destroys (see
+/// [`CongestionControl::on_spurious_timeout`]).
+#[derive(Debug, Clone, Copy)]
+struct CubicPrior {
+    cwnd: u64,
+    ssthresh: u64,
+    w_max: f64,
+    epoch_start: Option<Timestamp>,
+    w_est: f64,
 }
 
 /// CUBIC scaling constant (RFC 8312).
@@ -160,6 +190,7 @@ impl Cubic {
             epoch_start: None,
             w_est: 0.0,
             acked_bytes: 0,
+            prior: None,
         }
     }
 
@@ -231,12 +262,29 @@ impl CongestionControl for Cubic {
     }
 
     fn on_timeout(&mut self, flight_size: u64, now: Timestamp) {
+        self.prior = Some(CubicPrior {
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            w_max: self.w_max,
+            epoch_start: self.epoch_start,
+            w_est: self.w_est,
+        });
         self.w_max = self.cwnd.max(flight_size) as f64;
         self.ssthresh = ((self.cwnd as f64 * CUBIC_BETA) as u64).max(MIN_CWND);
         self.cwnd = MSS64;
         self.epoch_start = Some(now);
         self.w_est = self.cwnd as f64;
         self.acked_bytes = 0;
+    }
+
+    fn on_spurious_timeout(&mut self) {
+        if let Some(p) = self.prior.take() {
+            self.cwnd = p.cwnd;
+            self.ssthresh = p.ssthresh;
+            self.w_max = p.w_max;
+            self.epoch_start = p.epoch_start;
+            self.w_est = p.w_est;
+        }
     }
 
     fn on_recovery_exit(&mut self) {
@@ -295,6 +343,31 @@ mod tests {
         assert_eq!(r.cwnd(), MSS64);
         assert_eq!(r.ssthresh(), 32 * MSS64);
         assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn spurious_timeout_restores_window() {
+        let mut r = Reno::new();
+        r.on_fast_retransmit(100 * MSS64, Timestamp::from_millis(1));
+        r.on_recovery_exit();
+        let (cwnd, ssthresh) = (r.cwnd(), r.ssthresh());
+        r.on_timeout(cwnd, Timestamp::from_millis(2));
+        assert_eq!(r.cwnd(), MSS64);
+        r.on_spurious_timeout();
+        assert_eq!(r.cwnd(), cwnd);
+        assert_eq!(r.ssthresh(), ssthresh);
+        // A second undo without a new timeout is a no-op.
+        r.on_spurious_timeout();
+        assert_eq!(r.cwnd(), cwnd);
+
+        let mut c = Cubic::new();
+        c.cwnd = 80 * MSS64;
+        c.ssthresh = 40 * MSS64;
+        c.on_timeout(80 * MSS64, Timestamp::from_secs(1));
+        assert_eq!(c.cwnd(), MSS64);
+        c.on_spurious_timeout();
+        assert_eq!(c.cwnd(), 80 * MSS64);
+        assert_eq!(c.ssthresh(), 40 * MSS64);
     }
 
     #[test]

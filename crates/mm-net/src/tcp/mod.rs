@@ -1,15 +1,20 @@
 //! Simplified-but-complete TCP: handshake, reliable byte stream, NewReno /
-//! CUBIC congestion control, RFC 6298 timers, and opt-in SACK loss
-//! recovery ([`sack`]: RFC 2018 blocks, RFC 6675 scoreboard, RFC 3042
-//! limited transmit, PRR). See [`socket`] for the state machine and
-//! DESIGN.md for the documented simplifications.
+//! CUBIC congestion control, RFC 6298 timers, and a tiered opt-in loss
+//! recovery ladder ([`socket::RecoveryTier`]): RFC 2018/6675 SACK
+//! recovery ([`sack`]: blocks, scoreboard, RFC 3042 limited transmit,
+//! PRR) and RACK-TLP/F-RTO time-based loss detection ([`rack`]: RFC 8985
+//! delivery-time inference, tail loss probes, RFC 5682 spurious-timeout
+//! undo). See [`socket`] for the state machine and DESIGN.md for the
+//! documented simplifications.
 
 pub mod cc;
+pub mod rack;
 pub mod rtt;
 pub mod sack;
 pub mod socket;
 
 pub use cc::{CcAlgorithm, CongestionControl, Cubic, Reno, INITIAL_WINDOW};
+pub use rack::{FrtoState, RackState};
 pub use rtt::RttEstimator;
 pub use sack::{ReceiverSack, Scoreboard, DUP_THRESH};
-pub use socket::{SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};
+pub use socket::{RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};

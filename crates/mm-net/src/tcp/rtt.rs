@@ -65,15 +65,16 @@ impl RttEstimator {
         self.rto = self.rto.saturating_mul(2).min(self.max_rto);
     }
 
-    /// Forward progress confirmed (a cumulative ACK advanced SND.UNA):
-    /// drop accumulated exponential backoff by recomputing the RTO from
-    /// the current estimates. Linux resets `icsk_backoff` this way, but
-    /// Linux also detects spurious timeouts (F-RTO); without that
-    /// counterpart, an eagerly-reset RTO fires during cellular outages
-    /// and floods the recovering link with presumed-lost data, so the
-    /// socket deliberately does NOT call this on its default paths —
-    /// it is available for experiments. No-op until a first measurement
-    /// exists.
+    /// Drop accumulated exponential backoff by recomputing the RTO from
+    /// the current estimates. Linux resets `icsk_backoff` on bare
+    /// forward progress, but Linux also detects spurious timeouts
+    /// (F-RTO); without that counterpart an eagerly-reset RTO fires
+    /// during cellular outages and floods the recovering link with
+    /// presumed-lost data (the measured regression DESIGN.md §2
+    /// records). The socket therefore reaches this exclusively through
+    /// the `RackTlp` tier's F-RTO machinery, on a validated
+    /// spurious-timeout verdict — never on bare forward progress. No-op
+    /// until a first measurement exists.
     pub fn reset_backoff(&mut self) {
         if let Some(srtt) = self.srtt {
             let var_term = self.rttvar.saturating_mul(4).max(self.min_rto);

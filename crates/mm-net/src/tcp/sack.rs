@@ -109,29 +109,65 @@ impl Scoreboard {
     /// Merge the blocks of an incoming ACK. Returns the number of newly
     /// sacked bytes (the "delivered" increment PRR feeds on).
     pub fn add_blocks(&mut self, blocks: &[SackBlock], snd_una: u64) -> u64 {
-        let before = self.sacked_bytes();
+        let mut scratch = Vec::new();
+        self.add_blocks_delta(blocks, snd_una, &mut scratch)
+    }
+
+    /// Like [`add_blocks`](Scoreboard::add_blocks), additionally pushing
+    /// the *newly covered* sub-ranges onto `delta` (not cleared first).
+    /// The deltas are what incremental consumers — the socket's pipe
+    /// counter and RACK's delivery clock — feed on: re-reported coverage
+    /// costs nothing, so per-ack work is bounded by newly sacked bytes,
+    /// not by how much old coverage the peer repeats.
+    pub fn add_blocks_delta(
+        &mut self,
+        blocks: &[SackBlock],
+        snd_una: u64,
+        delta: &mut Vec<SackBlock>,
+    ) -> u64 {
+        let mut newly = 0;
         for b in blocks {
             let start = b.start.max(snd_una);
             if start >= b.end {
                 continue;
             }
-            self.insert(SackBlock::new(start, b.end));
+            newly += self.insert(SackBlock::new(start, b.end), delta);
         }
-        self.sacked_bytes() - before
+        newly
     }
 
-    fn insert(&mut self, b: SackBlock) {
+    /// Insert one block, pushing newly covered sub-ranges onto `delta`
+    /// and returning the newly covered byte count.
+    fn insert(&mut self, b: SackBlock, delta: &mut Vec<SackBlock>) -> u64 {
         // Find the insertion window of ranges overlapping or adjacent to b.
         let lo = self.ranges.partition_point(|r| r.end < b.start);
         let hi = self.ranges.partition_point(|r| r.start <= b.end);
+        // The gaps of [b.start, b.end) not covered by existing ranges.
+        let mut newly = 0;
+        let mut cursor = b.start;
+        for r in &self.ranges[lo..hi] {
+            if r.start > cursor {
+                let gap_end = r.start.min(b.end);
+                if cursor < gap_end {
+                    delta.push(SackBlock::new(cursor, gap_end));
+                    newly += gap_end - cursor;
+                }
+            }
+            cursor = cursor.max(r.end);
+        }
+        if cursor < b.end {
+            delta.push(SackBlock::new(cursor, b.end));
+            newly += b.end - cursor;
+        }
         if lo == hi {
             self.ranges.insert(lo, b);
-            return;
+            return newly;
         }
         let start = self.ranges[lo].start.min(b.start);
         let end = self.ranges[hi - 1].end.max(b.end);
         self.ranges.drain(lo..hi);
         self.ranges.insert(lo, SackBlock::new(start, end));
+        newly
     }
 
     /// The cumulative ACK advanced: drop coverage below `snd_una`.
@@ -233,6 +269,24 @@ mod tests {
         assert_eq!(s.add_blocks(&[sb(10, 20)], 0), 10);
         assert_eq!(s.add_blocks(&[sb(10, 20)], 0), 0, "duplicate adds none");
         assert_eq!(s.add_blocks(&[sb(15, 25)], 0), 5);
+    }
+
+    #[test]
+    fn add_blocks_delta_reports_new_coverage() {
+        let mut s = Scoreboard::new();
+        let mut delta = Vec::new();
+        s.add_blocks_delta(&[sb(10, 20), sb(40, 50)], 0, &mut delta);
+        assert_eq!(delta, vec![sb(10, 20), sb(40, 50)]);
+        // A block bridging both: only the gap is new.
+        delta.clear();
+        let newly = s.add_blocks_delta(&[sb(15, 45)], 0, &mut delta);
+        assert_eq!(delta, vec![sb(20, 40)]);
+        assert_eq!(newly, 20);
+        assert_eq!(s.ranges(), &[sb(10, 50)]);
+        // Fully re-reported coverage yields no delta.
+        delta.clear();
+        assert_eq!(s.add_blocks_delta(&[sb(10, 50)], 0, &mut delta), 0);
+        assert!(delta.is_empty());
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //! stream with MSS segmentation, cumulative ACKs, out-of-order reassembly,
 //! NewReno fast retransmit/fast recovery, RFC 6298 RTO with Karn's rule,
 //! receiver flow control, graceful FIN close in both directions, and RST.
-//! With [`TcpConfig::sack`] (negotiated on the SYN exchange, default off)
-//! the NewReno go-back-N recovery is replaced by selective retransmission:
-//! RFC 2018 SACK blocks from the receiver, an RFC 6675 scoreboard with
-//! pipe accounting / `IsLost` / rescue retransmission on the sender,
-//! RFC 3042 limited transmit, and RFC 6937-style proportional rate
-//! reduction while in recovery.
+//! With [`TcpConfig::recovery`] at the [`Sack`](RecoveryTier::Sack) tier
+//! (negotiated on the SYN exchange, default off) the NewReno go-back-N
+//! recovery is replaced by selective retransmission: RFC 2018 SACK blocks
+//! from the receiver, an RFC 6675 scoreboard with pipe accounting /
+//! `IsLost` / rescue retransmission on the sender, RFC 3042 limited
+//! transmit, and RFC 6937-style proportional rate reduction while in
+//! recovery. The [`RackTlp`](RecoveryTier::RackTlp) tier layers the
+//! modern time-based machinery on top: RACK delivery-time loss inference
+//! with an adaptive reordering window, a Tail Loss Probe timer so pure
+//! tail loss no longer waits for the RTO, and F-RTO spurious-timeout
+//! detection that undoes the window collapse (and the RTO backoff) when
+//! a timeout turns out to have been mere delay (see [`rack`](super::rack)
+//! and DESIGN.md §3).
 //! Simplifications (documented in DESIGN.md): 64-bit sequence space (no
 //! wraparound), no Nagle (browsers disable it), unbounded send
 //! buffer (page-load workloads are bounded by construction), immediate ACKs
@@ -21,18 +28,50 @@
 //! produced packets, and only then fires application events.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
 use mm_sim::{SimDuration, Simulator, Timer, Timestamp};
 
 use crate::addr::SocketAddr;
-use crate::packet::{Packet, SackOption, TcpFlags, TcpSegment, MSS};
+use crate::packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, MSS};
 use crate::sink::SinkRef;
 use crate::tcp::cc::{make_controller, CcAlgorithm, CongestionControl};
+use crate::tcp::rack::{FrtoState, RackState, TLP_SLACK};
 use crate::tcp::rtt::RttEstimator;
 use crate::tcp::sack::{ReceiverSack, Scoreboard, DUP_THRESH};
+
+/// The loss-recovery tier a socket runs (its sophistication ladder).
+///
+/// `Reno` and `Sack` reproduce the previous boolean knob exactly;
+/// `RackTlp` implies SACK (RACK infers delivery times from the
+/// scoreboard) and adds the time-based machinery. The default stays
+/// `Reno` so every pre-existing baseline is byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryTier {
+    /// NewReno go-back-N: dup-ack fast retransmit, one hole per RTT.
+    #[default]
+    Reno,
+    /// RFC 2018/6675 selective retransmission with PRR and limited
+    /// transmit (the former `TcpConfig::sack = true`).
+    Sack,
+    /// SACK plus RACK-TLP (RFC 8985) time-based loss detection, a Tail
+    /// Loss Probe timer, and F-RTO (RFC 5682) spurious-RTO undo.
+    RackTlp,
+}
+
+impl RecoveryTier {
+    /// Whether this tier negotiates SACK on the handshake.
+    pub fn uses_sack(self) -> bool {
+        !matches!(self, RecoveryTier::Reno)
+    }
+
+    /// Whether this tier runs the RACK-TLP/F-RTO machinery.
+    pub fn uses_rack(self) -> bool {
+        matches!(self, RecoveryTier::RackTlp)
+    }
+}
 
 /// Socket configuration.
 #[derive(Debug, Clone)]
@@ -59,12 +98,14 @@ pub struct TcpConfig {
     /// protocols — Google's SPDY servers ran IW32 so one connection could
     /// do the work of a browser's six.
     pub initial_cwnd_segments: Option<u32>,
-    /// Offer selective acknowledgments on the handshake and, when both
-    /// ends agree, replace go-back-N loss recovery with RFC 6675
-    /// selective retransmission (plus limited transmit and proportional
-    /// rate reduction). Default off: the NewReno baseline stays
+    /// Loss-recovery tier. `Sack` and `RackTlp` offer selective
+    /// acknowledgments on the handshake and, when both ends agree,
+    /// replace go-back-N loss recovery with RFC 6675 selective
+    /// retransmission (plus limited transmit and proportional rate
+    /// reduction); `RackTlp` additionally runs RACK-TLP time-based loss
+    /// detection and F-RTO. Default `Reno`: the NewReno baseline stays
     /// byte-identical.
-    pub sack: bool,
+    pub recovery: RecoveryTier,
 }
 
 impl Default for TcpConfig {
@@ -77,7 +118,7 @@ impl Default for TcpConfig {
             delayed_ack: None,
             max_retries: 15,
             initial_cwnd_segments: None,
-            sack: false,
+            recovery: RecoveryTier::default(),
         }
     }
 }
@@ -128,8 +169,19 @@ pub trait SocketApp {
 /// Retransmission-queue entry.
 struct RetxEntry {
     segment: TcpSegment,
+    /// Last transmission time. Refreshed on retransmission only under
+    /// RACK (which keys loss inference off last-transmit times); the
+    /// classic tiers keep the original time, whose only reader is the
+    /// Karn-gated RTT sampler.
     sent_at: Timestamp,
+    /// First transmission time — never refreshed, and therefore monotone
+    /// in sequence order, which is what lets RACK's detection scan stop
+    /// at the first entry provably sent after the delivery clock.
+    first_sent_at: Timestamp,
     retransmitted: bool,
+    /// Whether this entry currently counts toward the incremental pipe
+    /// estimate (see [`TcpInner::pipe`]).
+    in_pipe: bool,
 }
 
 /// Full connection state. Public API lives on [`TcpHandle`].
@@ -182,6 +234,49 @@ pub struct TcpInner {
     /// scoreboard alone can never flag it). Segments below this mark
     /// leave the pipe estimate until retransmitted.
     lost_point: u64,
+    /// Incrementally maintained RFC 6675 pipe estimate: the sum of
+    /// `seq_len` over retx entries with `in_pipe` set. Kept equal to the
+    /// O(n) definitional walk ([`pipe_walk`](TcpInner::pipe_walk)) at
+    /// every transition — cross-checked by a debug assertion and the
+    /// property tests.
+    pipe_count: u64,
+    /// Loss-frontier watermark: every unsacked retx entry starting below
+    /// it has been examined for (and marked with) scoreboard-implied
+    /// loss. Valid because `IsLost` is monotone downward in sequence
+    /// space — anything below a lost segment is lost or sacked — so the
+    /// per-ack scan resumes here instead of rewalking the queue.
+    loss_frontier: u64,
+    /// RACK delivery-time state (active only at the `RackTlp` tier once
+    /// SACK negotiates).
+    rack: RackState,
+    /// Starting seqs of entries RACK has deemed lost. Marks move with
+    /// partial-ack trims and are dropped when the segment is delivered
+    /// (which also widens the adaptive reordering window — the mark was
+    /// wrong).
+    rack_lost: BTreeSet<u64>,
+    /// Earliest pending RACK reordering-window expiry, consumed by
+    /// `manage_timers` (timer arming needs the simulator, which segment
+    /// processing does not hold).
+    reo_deadline: Option<Timestamp>,
+    /// Set when the delivery clock advanced since the last detection
+    /// pass; RACK verdicts can only change when it does (or a recorded
+    /// `reo_deadline` passes), so detection is skipped otherwise.
+    rack_dirty: bool,
+    /// One Tail Loss Probe per flight: set when the probe fires, cleared
+    /// by the next delivery of anything.
+    tlp_fired: bool,
+    /// The currently *desired* probe deadline. The armed timer lags it
+    /// (it is not re-armed on every flush — that would flood the event
+    /// heap with dead generations); the fire handler re-arms itself
+    /// forward until the desired deadline is actually due.
+    tlp_deadline: Option<Timestamp>,
+    /// F-RTO spurious-timeout detection phase.
+    frto: FrtoState,
+    /// `lost_point` before the RTO that armed F-RTO, restored when the
+    /// timeout is declared spurious (the §5.1 mass-marking was wrong).
+    prior_lost_point: u64,
+    /// Scratch buffer for newly sacked ranges (avoids per-ack allocation).
+    sack_delta: Vec<SackBlock>,
 
     // --- receive side ---
     /// Next in-order byte expected from the peer.
@@ -205,6 +300,10 @@ pub struct TcpInner {
     /// timeouts.
     rearm_rto: bool,
     ack_timer: Timer,
+    /// Tail Loss Probe timer (RackTlp tier only).
+    tlp_timer: Timer,
+    /// RACK reordering-window timer (RackTlp tier only).
+    reo_timer: Timer,
     app: Option<Rc<dyn SocketApp>>,
     /// Events waiting to be dispatched once the borrow is released.
     pending_events: Vec<SocketEvent>,
@@ -226,6 +325,12 @@ pub struct TcpStats {
     pub sack_recoveries: u64,
     /// New-data segments sent by limited transmit (RFC 3042).
     pub limited_transmits: u64,
+    /// Tail Loss Probes fired (RackTlp tier).
+    pub tlp_probes: u64,
+    /// Segments marked lost by RACK's delivery-time inference.
+    pub rack_loss_marks: u64,
+    /// Retransmission timeouts proven spurious by F-RTO (and undone).
+    pub spurious_rtos: u64,
 }
 
 /// Shared handle to a TCP connection.
@@ -276,6 +381,17 @@ impl TcpInner {
             recover_fs: 0,
             rescue_done: false,
             lost_point: 0,
+            pipe_count: 0,
+            loss_frontier: 0,
+            rack: RackState::new(),
+            rack_lost: BTreeSet::new(),
+            reo_deadline: None,
+            rack_dirty: false,
+            tlp_fired: false,
+            tlp_deadline: None,
+            frto: FrtoState::Inactive,
+            prior_lost_point: 0,
+            sack_delta: Vec::new(),
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             rcv_sack: ReceiverSack::new(),
@@ -286,6 +402,8 @@ impl TcpInner {
             rto_timer: Timer::new(),
             rearm_rto: false,
             ack_timer: Timer::new(),
+            tlp_timer: Timer::new(),
+            reo_timer: Timer::new(),
             app: None,
             pending_events: Vec::new(),
             stats: TcpStats::default(),
@@ -315,7 +433,7 @@ impl TcpInner {
                 && if flags.ack {
                     self.sack_enabled
                 } else {
-                    self.config.sack
+                    self.config.recovery.uses_sack()
                 },
             blocks: Vec::new(),
         };
@@ -417,14 +535,7 @@ impl TcpInner {
                     self.fin_seq = Some(seg.seq_end() - 1);
                     self.enter_fin_state();
                 }
-                self.retx.insert(
-                    seq,
-                    RetxEntry {
-                        segment: seg,
-                        sent_at: now,
-                        retransmitted: false,
-                    },
-                );
+                self.insert_retx(seq, seg, now);
                 out.push(pkt);
             } else {
                 // Bare FIN.
@@ -434,14 +545,7 @@ impl TcpInner {
                 self.snd_nxt += 1;
                 self.fin_seq = Some(seq);
                 self.enter_fin_state();
-                self.retx.insert(
-                    seq,
-                    RetxEntry {
-                        segment: seg,
-                        sent_at: now,
-                        retransmitted: false,
-                    },
-                );
+                self.insert_retx(seq, seg, now);
                 out.push(pkt);
                 break;
             }
@@ -460,20 +564,25 @@ impl TcpInner {
     }
 
     /// Retransmit the earliest unacknowledged segment.
-    fn retransmit_head(&mut self, out: &mut Vec<Packet>) {
+    fn retransmit_head(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         let Some((&seq, _)) = self.retx.iter().next() else {
             return;
         };
-        self.retransmit_seq(seq, out);
+        self.retransmit_seq(seq, now, out);
     }
 
     /// Retransmit the retx entry starting at `seq`. Returns the sequence
     /// space re-sent (0 if there is no such entry).
-    fn retransmit_seq(&mut self, seq: u64, out: &mut Vec<Packet>) -> u64 {
+    fn retransmit_seq(&mut self, seq: u64, now: Timestamp, out: &mut Vec<Packet>) -> u64 {
+        let rack_active = self.rack_active();
         let Some(entry) = self.retx.get_mut(&seq) else {
             return 0;
         };
         entry.retransmitted = true;
+        if rack_active {
+            // RACK keys loss inference off *last* transmission times.
+            entry.sent_at = now;
+        }
         let seg = entry.segment.clone();
         let seq_len = seg.seq_len();
         self.stats.retransmissions += 1;
@@ -497,7 +606,7 @@ impl TcpInner {
                         && if flags.ack {
                             self.sack_enabled
                         } else {
-                            self.config.sack
+                            self.config.recovery.uses_sack()
                         },
                     blocks: Vec::new(),
                 },
@@ -507,6 +616,9 @@ impl TcpInner {
         };
         self.stats.segments_sent += 1;
         out.push(pkt);
+        // A retransmission re-enters the network: it counts toward pipe
+        // regardless of any loss presumption about the original.
+        self.refresh_pipe_entry(seq);
         seq_len
     }
 
@@ -519,28 +631,198 @@ impl TcpInner {
     /// it was retransmitted — so each octet counts at most once and pipe
     /// never exceeds the outstanding sequence space, an invariant the
     /// property tests pin down.)
+    ///
+    /// Maintained incrementally: every transition that changes a
+    /// segment's contribution (transmit, retransmit, ack, trim, new sack
+    /// coverage, loss marking) adjusts `pipe_count` through
+    /// [`refresh_pipe_entry`](TcpInner::refresh_pipe_entry), so reading
+    /// the estimate is O(1) instead of a per-ack walk of the
+    /// retransmission queue (measured: the dominant host-CPU cost of
+    /// SACK recovery on the lossy-transfer bench).
     fn pipe(&self) -> u64 {
-        let mut pipe = 0;
-        for (&seq, e) in &self.retx {
-            let end = e.segment.seq_end();
-            if self.scoreboard.is_sacked(seq, end) {
-                continue;
-            }
-            if e.retransmitted || !self.entry_is_lost(seq, end) {
-                pipe += e.segment.seq_len();
-            }
-        }
-        pipe
+        debug_assert_eq!(
+            self.pipe_count,
+            self.pipe_walk(),
+            "incremental pipe diverged from the definitional walk"
+        );
+        self.pipe_count
     }
 
-    /// Is the outstanding segment `[seq, end)` presumed lost — either by
-    /// the scoreboard's DupThresh evidence or by a timeout having declared
-    /// everything below `lost_point` gone?
+    /// The definitional O(n) pipe walk the incremental counter must
+    /// always agree with (debug assertions and property tests).
+    fn pipe_walk(&self) -> u64 {
+        self.retx
+            .iter()
+            .filter(|&(&seq, e)| self.entry_counts(seq, e.segment.seq_end(), e.retransmitted))
+            .map(|(_, e)| e.segment.seq_len())
+            .sum()
+    }
+
+    /// The single source of truth for a segment's pipe contribution:
+    /// sacked coverage contributes nothing; otherwise a segment counts
+    /// unless it is presumed lost and was never retransmitted. Every
+    /// reader — the definitional walk, the per-entry refresh, and the
+    /// bulk rebuild — goes through here, so the incremental counter and
+    /// the walk cannot drift apart by a one-sided edit.
+    fn entry_counts(&self, seq: u64, end: u64, retransmitted: bool) -> bool {
+        if self.scoreboard.is_sacked(seq, end) {
+            return false;
+        }
+        retransmitted || !self.entry_is_lost(seq, end)
+    }
+
+    /// Insert a freshly transmitted segment into the retransmission
+    /// queue. A new transmission always counts toward pipe: nothing
+    /// above it can be sacked and no loss evidence about it can exist.
+    fn insert_retx(&mut self, seq: u64, segment: TcpSegment, sent_at: Timestamp) {
+        self.pipe_count += segment.seq_len();
+        self.retx.insert(
+            seq,
+            RetxEntry {
+                segment,
+                sent_at,
+                first_sent_at: sent_at,
+                retransmitted: false,
+                in_pipe: true,
+            },
+        );
+    }
+
+    /// Remove a retx entry, keeping the pipe counter in step.
+    fn remove_retx(&mut self, seq: u64) -> Option<RetxEntry> {
+        let e = self.retx.remove(&seq)?;
+        if e.in_pipe {
+            self.pipe_count -= e.segment.seq_len();
+        }
+        Some(e)
+    }
+
+    /// Recompute one entry's pipe contribution after a state transition
+    /// (sacked, marked lost, retransmitted, trimmed) and adjust the
+    /// counter by the difference.
+    fn refresh_pipe_entry(&mut self, seq: u64) {
+        let Some(e) = self.retx.get(&seq) else {
+            return;
+        };
+        let end = e.segment.seq_end();
+        let len = e.segment.seq_len();
+        let retransmitted = e.retransmitted;
+        let was = e.in_pipe;
+        let counts = self.entry_counts(seq, end, retransmitted);
+        if counts != was {
+            if counts {
+                self.pipe_count += len;
+            } else {
+                self.pipe_count -= len;
+            }
+            self.retx.get_mut(&seq).unwrap().in_pipe = counts;
+        }
+    }
+
+    /// Rebuild the counter from the definitional walk after a bulk state
+    /// change (RTO mass-marking, F-RTO undo) where per-entry deltas
+    /// would touch every entry anyway.
+    fn rebuild_pipe(&mut self) {
+        let mut total = 0;
+        let keys: Vec<u64> = self.retx.keys().copied().collect();
+        for seq in keys {
+            let e = &self.retx[&seq];
+            let end = e.segment.seq_end();
+            let len = e.segment.seq_len();
+            let counts = self.entry_counts(seq, end, e.retransmitted);
+            if counts {
+                total += len;
+            }
+            self.retx.get_mut(&seq).unwrap().in_pipe = counts;
+        }
+        self.pipe_count = total;
+    }
+
+    /// Fold newly sacked ranges into the per-entry bookkeeping: refresh
+    /// pipe contributions, feed RACK's delivery clock from now-sacked
+    /// segments, and retire disproven RACK loss marks (widening the
+    /// reordering window — the segment arrived after all). Work is
+    /// bounded by the newly covered byte count, not queue length.
+    fn apply_sack_delta(&mut self, delta: &[SackBlock], now: Timestamp) {
+        let rack_active = self.rack_active();
+        let frto_armed = rack_active && !matches!(self.frto, FrtoState::Inactive);
+        for d in delta {
+            // Entries are disjoint; the one containing d.start may begin
+            // below it.
+            let first = self
+                .retx
+                .range(..=d.start)
+                .next_back()
+                .map(|(&s, _)| s)
+                .unwrap_or(d.start);
+            let keys: Vec<u64> = self.retx.range(first..d.end).map(|(&s, _)| s).collect();
+            for seq in keys {
+                let (end, sent_at, retransmitted) = {
+                    let e = &self.retx[&seq];
+                    (e.segment.seq_end(), e.sent_at, e.retransmitted)
+                };
+                if rack_active && self.scoreboard.is_sacked(seq, end) {
+                    // Same ambiguity guard as the cumulative-ack path:
+                    // mid-F-RTO, retransmitted deliveries don't advance
+                    // the delivery clock.
+                    if !(frto_armed && retransmitted) {
+                        self.rack_dirty |= self.rack.on_delivered(sent_at, end, retransmitted, now);
+                    }
+                    if self.rack_lost.remove(&seq) && !retransmitted {
+                        // The "lost" original was merely reordered.
+                        self.rack.on_spurious_mark();
+                    }
+                }
+                self.refresh_pipe_entry(seq);
+            }
+        }
+        if !delta.is_empty() {
+            self.advance_loss_frontier();
+        }
+    }
+
+    /// March the loss frontier upward over entries the scoreboard now
+    /// proves lost, refreshing their pipe contributions. Stops at the
+    /// first unsacked entry that is not lost: `IsLost` is monotone
+    /// downward, so nothing above it can be lost either.
+    fn advance_loss_frontier(&mut self) {
+        loop {
+            let Some((&seq, e)) = self.retx.range(self.loss_frontier..).next() else {
+                return;
+            };
+            let end = e.segment.seq_end();
+            if self.scoreboard.is_sacked(seq, end) {
+                self.loss_frontier = end;
+                continue;
+            }
+            if self.entry_is_lost(seq, end) {
+                self.loss_frontier = end;
+                self.refresh_pipe_entry(seq);
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Is the outstanding segment `[seq, end)` presumed lost — by the
+    /// scoreboard's DupThresh evidence, by a timeout having declared
+    /// everything below `lost_point` gone, or by a RACK delivery-time
+    /// mark?
     fn entry_is_lost(&self, seq: u64, end: u64) -> bool {
         if seq < self.lost_point && !self.scoreboard.is_sacked(seq, end) {
             return true;
         }
+        if self.rack_lost.contains(&seq) {
+            return true;
+        }
         self.scoreboard.is_lost(seq, end)
+    }
+
+    /// Whether the RACK-TLP machinery runs on this connection: the
+    /// `RackTlp` tier was configured *and* SACK negotiated (RACK infers
+    /// delivery order from sacked coverage).
+    fn rack_active(&self) -> bool {
+        self.sack_enabled && self.config.recovery.uses_rack()
     }
 
     /// Is the first outstanding segment presumed lost? (RFC 6675's
@@ -550,6 +832,86 @@ impl TcpInner {
             Some((&seq, e)) => self.entry_is_lost(seq, e.segment.seq_end()),
             None => false,
         }
+    }
+
+    /// RACK loss detection (RFC 8985): mark outstanding segments lost
+    /// when the delivery clock has overtaken them by more than the
+    /// reordering window, and remember the earliest future expiry so the
+    /// reordering timer can re-check (armed by `manage_timers`). No-op
+    /// outside the RackTlp tier.
+    fn rack_detect(&mut self, now: Timestamp) {
+        if !self.rack_active() || !self.rack.has_delivery() {
+            return;
+        }
+        // Verdicts change only when the delivery clock advances or a
+        // previously recorded reordering-window deadline passes; skip
+        // the queue scan otherwise (it would be a per-ack O(n) walk —
+        // the same hot-path cost the incremental pipe removed).
+        let deadline_due = self.reo_deadline.is_some_and(|d| d <= now);
+        if !self.rack_dirty && !deadline_due {
+            return;
+        }
+        self.rack_dirty = false;
+        let Some((clock_ts, clock_end)) = self.rack.clock() else {
+            return;
+        };
+        let mut marks: Vec<u64> = Vec::new();
+        let mut next: Option<Timestamp> = None;
+        for (&seq, e) in &self.retx {
+            let end = e.segment.seq_end();
+            // First-transmission (time, end) pairs are monotone in
+            // sequence order: once an entry's first transmission is at
+            // or past the delivery clock (same tiebreak as
+            // `sent_after`), so is everything above it — no further
+            // candidates. This keeps the common in-order case O(1): the
+            // head's first transmission already postdates the newest
+            // delivery, including in zero-latency worlds where whole
+            // windows share one timestamp.
+            if e.first_sent_at > clock_ts || (e.first_sent_at == clock_ts && end >= clock_end) {
+                break;
+            }
+            if self.rack_lost.contains(&seq)
+                || self.scoreboard.is_sacked(seq, end)
+                || !self.rack.sent_after(e.sent_at, end)
+            {
+                continue;
+            }
+            let deadline = self.rack.lost_deadline(e.sent_at);
+            if deadline <= now {
+                marks.push(seq);
+            } else {
+                next = Some(match next {
+                    Some(d) => d.min(deadline),
+                    None => deadline,
+                });
+            }
+        }
+        for seq in marks {
+            self.rack_lost.insert(seq);
+            self.stats.rack_loss_marks += 1;
+            self.refresh_pipe_entry(seq);
+        }
+        self.reo_deadline = next;
+    }
+
+    /// F-RTO verdict: the timeout was spurious — the flight was delayed,
+    /// not lost. Undo everything the timeout did: restore the congestion
+    /// window, drop the RTO backoff (the long-unwired
+    /// `RttEstimator::reset_backoff`, finally behind validated forward
+    /// progress), retract the §5.1 mass loss-marking, and leave recovery.
+    fn declare_spurious_rto(&mut self) {
+        self.stats.spurious_rtos += 1;
+        self.frto = FrtoState::Inactive;
+        self.recovery_point = None;
+        self.dup_acks = 0;
+        self.cc.on_spurious_timeout();
+        self.rtt.reset_backoff();
+        self.lost_point = self.prior_lost_point;
+        // The mass-marking is retracted wholesale, so per-entry deltas
+        // would touch everything anyway; rebuild and rescan.
+        self.rebuild_pipe();
+        self.loss_frontier = 0;
+        self.advance_loss_frontier();
     }
 
     /// Enter SACK loss recovery: multiplicative reduction via the
@@ -635,7 +997,7 @@ impl TcpInner {
             }
         }
         if let Some(seq) = rule1 {
-            return self.retransmit_seq(seq, out);
+            return self.retransmit_seq(seq, now, out);
         }
         // Rule 2 (gated by the peer's advertised window; PRR owns the
         // congestion budget).
@@ -652,7 +1014,7 @@ impl TcpInner {
                 .map(|(&seq, _)| seq);
             if let Some(seq) = rescue {
                 self.rescue_done = true;
-                return self.retransmit_seq(seq, out);
+                return self.retransmit_seq(seq, now, out);
             }
         }
         0
@@ -684,14 +1046,7 @@ impl TcpInner {
             self.enter_fin_state();
         }
         let len = seg.seq_len();
-        self.retx.insert(
-            seq,
-            RetxEntry {
-                segment: seg,
-                sent_at: now,
-                retransmitted: false,
-            },
-        );
+        self.insert_retx(seq, seg, now);
         out.push(pkt);
         if self.send_queued_bytes == 0 {
             self.pending_events.push(SocketEvent::SendQueueDrained);
@@ -743,9 +1098,9 @@ impl TcpInner {
     fn on_segment_syn_sent(&mut self, now: Timestamp, seg: TcpSegment, out: &mut Vec<Packet>) {
         if seg.flags.syn && seg.flags.ack && seg.ack == self.snd_nxt {
             // SACK is on only if we offered and the SYN-ACK confirmed.
-            self.sack_enabled = self.config.sack && seg.sack.permitted;
+            self.sack_enabled = self.config.recovery.uses_sack() && seg.sack.permitted;
             // Our SYN is acked; record RTT if not retransmitted.
-            if let Some(entry) = self.retx.remove(&(self.snd_nxt - 1)) {
+            if let Some(entry) = self.remove_retx(self.snd_nxt - 1) {
                 if !entry.retransmitted {
                     self.rtt.on_measurement(now.duration_since(entry.sent_at));
                 }
@@ -771,29 +1126,52 @@ impl TcpInner {
             return; // acks data we never sent; ignore
         }
         // Fold SACK blocks into the scoreboard first; both the dup-ack
-        // and the cumulative-ack paths feed on the newly sacked count.
+        // and the cumulative-ack paths feed on the newly sacked count,
+        // and the newly covered ranges drive the incremental pipe and
+        // RACK bookkeeping.
         let newly_sacked = if self.sack_enabled && !seg.sack.blocks.is_empty() {
-            self.scoreboard
-                .add_blocks(&seg.sack.blocks, self.snd_una.max(ack))
+            let mut delta = std::mem::take(&mut self.sack_delta);
+            delta.clear();
+            let newly = self.scoreboard.add_blocks_delta(
+                &seg.sack.blocks,
+                self.snd_una.max(ack),
+                &mut delta,
+            );
+            self.apply_sack_delta(&delta, now);
+            self.sack_delta = delta;
+            newly
         } else {
             0
         };
+        if self.rack_active() && (ack > self.snd_una || newly_sacked > 0) {
+            // Any delivery re-arms the Tail Loss Probe allowance.
+            self.tlp_fired = false;
+        }
         if ack > self.snd_una {
             let newly_acked = ack - self.snd_una;
             self.snd_una = ack;
             self.snd_wnd = seg.window;
             self.consecutive_timeouts = 0;
             self.rearm_rto = true;
-            // Sacked coverage the cumulative ack swallows was already
-            // counted into PRR's delivered total when it was sacked;
-            // RFC 6937's DeliveredData must not count it twice.
-            let sacked_before = self.scoreboard.sacked_bytes();
-            self.scoreboard.advance(ack);
-            let swallowed_sacked = sacked_before - self.scoreboard.sacked_bytes();
 
             // RTT sample from the newest fully-acked, never-retransmitted
-            // segment (Karn's algorithm).
+            // segment (Karn's algorithm). The loop runs before the
+            // scoreboard advances so per-entry sacked-ness (F-RTO's
+            // evidence filter) is still observable.
             let mut sample: Option<SimDuration> = None;
+            let rack_active = self.rack_active();
+            // F-RTO spurious-timeout evidence carried by this ack: bytes
+            // of fully-acked segments that were neither retransmitted
+            // since the timeout (§5.1 cleared every mark, so the flag is
+            // exactly "retransmitted since the RTO") nor already sacked
+            // before it. Such bytes can only be the *original*
+            // pre-timeout flight arriving late — delay, not loss. The
+            // per-entry filter is what RFC 5682's coarse first-ack rule
+            // lacks: with per-segment immediate acks the first post-RTO
+            // ack covers exactly the retransmitted head and the RFC
+            // algorithm would give up (DESIGN.md §3).
+            let mut frto_evidence = 0u64;
+            let frto_armed = rack_active && !matches!(self.frto, FrtoState::Inactive);
             let acked_keys: Vec<u64> = self.retx.range(..ack).map(|(&k, _)| k).collect();
             for k in acked_keys {
                 let fully_acked = {
@@ -801,9 +1179,40 @@ impl TcpInner {
                     e.segment.seq_end() <= ack
                 };
                 if fully_acked {
-                    let e = self.retx.remove(&k).unwrap();
+                    let was_sacked = {
+                        let e = &self.retx[&k];
+                        self.scoreboard.is_sacked(k, e.segment.seq_end())
+                    };
+                    let e = self.remove_retx(k).unwrap();
                     if !e.retransmitted {
                         sample = Some(now.duration_since(e.sent_at));
+                    }
+                    if frto_armed && !e.retransmitted && !was_sacked {
+                        frto_evidence += e.segment.seq_len();
+                    }
+                    if rack_active {
+                        // While F-RTO is still weighing spurious-vs-real,
+                        // a retransmitted segment's ack is exactly the
+                        // ambiguity under investigation (original or
+                        // copy?) — letting it advance RACK's delivery
+                        // clock to the retransmit time would mark the
+                        // entire delayed original flight lost the moment
+                        // the verdict lands.
+                        if !(frto_armed && e.retransmitted) {
+                            self.rack_dirty |= self.rack.on_delivered(
+                                e.sent_at,
+                                e.segment.seq_end(),
+                                e.retransmitted,
+                                now,
+                            );
+                        }
+                        if self.rack_lost.remove(&k) && !e.retransmitted {
+                            // Cumulatively acked without a retransmission:
+                            // the RACK mark was reordering, not loss.
+                            self.rack.on_spurious_mark();
+                        }
+                    } else {
+                        self.rack_lost.remove(&k);
                     }
                 } else {
                     // Partial ack into this segment: trim the acked prefix
@@ -814,18 +1223,89 @@ impl TcpInner {
                         let mut seg2 = e.segment.clone();
                         seg2.payload = seg2.payload.slice(cut..);
                         seg2.seq = ack;
-                        let entry = RetxEntry {
-                            segment: seg2,
-                            sent_at: e.sent_at,
-                            retransmitted: e.retransmitted,
-                        };
-                        self.retx.remove(&k);
-                        self.retx.insert(ack, entry);
+                        let sent_at = e.sent_at;
+                        let first_sent_at = e.first_sent_at;
+                        let retransmitted = e.retransmitted;
+                        self.remove_retx(k);
+                        self.retx.insert(
+                            ack,
+                            RetxEntry {
+                                segment: seg2,
+                                sent_at,
+                                first_sent_at,
+                                retransmitted,
+                                in_pipe: false,
+                            },
+                        );
+                        if self.rack_lost.remove(&k) {
+                            self.rack_lost.insert(ack);
+                        }
+                        self.refresh_pipe_entry(ack);
                     }
                 }
             }
+            // Sacked coverage the cumulative ack swallows was already
+            // counted into PRR's delivered total when it was sacked;
+            // RFC 6937's DeliveredData must not count it twice.
+            let sacked_before = self.scoreboard.sacked_bytes();
+            self.scoreboard.advance(ack);
+            let swallowed_sacked = sacked_before - self.scoreboard.sacked_bytes();
+
             if let Some(rtt) = sample {
                 self.rtt.on_measurement(rtt);
+            }
+
+            // F-RTO (RFC 5682, per-entry evidence variant): advance the
+            // spurious-timeout probe before any recovery retransmissions.
+            // `skip_recovery_sends` suppresses this ack's selective
+            // retransmissions while the probe is mid-flight — a
+            // retransmission would mark the very entries whose
+            // unretransmitted delivery is the evidence.
+            let mut skip_recovery_sends = false;
+            if frto_armed {
+                match self.frto {
+                    _ if frto_evidence > 0 => {
+                        // Never-retransmitted, never-sacked bytes were
+                        // cumulatively acked after the timeout: the
+                        // original flight is arriving. Spurious — undo.
+                        self.declare_spurious_rto();
+                    }
+                    FrtoState::RtoSent { retx_end } => {
+                        let covers_recovery = matches!(self.recovery_point, Some(rp) if ack >= rp);
+                        if covers_recovery || ack > retx_end {
+                            // The flight is fully accounted for, or the
+                            // ack ran past the retransmission on
+                            // previously-sacked coverage only: genuine
+                            // loss, recover conventionally.
+                            self.frto = FrtoState::Inactive;
+                        } else {
+                            // Exactly the retransmitted head was acked —
+                            // ambiguous (original or retransmission?).
+                            // Keep the ack clock moving with up to two
+                            // NEW segments (RFC 5682 step 2b) and let the
+                            // next ack decide.
+                            for _ in 0..2 {
+                                if self.send_queued_bytes == 0
+                                    || self.flight_size() + MSS as u64 > self.snd_wnd
+                                {
+                                    break;
+                                }
+                                if self.send_new_segment(now, out) == 0 {
+                                    break;
+                                }
+                            }
+                            self.frto = FrtoState::NewDataSent { retx_end };
+                            skip_recovery_sends = true;
+                        }
+                    }
+                    FrtoState::NewDataSent { .. } => {
+                        // A further cumulative ack with no unretransmitted
+                        // evidence: the retransmissions are what's being
+                        // acked. Genuine loss.
+                        self.frto = FrtoState::Inactive;
+                    }
+                    FrtoState::Inactive => {}
+                }
             }
 
             match self.recovery_point {
@@ -841,20 +1321,25 @@ impl TcpInner {
                     // selective retransmissions — no go-back-N.
                     self.prr_delivered +=
                         newly_acked.saturating_sub(swallowed_sacked) + newly_sacked;
-                    self.sack_transmit(now, out);
+                    if !skip_recovery_sends {
+                        self.rack_detect(now);
+                        self.sack_transmit(now, out);
+                    }
                 }
                 Some(_) => {
                     // Partial ack during recovery (NewReno): retransmit the
                     // next hole immediately, and let the window grow so
                     // go-back-N recovery accelerates past stop-and-wait.
                     self.cc.on_ack(newly_acked, now, self.rtt.srtt());
-                    self.retransmit_head(out);
+                    self.retransmit_head(now, out);
                 }
                 None => {
                     self.dup_acks = 0;
                     self.cc.on_ack(newly_acked, now, self.rtt.srtt());
                     // A cumulative ack can itself reveal a loss: enough
-                    // sacked coverage above the new hole (RFC 6675 §5).
+                    // sacked coverage above the new hole (RFC 6675 §5), or
+                    // RACK's delivery clock overtaking an unsacked hole.
+                    self.rack_detect(now);
                     if self.sack_enabled && self.head_is_lost() {
                         self.enter_sack_recovery(now, out);
                     }
@@ -878,6 +1363,12 @@ impl TcpInner {
         {
             // Duplicate ACK (with SACK, usually carrying new blocks).
             self.dup_acks += 1;
+            // A dup ack is conventional-recovery evidence: any F-RTO
+            // probe in flight concludes "not spurious" (RFC 5682 step 3).
+            if !matches!(self.frto, FrtoState::Inactive) {
+                self.frto = FrtoState::Inactive;
+            }
+            self.rack_detect(now);
             match self.recovery_point {
                 None if self.sack_enabled => {
                     if self.dup_acks >= DUP_THRESH as u32 || self.head_is_lost() {
@@ -900,7 +1391,7 @@ impl TcpInner {
                         self.stats.fast_retransmits += 1;
                         self.recovery_point = Some(self.snd_nxt);
                         self.cc.on_fast_retransmit(self.flight_size(), now);
-                        self.retransmit_head(out);
+                        self.retransmit_head(now, out);
                     }
                 }
                 Some(_) if self.sack_enabled => {
@@ -972,7 +1463,14 @@ impl TcpInner {
                     self.on_peer_fin();
                 }
             }
-            self.queue_ack(now, out, false);
+            // While holes remain above this in-order data, every ACK must
+            // go out immediately and carry SACK blocks (RFC 2018) — the
+            // sender's recovery is clocked by them, and delayed-ACK
+            // batching here would stall it by a delayed-ack interval per
+            // hole. With no holes (or without SACK) the normal batching
+            // applies.
+            let hole_above = self.sack_enabled && !self.ooo.is_empty();
+            self.queue_ack(now, out, hole_above);
         } else {
             // Out of order: stash and send an immediate duplicate ACK
             // (carrying SACK blocks when negotiated).
@@ -1025,9 +1523,16 @@ impl TcpInner {
         self.state = TcpState::Closed;
         self.rto_timer.cancel();
         self.ack_timer.cancel();
+        self.tlp_timer.cancel();
+        self.reo_timer.cancel();
         self.send_queue.clear();
         self.send_queued_bytes = 0;
         self.retx.clear();
+        self.pipe_count = 0;
+        self.rack_lost.clear();
+        self.reo_deadline = None;
+        self.tlp_deadline = None;
+        self.frto = FrtoState::Inactive;
         self.ooo.clear();
         self.scoreboard.clear();
     }
@@ -1060,14 +1565,7 @@ impl TcpHandle {
         let now = sim.now();
         let syn = inner.make_packet(TcpFlags::SYN, 0, Bytes::new());
         inner.snd_nxt = 1;
-        inner.retx.insert(
-            0,
-            RetxEntry {
-                segment: syn.segment.clone(),
-                sent_at: now,
-                retransmitted: false,
-            },
-        );
+        inner.insert_retx(0, syn.segment.clone(), now);
         let handle = TcpHandle {
             inner: Rc::new(RefCell::new(inner)),
         };
@@ -1101,18 +1599,11 @@ impl TcpHandle {
         inner.rcv_nxt = syn.seq + 1;
         inner.snd_wnd = syn.window;
         // Settle SACK before the SYN-ACK so it carries the confirmation.
-        inner.sack_enabled = inner.config.sack && syn.sack.permitted;
+        inner.sack_enabled = inner.config.recovery.uses_sack() && syn.sack.permitted;
         let now = sim.now();
         let syn_ack = inner.make_packet(TcpFlags::SYN_ACK, 0, Bytes::new());
         inner.snd_nxt = 1;
-        inner.retx.insert(
-            0,
-            RetxEntry {
-                segment: syn_ack.segment.clone(),
-                sent_at: now,
-                retransmitted: false,
-            },
-        );
+        inner.insert_retx(0, syn_ack.segment.clone(), now);
         let handle = TcpHandle {
             inner: Rc::new(RefCell::new(inner)),
         };
@@ -1218,8 +1709,28 @@ impl TcpHandle {
     /// RFC 6675 pipe estimate — bytes believed still in the network
     /// (diagnostics/tests; meaningful whether or not SACK is on, since an
     /// empty scoreboard makes it degenerate to outstanding bytes).
+    /// Incrementally maintained; in debug builds reading it cross-checks
+    /// the counter against the definitional walk.
     pub fn pipe_estimate(&self) -> u64 {
         self.inner.borrow().pipe()
+    }
+
+    /// The definitional O(n) pipe walk (tests: must always equal
+    /// [`pipe_estimate`](TcpHandle::pipe_estimate)).
+    pub fn pipe_estimate_walk(&self) -> u64 {
+        self.inner.borrow().pipe_walk()
+    }
+
+    /// Current congestion window, bytes (diagnostics/tests — e.g.
+    /// asserting the F-RTO spurious-timeout undo restored it).
+    pub fn cwnd(&self) -> u64 {
+        self.inner.borrow().cc.cwnd()
+    }
+
+    /// Current retransmission timeout, including any exponential backoff
+    /// (diagnostics/tests — the F-RTO undo drops accumulated backoff).
+    pub fn current_rto(&self) -> SimDuration {
+        self.inner.borrow().rtt.rto()
     }
 
     /// Outstanding sequence space (`snd_nxt - snd_una`), the flight size
@@ -1284,6 +1795,7 @@ impl TcpHandle {
         } else if !needs_rto {
             self.inner.borrow().rto_timer.cancel();
         }
+        self.manage_rack_timers(sim);
         if let Some(delay) = delayed_ack {
             let me = self.clone();
             let timer = self.inner.borrow().ack_timer.clone();
@@ -1314,6 +1826,178 @@ impl TcpHandle {
         timer.arm(sim, rto, move |sim| me.on_rto(sim));
     }
 
+    /// Arm or cancel the RackTlp-tier timers: the Tail Loss Probe (only
+    /// while data is outstanding, out of recovery, with the probe
+    /// allowance unspent, and strictly *before* the armed RTO — a probe
+    /// that would fire at or after the RTO is pointless and forbidden)
+    /// and the RACK reordering-window expiry requested by detection.
+    ///
+    /// Timer discipline: the desired TLP deadline moves forward on every
+    /// flush, but the armed timer is left alone when it is already set
+    /// to fire no later — the fire handler re-arms itself forward to the
+    /// then-current desired deadline. Without this, each flush would
+    /// push a dead timer generation onto the event heap (measured as the
+    /// dominant RackTlp host cost on the lossy-transfer bench).
+    fn manage_rack_timers(&self, sim: &mut Simulator) {
+        let now = sim.now();
+        enum TimerPlan {
+            Arm(Timestamp),
+            Keep,
+            Cancel,
+        }
+        let (tlp_timer, tlp_plan, reo_timer, reo_plan) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.rack_active() {
+                return;
+            }
+            let outstanding = !inner.retx.is_empty() && inner.state != TcpState::Closed;
+            let desired = if outstanding
+                && inner.recovery_point.is_none()
+                && !inner.tlp_fired
+                && inner.consecutive_timeouts == 0
+            {
+                inner
+                    .rtt
+                    .srtt()
+                    .map(|srtt| {
+                        // RFC 8985's PTO: two round trips for the probe's
+                        // ack to return, plus slack for ack jitter.
+                        now + srtt.saturating_mul(2) + TLP_SLACK
+                    })
+                    .filter(|&at| at < inner.rto_timer.deadline())
+            } else {
+                None
+            };
+            inner.tlp_deadline = desired;
+            let tlp_plan = match desired {
+                Some(at) if inner.tlp_timer.is_armed() && inner.tlp_timer.deadline() <= at => {
+                    TimerPlan::Keep
+                }
+                Some(at) => TimerPlan::Arm(at),
+                None => TimerPlan::Cancel,
+            };
+            // A recorded expiry can already be due (detection is gated
+            // and may not have rechecked since): fire as soon as
+            // possible, never in the past.
+            let reo_plan = match inner
+                .reo_deadline
+                .filter(|_| outstanding)
+                .map(|at| at.max(now))
+            {
+                Some(at) if inner.reo_timer.deadline() == at => TimerPlan::Keep,
+                Some(at) => TimerPlan::Arm(at),
+                None => TimerPlan::Cancel,
+            };
+            (
+                inner.tlp_timer.clone(),
+                tlp_plan,
+                inner.reo_timer.clone(),
+                reo_plan,
+            )
+        };
+        match tlp_plan {
+            TimerPlan::Arm(at) => {
+                let me = self.clone();
+                tlp_timer.arm_at(sim, at, move |sim| me.on_tlp(sim));
+            }
+            TimerPlan::Keep => {}
+            TimerPlan::Cancel => tlp_timer.cancel(),
+        }
+        match reo_plan {
+            TimerPlan::Arm(at) => {
+                let me = self.clone();
+                reo_timer.arm_at(sim, at, move |sim| me.on_reo_timer(sim));
+            }
+            TimerPlan::Keep => {}
+            TimerPlan::Cancel => reo_timer.cancel(),
+        }
+    }
+
+    /// Tail Loss Probe fire: one probe segment — new data if the peer's
+    /// window allows, else a retransmission of the highest unsacked
+    /// outstanding segment — so a pure tail loss produces the SACK
+    /// feedback RACK recovery needs instead of waiting out the RTO.
+    fn on_tlp(&self, sim: &mut Simulator) {
+        let now = sim.now();
+        let mut packets = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.rack_active()
+                || inner.retx.is_empty()
+                || inner.state == TcpState::Closed
+                || inner.recovery_point.is_some()
+            {
+                return;
+            }
+            // Lazily re-arm: the desired deadline has usually moved past
+            // the one this firing was scheduled for.
+            let Some(desired) = inner.tlp_deadline else {
+                return;
+            };
+            if desired > now {
+                let timer = inner.tlp_timer.clone();
+                let me = self.clone();
+                drop(inner);
+                timer.arm_at(sim, desired, move |sim| me.on_tlp(sim));
+                return;
+            }
+            debug_assert!(
+                !inner.rto_timer.is_armed() || inner.rto_timer.deadline() >= now,
+                "TLP fired past an armed, nearer RTO"
+            );
+            inner.tlp_fired = true;
+            inner.tlp_deadline = None;
+            inner.stats.tlp_probes += 1;
+            let sent = if inner.send_queued_bytes > 0
+                && inner.flight_size() + MSS as u64 <= inner.snd_wnd
+            {
+                inner.send_new_segment(now, &mut packets)
+            } else {
+                0
+            };
+            if sent == 0 {
+                let probe = inner
+                    .retx
+                    .iter()
+                    .rev()
+                    .find(|(&seq, e)| !inner.scoreboard.is_sacked(seq, e.segment.seq_end()))
+                    .map(|(&seq, _)| seq);
+                if let Some(seq) = probe {
+                    inner.retransmit_seq(seq, now, &mut packets);
+                }
+            }
+            // The probe restarts the RTO clock (RFC 8985 §7.3).
+            inner.rearm_rto = true;
+        }
+        self.flush(sim, packets);
+    }
+
+    /// RACK reordering-window expiry: segments that were within the
+    /// window when last checked may have crossed into "lost" by pure
+    /// passage of time, with no ack to trigger re-detection.
+    fn on_reo_timer(&self, sim: &mut Simulator) {
+        let now = sim.now();
+        let mut packets = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.rack_active() || inner.retx.is_empty() || inner.state == TcpState::Closed {
+                return;
+            }
+            // `reo_deadline` is left set: its being due is what lets
+            // `rack_detect` through the dirty-gate; detection then
+            // replaces it with the next pending expiry (or clears it).
+            inner.rack_detect(now);
+            if inner.recovery_point.is_none() {
+                if inner.sack_enabled && inner.head_is_lost() && inner.flight_size() > 0 {
+                    inner.enter_sack_recovery(now, &mut packets);
+                }
+            } else {
+                inner.sack_transmit(now, &mut packets);
+            }
+        }
+        self.flush(sim, packets);
+    }
+
     fn on_rto(&self, sim: &mut Simulator) {
         let mut packets = Vec::new();
         let now = sim.now();
@@ -1331,6 +2015,21 @@ impl TcpHandle {
                 dead = true;
             } else {
                 let flight = inner.flight_size();
+                // F-RTO (RFC 5682) eligibility: RackTlp tier, first
+                // timeout of this episode, not already inside a loss
+                // recovery. Capture the pre-timeout loss watermark so a
+                // spurious verdict can retract the §5.1 mass-marking.
+                let frto_eligible = inner.rack_active()
+                    && inner.consecutive_timeouts == 1
+                    && inner.recovery_point.is_none();
+                if frto_eligible {
+                    inner.prior_lost_point = inner.lost_point;
+                } else {
+                    // A repeated or in-recovery RTO muddies the evidence a
+                    // probe in flight was collecting (RFC 5682 applies
+                    // F-RTO to the first timeout only).
+                    inner.frto = FrtoState::Inactive;
+                }
                 inner.cc.on_timeout(flight, now);
                 inner.rtt.backoff();
                 // Keep a recovery point so every partial ACK immediately
@@ -1338,6 +2037,12 @@ impl TcpHandle {
                 // would cost its own RTO — catastrophic under burst loss).
                 inner.recovery_point = Some(inner.snd_nxt);
                 inner.dup_acks = 0;
+                // Timers subordinate to the RTO are void once it fires.
+                inner.tlp_timer.cancel();
+                inner.reo_timer.cancel();
+                inner.reo_deadline = None;
+                inner.tlp_deadline = None;
+                inner.tlp_fired = false;
                 if inner.sack_enabled {
                     // RFC 6675 §5.1: an RTO clears the per-segment
                     // retransmission marks (Karn's rule), keeps the sacked
@@ -1355,16 +2060,25 @@ impl TcpHandle {
                     inner.prr_out = 0;
                     inner.recover_fs = flight.max(1);
                     inner.rescue_done = false;
+                    // The mass-marking flips most contributions at once;
+                    // rebuild the incremental pipe rather than diffing.
+                    inner.rebuild_pipe();
+                    inner.loss_frontier = inner.snd_nxt;
                     let first_hole = inner
                         .retx
                         .iter()
                         .find(|&(&seq, e)| !inner.scoreboard.is_sacked(seq, e.segment.seq_end()))
                         .map(|(&seq, _)| seq);
                     if let Some(seq) = first_hole {
-                        inner.retransmit_seq(seq, &mut packets);
+                        let len = inner.retransmit_seq(seq, now, &mut packets);
+                        if frto_eligible {
+                            inner.frto = FrtoState::RtoSent {
+                                retx_end: seq + len,
+                            };
+                        }
                     }
                 } else {
-                    inner.retransmit_head(&mut packets);
+                    inner.retransmit_head(now, &mut packets);
                 }
             }
         }
@@ -1488,20 +2202,17 @@ mod tests {
         let mut inner = make_inner(TcpState::Established);
         inner.snd_una = 0;
         inner.snd_nxt = 3000;
-        inner.retx.insert(
+        inner.insert_retx(
             0,
-            RetxEntry {
-                segment: TcpSegment {
-                    flags: TcpFlags::ACK,
-                    seq: 0,
-                    ack: 0,
-                    window: 0,
-                    sack: Default::default(),
-                    payload: Bytes::from(vec![0; 1460]),
-                },
-                sent_at: Timestamp::ZERO,
-                retransmitted: false,
+            TcpSegment {
+                flags: TcpFlags::ACK,
+                seq: 0,
+                ack: 0,
+                window: 0,
+                sack: Default::default(),
+                payload: Bytes::from(vec![0; 1460]),
             },
+            Timestamp::ZERO,
         );
         let mut out = Vec::new();
         let dup = TcpSegment {
@@ -1528,14 +2239,7 @@ mod tests {
     fn new_ack_clears_dupack_count() {
         let mut inner = make_inner(TcpState::Established);
         inner.snd_nxt = 100;
-        inner.retx.insert(
-            0,
-            RetxEntry {
-                segment: data_seg(0, &[0u8; 100]),
-                sent_at: Timestamp::ZERO,
-                retransmitted: false,
-            },
-        );
+        inner.insert_retx(0, data_seg(0, &[0u8; 100]), Timestamp::ZERO);
         let mut out = Vec::new();
         let dup = TcpSegment {
             flags: TcpFlags::ACK,

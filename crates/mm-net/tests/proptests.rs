@@ -1,16 +1,20 @@
 //! Property tests: TCP delivers arbitrary byte streams intact, in order,
 //! through handshake, segmentation and reassembly; the SACK scoreboard
 //! keeps its structural invariants under arbitrary block/ack
-//! interleavings; and SACK loss recovery terminates with the pipe
-//! estimate bounded by the bytes in flight.
+//! interleavings; SACK and RACK-TLP loss recovery terminate with the
+//! incremental pipe estimate equal to the definitional walk and bounded
+//! by the bytes in flight; the RACK state machine keeps its
+//! reordering-window and delivery-clock invariants; and delayed-ACK ×
+//! SACK interaction acks immediately, with blocks, while holes exist.
 
 use bytes::Bytes;
+use mm_net::tcp::rack::RackState;
 use mm_net::tcp::sack::Scoreboard;
 use mm_net::{
-    Host, IpAddr, Listener, Namespace, Packet, PacketIdGen, PacketSink, SackBlock, SinkRef,
-    SocketAddr, SocketApp, SocketEvent, TcpConfig, TcpHandle,
+    Host, IpAddr, Listener, Namespace, Packet, PacketIdGen, PacketSink, RecoveryTier, SackBlock,
+    SinkRef, SocketAddr, SocketApp, SocketEvent, TcpConfig, TcpHandle,
 };
-use mm_sim::{SimDuration, Simulator};
+use mm_sim::{SimDuration, Simulator, Timestamp};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -148,8 +152,9 @@ proptest! {
 }
 
 /// Drops the data segments whose 0-based first-transmission index is in
-/// `drops`, once each; samples the sender's pipe/flight invariant on
-/// every packet it forwards.
+/// `drops`, once each; samples the sender's pipe/flight invariant — and
+/// the incremental-pipe-equals-walk invariant — on every packet it
+/// forwards.
 struct DropByIndex {
     next: SinkRef,
     drops: Vec<u64>,
@@ -166,6 +171,10 @@ impl PacketSink for DropByIndex {
             let flight = h.flight_bytes();
             if pipe > flight {
                 self.violations.borrow_mut().push((pipe, flight));
+            }
+            let walk = h.pipe_estimate_walk();
+            if pipe != walk {
+                self.violations.borrow_mut().push((pipe, walk));
             }
         }
         if !pkt.segment.payload.is_empty() && !self.dropped_seqs.borrow().contains(&pkt.segment.seq)
@@ -188,6 +197,74 @@ impl PacketSink for DropByIndex {
     }
 }
 
+/// Shared body: transfer `total` bytes at `tier` dropping data segments
+/// by first-transmission index, asserting stream integrity, recovery
+/// termination, and the pipe invariants sampled on every packet.
+fn recovery_terminates(tier: RecoveryTier, total: usize, drops: &[u64]) {
+    let mut sim = Simulator::new();
+    let ns = Namespace::root("w");
+    let ids = PacketIdGen::new();
+    let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
+    let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+    let config = TcpConfig {
+        recovery: tier,
+        ..TcpConfig::default()
+    };
+    client.set_tcp_config(config.clone());
+    server.set_tcp_config(config);
+
+    let violations = Rc::new(RefCell::new(Vec::new()));
+    let wire = Rc::new(DropByIndex {
+        next: ns.router(),
+        drops: drops.to_vec(),
+        seen: RefCell::new(0),
+        dropped_seqs: RefCell::new(Vec::new()),
+        handle: RefCell::new(None),
+        violations: violations.clone(),
+    });
+    ns.add_host(client.ip(), client.sink());
+    client.set_egress(wire.clone());
+
+    let received = Rc::new(RefCell::new(Vec::new()));
+    server.listen(
+        80,
+        Rc::new(Sink {
+            buf: received.clone(),
+        }),
+    );
+    let payload: Vec<u8> = (0..total as u32).map(|i| (i % 251) as u8).collect();
+    struct SendAll {
+        data: RefCell<Option<Bytes>>,
+    }
+    impl SocketApp for SendAll {
+        fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+            if matches!(ev, SocketEvent::Connected) {
+                if let Some(d) = self.data.borrow_mut().take() {
+                    h.send(sim, d);
+                }
+            }
+        }
+    }
+    let h = client.connect(
+        &mut sim,
+        SocketAddr::new(server.ip(), 80),
+        Rc::new(SendAll {
+            data: RefCell::new(Some(Bytes::from(payload.clone()))),
+        }),
+    );
+    *wire.handle.borrow_mut() = Some(h.clone());
+    sim.run();
+    // Recovery terminated: the whole stream arrived intact (the
+    // simulator ran out of events, so nothing is stuck retrying).
+    assert_eq!(&received.borrow()[..], &payload[..]);
+    assert!(h.sack_enabled());
+    assert!(
+        violations.borrow().is_empty(),
+        "pipe violated flight bound or walk equality: {:?}",
+        violations.borrow()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
@@ -195,54 +272,332 @@ proptest! {
         total in 10_000usize..120_000,
         drops in prop::collection::vec(0u64..60, 0..12),
     ) {
-        let mut sim = Simulator::new();
-        let ns = Namespace::root("w");
-        let ids = PacketIdGen::new();
-        let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
-        let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-        let config = TcpConfig { sack: true, ..TcpConfig::default() };
-        client.set_tcp_config(config.clone());
-        server.set_tcp_config(config);
+        recovery_terminates(RecoveryTier::Sack, total, &drops);
+    }
 
-        let violations = Rc::new(RefCell::new(Vec::new()));
-        let wire = Rc::new(DropByIndex {
-            next: ns.router(),
-            drops: drops.clone(),
-            seen: RefCell::new(0),
-            dropped_seqs: RefCell::new(Vec::new()),
-            handle: RefCell::new(None),
-            violations: violations.clone(),
-        });
-        ns.add_host(client.ip(), client.sink());
-        client.set_egress(wire.clone());
+    #[test]
+    fn racktlp_recovery_terminates_and_pipe_bounded(
+        total in 10_000usize..120_000,
+        drops in prop::collection::vec(0u64..60, 0..12),
+    ) {
+        // Same invariants with the time-based machinery live: RACK marks,
+        // TLP probes and F-RTO must never corrupt the stream, stall the
+        // transfer, or desynchronize the incremental pipe. (The
+        // TLP-never-fires-past-a-nearer-RTO invariant is a debug
+        // assertion exercised by every one of these cases.)
+        recovery_terminates(RecoveryTier::RackTlp, total, &drops);
+    }
+}
 
-        let received = Rc::new(RefCell::new(Vec::new()));
-        server.listen(80, Rc::new(Sink { buf: received.clone() }));
-        let payload: Vec<u8> = (0..total as u32).map(|i| (i % 251) as u8).collect();
-        struct SendAll { data: RefCell<Option<Bytes>> }
-        impl SocketApp for SendAll {
-            fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
-                if matches!(ev, SocketEvent::Connected) {
-                    if let Some(d) = self.data.borrow_mut().take() {
-                        h.send(sim, d);
+/// Mirror of the receiver's reassembly state, maintained by the wires on
+/// either side of the server, used to check the delayed-ACK × SACK
+/// contract: while holes exist, every ACK leaves immediately (no
+/// delayed-ACK batching) and carries SACK blocks.
+#[derive(Default)]
+struct ReceiverModel {
+    rcv_nxt: u64,
+    ooo: std::collections::BTreeMap<u64, u64>,
+    /// 1 while a data arrival that demanded an immediate ACK is still
+    /// unacked; the next data arrival finding it set is a violation.
+    pending_immediate: u32,
+    /// Whether any hole ever existed (guards tests against vacuity).
+    holes_seen: bool,
+    violations: Vec<String>,
+}
+
+impl ReceiverModel {
+    fn holes(&self) -> bool {
+        !self.ooo.is_empty()
+    }
+
+    fn on_data(&mut self, seq: u64, len: u64) {
+        if self.pending_immediate > 0 {
+            self.violations.push(format!(
+                "data at seq {seq} arrived before the previous in-hole arrival was acked"
+            ));
+        }
+        let end = seq + len;
+        if end > self.rcv_nxt {
+            let start = seq.max(self.rcv_nxt);
+            if start == self.rcv_nxt {
+                self.rcv_nxt = end;
+                // Drain contiguous out-of-order coverage.
+                while let Some((&oseq, &olen)) = self.ooo.iter().next() {
+                    if oseq > self.rcv_nxt {
+                        break;
                     }
+                    self.ooo.pop_first();
+                    self.rcv_nxt = self.rcv_nxt.max(oseq + olen);
+                }
+            } else {
+                self.ooo.entry(start).or_insert(end - start);
+            }
+        }
+        // Any arrival while holes remain — out-of-order, duplicate, or
+        // in-order below the holes — must be acked before the next data
+        // segment is processed.
+        self.pending_immediate = if self.holes() { 1 } else { 0 };
+        self.holes_seen |= self.holes();
+    }
+
+    fn on_ack(&mut self, blocks_len: usize) {
+        if self.holes() && blocks_len == 0 {
+            self.violations
+                .push("ACK without SACK blocks while holes exist".to_string());
+        }
+        self.pending_immediate = 0;
+    }
+}
+
+/// Client→server wire: drops by first-transmission index, then delivers
+/// after a fixed delay, updating the shared model in the same event as
+/// the server's dispatch (scheduled just before it, so the ACK the
+/// server emits observes the updated model).
+struct ModelledDataWire {
+    next: SinkRef,
+    delay: SimDuration,
+    drops: Vec<u64>,
+    seen: RefCell<u64>,
+    dropped_seqs: RefCell<Vec<u64>>,
+    model: Rc<RefCell<ReceiverModel>>,
+}
+
+impl PacketSink for ModelledDataWire {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        if !pkt.segment.payload.is_empty() && !self.dropped_seqs.borrow().contains(&pkt.segment.seq)
+        {
+            let idx = {
+                let mut seen = self.seen.borrow_mut();
+                let i = *seen;
+                *seen += 1;
+                i
+            };
+            if self.drops.contains(&idx) {
+                self.dropped_seqs.borrow_mut().push(pkt.segment.seq);
+                return;
+            }
+        }
+        let next = self.next.clone();
+        let model = self.model.clone();
+        sim.schedule_in(self.delay, move |sim| {
+            if !pkt.segment.payload.is_empty() {
+                let (seq, len) = (pkt.segment.seq, pkt.segment.payload.len() as u64);
+                let m = model.clone();
+                // Runs before the host's same-timestamp dispatch of this
+                // packet, and after the dispatch of every earlier one.
+                sim.schedule_at(sim.now(), move |_| m.borrow_mut().on_data(seq, len));
+            }
+            next.deliver(sim, pkt);
+        });
+    }
+}
+
+/// Server→client wire: checks each ACK against the model synchronously
+/// (it is invoked inside the server's dispatch, after the model update
+/// for the triggering data segment), then delivers after the delay.
+struct AckCheckWire {
+    next: SinkRef,
+    delay: SimDuration,
+    model: Rc<RefCell<ReceiverModel>>,
+}
+
+impl PacketSink for AckCheckWire {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        if pkt.segment.payload.is_empty() && !pkt.segment.flags.syn {
+            self.model
+                .borrow_mut()
+                .on_ack(pkt.segment.sack.blocks.len());
+        }
+        let next = self.next.clone();
+        sim.schedule_in(self.delay, move |sim| next.deliver(sim, pkt));
+    }
+}
+
+/// Transfer with delayed ACKs + the given recovery tier under arbitrary
+/// drops, returning the model's violations.
+fn delayed_ack_sack_transfer(
+    tier: RecoveryTier,
+    total: usize,
+    drops: &[u64],
+) -> (Vec<u8>, Vec<u8>, Vec<String>, bool) {
+    let mut sim = Simulator::new();
+    let ns = Namespace::root("w");
+    let ids = PacketIdGen::new();
+    let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
+    let server = Host::new(IpAddr::new(10, 0, 0, 2), ids);
+    let config = TcpConfig {
+        recovery: tier,
+        delayed_ack: Some(SimDuration::from_millis(40)),
+        ..TcpConfig::default()
+    };
+    client.set_tcp_config(config.clone());
+    server.set_tcp_config(config);
+
+    let model = Rc::new(RefCell::new(ReceiverModel {
+        // The client's SYN consumes sequence number 0; its data stream
+        // starts at 1.
+        rcv_nxt: 1,
+        ..ReceiverModel::default()
+    }));
+    let delay = SimDuration::from_millis(20);
+    // Server reachable through the namespace; its ACKs flow back through
+    // the checking wire straight to the client's sink.
+    ns.add_host(server.ip(), server.sink());
+    server.set_egress(Rc::new(AckCheckWire {
+        next: client.sink(),
+        delay,
+        model: model.clone(),
+    }));
+    client.set_egress(Rc::new(ModelledDataWire {
+        next: ns.router(),
+        delay,
+        drops: drops.to_vec(),
+        seen: RefCell::new(0),
+        dropped_seqs: RefCell::new(Vec::new()),
+        model: model.clone(),
+    }));
+
+    let received = Rc::new(RefCell::new(Vec::new()));
+    server.listen(
+        80,
+        Rc::new(Sink {
+            buf: received.clone(),
+        }),
+    );
+    let payload: Vec<u8> = (0..total as u32).map(|i| (i % 251) as u8).collect();
+    struct SendAll {
+        data: RefCell<Option<Bytes>>,
+    }
+    impl SocketApp for SendAll {
+        fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+            if matches!(ev, SocketEvent::Connected) {
+                if let Some(d) = self.data.borrow_mut().take() {
+                    h.send(sim, d);
                 }
             }
         }
-        let h = client.connect(
-            &mut sim,
-            SocketAddr::new(server.ip(), 80),
-            Rc::new(SendAll { data: RefCell::new(Some(Bytes::from(payload.clone()))) }),
-        );
-        *wire.handle.borrow_mut() = Some(h.clone());
-        sim.run();
-        // Recovery terminated: the whole stream arrived intact (the
-        // simulator ran out of events, so nothing is stuck retrying).
-        prop_assert_eq!(&received.borrow()[..], &payload[..]);
-        prop_assert!(h.sack_enabled());
-        prop_assert!(
-            violations.borrow().is_empty(),
-            "pipe exceeded flight: {:?}", violations.borrow()
-        );
+    }
+    client.connect(
+        &mut sim,
+        SocketAddr::new(server.ip(), 80),
+        Rc::new(SendAll {
+            data: RefCell::new(Some(Bytes::from(payload.clone()))),
+        }),
+    );
+    sim.run();
+    let violations = model.borrow().violations.clone();
+    let holes_seen = model.borrow().holes_seen;
+    let got = received.borrow().clone();
+    (payload, got, violations, holes_seen)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn delayed_ack_sack_acks_immediately_with_blocks_while_holes(
+        total in 10_000usize..100_000,
+        drops in prop::collection::vec(0u64..50, 0..10),
+    ) {
+        let (payload, got, violations, _) =
+            delayed_ack_sack_transfer(RecoveryTier::Sack, total, &drops);
+        prop_assert_eq!(&got[..], &payload[..]);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+}
+
+/// Deterministic end-to-end pin of the same contract: one mid-stream
+/// drop under delayed ACKs, holes provably existed, every in-hole ACK
+/// left immediately and carried blocks, and the stream arrived intact.
+#[test]
+fn delayed_ack_sack_single_drop_e2e() {
+    let (payload, got, violations, holes_seen) =
+        delayed_ack_sack_transfer(RecoveryTier::Sack, 60_000, &[12]);
+    assert_eq!(&got[..], &payload[..]);
+    assert!(holes_seen, "the dropped segment must have opened a hole");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// One operation against the RACK state machine.
+#[derive(Debug, Clone)]
+enum RackOp {
+    /// A delivery observed `rtt_ms` after its transmission.
+    Deliver {
+        sent_ms: u64,
+        end_seq: u64,
+        rtt_ms: u64,
+        retransmitted: bool,
+    },
+    /// A RACK loss mark was disproven.
+    SpuriousMark,
+}
+
+fn rack_ops() -> impl Strategy<Value = Vec<RackOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..10_000, 1u64..1 << 20, 5u64..500, any::<bool>()).prop_map(
+                |(sent_ms, end_seq, rtt_ms, retransmitted)| RackOp::Deliver {
+                    sent_ms,
+                    end_seq,
+                    rtt_ms,
+                    retransmitted,
+                }
+            ),
+            Just(RackOp::SpuriousMark),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn rack_reo_window_monotone_under_fixed_min_rtt(ops in rack_ops()) {
+        let mut r = RackState::new();
+        // Pin min_rtt below every generated sample so the window base is
+        // fixed and the adaptive multiplier's monotonicity is observable.
+        r.on_delivered(Timestamp::ZERO, 1, false, Timestamp::from_millis(5));
+        let mut prev = r.reo_wnd();
+        for op in ops {
+            match op {
+                RackOp::Deliver { sent_ms, end_seq, rtt_ms, retransmitted } => {
+                    let sent = Timestamp::from_millis(sent_ms);
+                    r.on_delivered(sent, end_seq, retransmitted,
+                        sent + SimDuration::from_millis(rtt_ms));
+                }
+                RackOp::SpuriousMark => r.on_spurious_mark(),
+            }
+            let w = r.reo_wnd();
+            prop_assert!(w >= prev, "reordering window narrowed: {} -> {}", prev, w);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn rack_never_marks_segments_sent_after_the_clock(
+        ops in rack_ops(),
+        probe_dt_ms in 0u64..100_000,
+        probe_end in 1u64..1 << 20,
+        now_ms in 0u64..1_000_000,
+    ) {
+        let mut r = RackState::new();
+        for op in ops {
+            match op {
+                RackOp::Deliver { sent_ms, end_seq, rtt_ms, retransmitted } => {
+                    let sent = Timestamp::from_millis(sent_ms);
+                    r.on_delivered(sent, end_seq, retransmitted,
+                        sent + SimDuration::from_millis(rtt_ms));
+                }
+                RackOp::SpuriousMark => r.on_spurious_mark(),
+            }
+            // Whatever the history, nothing transmitted at or after the
+            // delivery clock is ever deemed lost, at any observation
+            // time: it has had no chance to be overtaken.
+            if let Some((clock_ts, clock_end)) = r.clock() {
+                let later = clock_ts + SimDuration::from_millis(probe_dt_ms);
+                let now = Timestamp::from_millis(now_ms);
+                prop_assert!(!r.is_lost(later + SimDuration::from_nanos(1), probe_end, now));
+                prop_assert!(!r.is_lost(clock_ts, clock_end + probe_end, now));
+            }
+        }
     }
 }

@@ -1,0 +1,414 @@
+//! End-to-end RACK-TLP and F-RTO behavior: pure tail loss recovers via a
+//! Tail Loss Probe without waiting out the RTO, and a spurious
+//! retransmission timeout (delay, not loss) is detected and undone —
+//! congestion window restored, RTO backoff dropped. These are the two
+//! mechanisms the figrack experiment measures at page-load scale.
+
+use bytes::Bytes;
+use mm_net::{
+    Host, IpAddr, Listener, Namespace, Packet, PacketIdGen, PacketSink, RecoveryTier, SinkRef,
+    SocketAddr, SocketApp, SocketEvent, TcpConfig, TcpHandle,
+};
+use mm_sim::{SimDuration, Simulator, Timestamp};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A symmetric-delay wire dropping a chosen contiguous run of the
+/// sender's data segments on their first transmission only (same shape
+/// as the sack_recovery tests).
+struct LossyWire {
+    next: SinkRef,
+    delay: SimDuration,
+    data_seen: RefCell<u64>,
+    drop_from: u64,
+    drop_to: u64,
+    dropped: RefCell<Vec<u64>>,
+}
+
+impl PacketSink for LossyWire {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        if !pkt.segment.payload.is_empty() {
+            let mut seen = self.data_seen.borrow_mut();
+            let idx = *seen;
+            *seen += 1;
+            let first_transmission = self.dropped.borrow().iter().all(|&s| s != pkt.segment.seq);
+            if first_transmission && idx >= self.drop_from && idx < self.drop_to {
+                self.dropped.borrow_mut().push(pkt.segment.seq);
+                return;
+            }
+        }
+        let next = self.next.clone();
+        sim.schedule_in(self.delay, move |sim| next.deliver(sim, pkt));
+    }
+}
+
+/// A fixed-delay wire (reverse path).
+struct DelayWire {
+    next: SinkRef,
+    delay: SimDuration,
+}
+
+impl PacketSink for DelayWire {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        let next = self.next.clone();
+        sim.schedule_in(self.delay, move |sim| next.deliver(sim, pkt));
+    }
+}
+
+/// A delay wire that additionally *stalls*: packets entering during
+/// `[stall_from, stall_until)` are released, order preserved, no earlier
+/// than `stall_until` plus the delay — pure added delay, zero loss. The
+/// release floor is monotone so FIFO order survives. It also samples the
+/// sender's (timeouts, spurious_rtos, cwnd, rto) on every packet it
+/// carries, giving the test a timeline to assert the F-RTO undo against.
+/// One per-packet sender observation: (timeouts, spurious_rtos, cwnd,
+/// current rto).
+type SenderSample = (u64, u64, u64, SimDuration);
+
+struct StallWire {
+    next: SinkRef,
+    delay: SimDuration,
+    stall_from: Timestamp,
+    stall_until: Timestamp,
+    handle: RefCell<Option<TcpHandle>>,
+    samples: Rc<RefCell<Vec<SenderSample>>>,
+}
+
+impl PacketSink for StallWire {
+    fn deliver(&self, sim: &mut Simulator, pkt: Packet) {
+        if let Some(h) = self.handle.borrow().as_ref() {
+            let s = h.stats();
+            self.samples.borrow_mut().push((
+                s.timeouts,
+                s.spurious_rtos,
+                h.cwnd(),
+                h.current_rto(),
+            ));
+        }
+        let now = sim.now();
+        let release = if now >= self.stall_from && now < self.stall_until {
+            self.stall_until + self.delay
+        } else {
+            now + self.delay
+        };
+        let next = self.next.clone();
+        sim.schedule_at(release, move |sim| next.deliver(sim, pkt));
+    }
+}
+
+struct Collect {
+    buf: Rc<RefCell<Vec<u8>>>,
+    done_at: Rc<RefCell<Option<Timestamp>>>,
+    expect: usize,
+}
+impl SocketApp for Collect {
+    fn on_event(&self, sim: &mut Simulator, _h: &TcpHandle, ev: SocketEvent) {
+        if let SocketEvent::Data(b) = ev {
+            self.buf.borrow_mut().extend_from_slice(&b);
+            if self.buf.borrow().len() >= self.expect {
+                *self.done_at.borrow_mut() = Some(sim.now());
+            }
+        }
+    }
+}
+
+struct Accept {
+    buf: Rc<RefCell<Vec<u8>>>,
+    done_at: Rc<RefCell<Option<Timestamp>>>,
+    expect: usize,
+}
+impl Listener for Accept {
+    fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+        Rc::new(Collect {
+            buf: self.buf.clone(),
+            done_at: self.done_at.clone(),
+            expect: self.expect,
+        })
+    }
+}
+
+struct SendOnConnect {
+    data: RefCell<Option<Bytes>>,
+}
+impl SocketApp for SendOnConnect {
+    fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+        if matches!(ev, SocketEvent::Connected) {
+            if let Some(d) = self.data.borrow_mut().take() {
+                h.send(sim, d);
+            }
+        }
+    }
+}
+
+const RTT_MS: u64 = 80;
+
+/// Transfer `total` bytes at the given recovery tier over `2 * one_way`
+/// RTT, dropping data segments `[drop_from, drop_to)` once. Returns
+/// (completion time, client-side stats).
+fn tail_loss_transfer(
+    tier: RecoveryTier,
+    total: usize,
+    one_way: SimDuration,
+    drop_from: u64,
+    drop_to: u64,
+) -> (Timestamp, mm_net::TcpStats) {
+    tail_loss_transfer_cfg(
+        tier,
+        TcpConfig::default().min_rto,
+        total,
+        one_way,
+        drop_from,
+        drop_to,
+    )
+}
+
+fn tail_loss_transfer_cfg(
+    tier: RecoveryTier,
+    min_rto: SimDuration,
+    total: usize,
+    one_way: SimDuration,
+    drop_from: u64,
+    drop_to: u64,
+) -> (Timestamp, mm_net::TcpStats) {
+    let mut sim = Simulator::new();
+    let ns = Namespace::root("w");
+    let ids = PacketIdGen::new();
+    let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
+    let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+    let config = TcpConfig {
+        recovery: tier,
+        min_rto,
+        ..TcpConfig::default()
+    };
+    client.set_tcp_config(config.clone());
+    server.set_tcp_config(config);
+    ns.add_host(
+        client.ip(),
+        Rc::new(DelayWire {
+            next: client.sink(),
+            delay: one_way,
+        }),
+    );
+    client.set_egress(Rc::new(LossyWire {
+        next: ns.router(),
+        delay: one_way,
+        data_seen: RefCell::new(0),
+        drop_from,
+        drop_to,
+        dropped: RefCell::new(Vec::new()),
+    }));
+
+    let received = Rc::new(RefCell::new(Vec::new()));
+    let done_at = Rc::new(RefCell::new(None));
+    server.listen(
+        80,
+        Rc::new(Accept {
+            buf: received.clone(),
+            done_at: done_at.clone(),
+            expect: total,
+        }),
+    );
+    let payload: Vec<u8> = (0..total as u32).map(|i| (i % 251) as u8).collect();
+    let h = client.connect(
+        &mut sim,
+        SocketAddr::new(server.ip(), 80),
+        Rc::new(SendOnConnect {
+            data: RefCell::new(Some(Bytes::from(payload.clone()))),
+        }),
+    );
+    sim.run();
+    assert_eq!(&received.borrow()[..], &payload[..], "stream corrupted");
+    let finished = done_at.borrow().expect("transfer never completed");
+    (finished, h.stats())
+}
+
+/// 60 KB is 42 MSS segments; the last data segment has index 41.
+const SEGS_60K: u64 = 42;
+
+#[test]
+fn tail_loss_recovered_by_tlp_without_rto() {
+    let one_way = SimDuration::from_millis(RTT_MS / 2);
+    // Drop only the final data segment: pure tail loss, invisible to the
+    // scoreboard (nothing sent after it to generate SACKs).
+    let (with_rack, rack_stats) = tail_loss_transfer(
+        RecoveryTier::RackTlp,
+        60_000,
+        one_way,
+        SEGS_60K - 1,
+        SEGS_60K,
+    );
+    let (with_sack, sack_stats) =
+        tail_loss_transfer(RecoveryTier::Sack, 60_000, one_way, SEGS_60K - 1, SEGS_60K);
+
+    // SACK alone has no answer but the RTO (RFC 6675 §5.1 route).
+    assert!(sack_stats.timeouts >= 1, "{sack_stats:?}");
+    // RACK-TLP probes the tail after ~2 RTT instead.
+    assert_eq!(rack_stats.timeouts, 0, "{rack_stats:?}");
+    assert!(rack_stats.tlp_probes >= 1, "{rack_stats:?}");
+    assert!(
+        with_rack < with_sack,
+        "TLP should beat the RTO: rack {with_rack} vs sack {with_sack}"
+    );
+}
+
+#[test]
+fn tail_burst_recovered_by_probe_plus_rack_marks() {
+    let one_way = SimDuration::from_millis(RTT_MS / 2);
+    // Drop the last three data segments. The probe retransmits the very
+    // tail; its SACK advances RACK's delivery clock past the two other
+    // holes, which are then marked lost by time and repaired — all
+    // without an RTO.
+    let (_, rack_stats) = tail_loss_transfer(
+        RecoveryTier::RackTlp,
+        60_000,
+        one_way,
+        SEGS_60K - 3,
+        SEGS_60K,
+    );
+    assert_eq!(rack_stats.timeouts, 0, "{rack_stats:?}");
+    assert!(rack_stats.tlp_probes >= 1, "{rack_stats:?}");
+    assert!(rack_stats.rack_loss_marks >= 2, "{rack_stats:?}");
+}
+
+#[test]
+fn tlp_defers_to_a_nearer_rto() {
+    // With a tiny min_rto the steady-state RTO (srtt + min_rto) drops
+    // below the probe timeout (2·srtt + slack), so the TLP must never be
+    // armed — the tail loss is the RTO's to handle. (The converse — that
+    // a fired TLP always beat any armed RTO — is a debug assertion that
+    // every test in this suite exercises.)
+    let one_way = SimDuration::from_millis(RTT_MS / 2);
+    let (_, stats) = tail_loss_transfer_cfg(
+        RecoveryTier::RackTlp,
+        SimDuration::from_millis(10),
+        60_000,
+        one_way,
+        SEGS_60K - 1,
+        SEGS_60K,
+    );
+    assert_eq!(stats.tlp_probes, 0, "{stats:?}");
+    assert!(stats.timeouts >= 1, "{stats:?}");
+}
+
+/// Transfer with a mid-flight stall (delay spike, no loss). Returns
+/// (completion time, stats, per-packet sender samples).
+fn stalled_transfer(tier: RecoveryTier) -> (Timestamp, mm_net::TcpStats, Vec<SenderSample>) {
+    let one_way = SimDuration::from_millis(20);
+    let total = 1_000_000usize;
+    let mut sim = Simulator::new();
+    let ns = Namespace::root("w");
+    let ids = PacketIdGen::new();
+    let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
+    let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+    let config = TcpConfig {
+        recovery: tier,
+        ..TcpConfig::default()
+    };
+    client.set_tcp_config(config.clone());
+    server.set_tcp_config(config);
+    ns.add_host(
+        client.ip(),
+        Rc::new(DelayWire {
+            next: client.sink(),
+            delay: one_way,
+        }),
+    );
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let wire = Rc::new(StallWire {
+        next: ns.router(),
+        delay: one_way,
+        // The stall must open after the first slow-start waves (so an RTT
+        // estimate exists) and close after exactly one RTO has fired
+        // (~srtt + min_rto past the last ack) but before its backed-off
+        // successor (RFC 5682 applies F-RTO to the first timeout only).
+        stall_from: Timestamp::from_millis(200),
+        stall_until: Timestamp::from_millis(800),
+        handle: RefCell::new(None),
+        samples: samples.clone(),
+    });
+    client.set_egress(wire.clone());
+
+    let received = Rc::new(RefCell::new(Vec::new()));
+    let done_at = Rc::new(RefCell::new(None));
+    server.listen(
+        80,
+        Rc::new(Accept {
+            buf: received.clone(),
+            done_at: done_at.clone(),
+            expect: total,
+        }),
+    );
+    let payload: Vec<u8> = (0..total as u32).map(|i| (i % 251) as u8).collect();
+    let h = client.connect(
+        &mut sim,
+        SocketAddr::new(server.ip(), 80),
+        Rc::new(SendOnConnect {
+            data: RefCell::new(Some(Bytes::from(payload.clone()))),
+        }),
+    );
+    *wire.handle.borrow_mut() = Some(h.clone());
+    sim.run();
+    assert_eq!(&received.borrow()[..], &payload[..], "stream corrupted");
+    let finished = done_at.borrow().expect("transfer never completed");
+    let s = samples.borrow().clone();
+    (finished, h.stats(), s)
+}
+
+#[test]
+fn spurious_rto_detected_and_undone() {
+    let (with_rack, rack_stats, samples) = stalled_transfer(RecoveryTier::RackTlp);
+    let (with_sack, sack_stats, _) = stalled_transfer(RecoveryTier::Sack);
+
+    // The stall delays — never drops — packets, so the timeout it causes
+    // is spurious. F-RTO must say so, exactly once.
+    assert!(rack_stats.timeouts >= 1, "{rack_stats:?}");
+    assert_eq!(rack_stats.spurious_rtos, 1, "{rack_stats:?}");
+    assert_eq!(sack_stats.spurious_rtos, 0, "no F-RTO below RackTlp");
+
+    // Timeline assertions from the per-packet samples: the undo restored
+    // the pre-timeout congestion window and dropped the RTO backoff.
+    let pre_timeout_cwnd = samples
+        .iter()
+        .filter(|s| s.0 == 0)
+        .map(|s| s.2)
+        .max()
+        .expect("samples before the timeout");
+    let during = samples
+        .iter()
+        .find(|s| s.0 >= 1 && s.1 == 0)
+        .expect("samples between timeout and verdict");
+    let after = samples
+        .iter()
+        .find(|s| s.1 >= 1)
+        .expect("samples after the spurious verdict");
+    assert!(
+        during.2 < pre_timeout_cwnd,
+        "timeout must first collapse cwnd: {} vs {}",
+        during.2,
+        pre_timeout_cwnd
+    );
+    assert!(
+        after.2 >= pre_timeout_cwnd,
+        "undo must restore cwnd: {} vs {}",
+        after.2,
+        pre_timeout_cwnd
+    );
+    // The exponential backoff is dropped: post-verdict the RTO is
+    // recomputed from the estimator. (The first recomputation can sit
+    // above the old backed-off value because the delayed originals just
+    // fed the estimator genuine 600 ms samples — but with the backoff
+    // multiplier gone it falls back below it as the variance decays,
+    // which a still-backed-off timer never could without another ack.)
+    assert!(
+        samples.iter().any(|s| s.1 >= 1 && s.3 < during.3),
+        "undo must shed the backed-off RTO: backed-off {}",
+        during.3
+    );
+
+    // And the undo is worth real time: the collapsed-window SACK run
+    // cannot beat the restored-window RACK run.
+    assert!(
+        with_rack <= with_sack,
+        "spurious-RTO undo should not lose: rack {with_rack} vs sack {with_sack}"
+    );
+}

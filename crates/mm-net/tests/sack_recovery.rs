@@ -5,8 +5,8 @@
 
 use bytes::Bytes;
 use mm_net::{
-    Host, IpAddr, Listener, Namespace, Packet, PacketIdGen, PacketSink, SinkRef, SocketAddr,
-    SocketApp, SocketEvent, TcpConfig, TcpHandle,
+    Host, IpAddr, Listener, Namespace, Packet, PacketIdGen, PacketSink, RecoveryTier, SinkRef,
+    SocketAddr, SocketApp, SocketEvent, TcpConfig, TcpHandle,
 };
 use mm_sim::{SimDuration, Simulator, Timestamp};
 use std::cell::RefCell;
@@ -137,17 +137,24 @@ fn lossy_transfer_cfg(
     drop_from: u64,
     drop_to: u64,
 ) -> (Timestamp, mm_net::TcpStats) {
+    let tier = |sack| {
+        if sack {
+            RecoveryTier::Sack
+        } else {
+            RecoveryTier::Reno
+        }
+    };
     let mut sim = Simulator::new();
     let ns = Namespace::root("w");
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
     client.set_tcp_config(TcpConfig {
-        sack: client_sack,
+        recovery: tier(client_sack),
         ..TcpConfig::default()
     });
     server.set_tcp_config(TcpConfig {
-        sack: server_sack,
+        recovery: tier(server_sack),
         ..TcpConfig::default()
     });
     // Client → (lossy delayed wire) → namespace; namespace → (delayed

@@ -63,8 +63,9 @@ pub struct ReplayConfig {
     pub protocol: ServerProtocol,
     /// TCP configuration for every replay server host (`None` keeps the
     /// host default). The harness passes its per-load TCP knob — e.g.
-    /// `TcpConfig::sack` for the figcell experiment — through here so a
-    /// replay world built outside the harness gets the same wiring.
+    /// `TcpConfig::recovery` for the figcell/figrack experiments —
+    /// through here so a replay world built outside the harness gets
+    /// the same wiring.
     pub tcp: Option<mm_net::TcpConfig>,
 }
 
