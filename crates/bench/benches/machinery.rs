@@ -107,9 +107,15 @@ fn bench_matcher(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_tcp_transfer(c: &mut Criterion) {
-    use mm_net::{Listener, SocketApp, SocketEvent, TcpHandle};
+/// Shared harness for the TCP transfer benches: a 1 MB one-way
+/// transfer through the simulated stack under `config`, with an
+/// optional i.i.d. drop rate on the data path.
+mod transfer {
+    use super::*;
+    use mm_net::fault::RandomDrop;
+    use mm_net::{Listener, SocketApp, SocketEvent, TcpConfig, TcpHandle};
     use std::cell::RefCell;
+
     struct Echo;
     impl Listener for Echo {
         fn on_connection(&self, _s: &mut mm_sim::Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
@@ -120,6 +126,7 @@ fn bench_tcp_transfer(c: &mut Criterion) {
             Rc::new(Sink)
         }
     }
+
     struct SendOnce {
         data: RefCell<Option<Bytes>>,
     }
@@ -132,56 +139,50 @@ fn bench_tcp_transfer(c: &mut Criterion) {
             }
         }
     }
+
+    pub fn run(config: &TcpConfig, loss: f64, payload: &Bytes) {
+        let mut sim = mm_sim::Simulator::new();
+        let ns = Namespace::root("w");
+        let ids = PacketIdGen::new();
+        let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
+        let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
+        client.set_tcp_config(config.clone());
+        server.set_tcp_config(config.clone());
+        ns.add_host(client.ip(), client.sink());
+        if loss > 0.0 {
+            client.set_egress(RandomDrop::new(
+                loss,
+                mm_sim::RngStream::from_seed(7),
+                ns.router(),
+            ));
+        } else {
+            client.set_egress(ns.router());
+        }
+        server.listen(80, Rc::new(Echo));
+        client.connect(
+            &mut sim,
+            SocketAddr::new(server.ip(), 80),
+            Rc::new(SendOnce {
+                data: RefCell::new(Some(payload.clone())),
+            }),
+        );
+        sim.run();
+    }
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    use mm_net::TcpConfig;
     let mut g = c.benchmark_group("tcp");
     let payload = Bytes::from(vec![7u8; 1 << 20]);
     g.throughput(Throughput::Bytes(payload.len() as u64));
     g.bench_function("transfer_1mb_simulated", |b| {
-        b.iter(|| {
-            let mut sim = mm_sim::Simulator::new();
-            let ns = Namespace::root("w");
-            let ids = PacketIdGen::new();
-            let client = Host::new_in(IpAddr::new(10, 0, 0, 1), ids.clone(), &ns);
-            let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-            server.listen(80, Rc::new(Echo));
-            client.connect(
-                &mut sim,
-                SocketAddr::new(server.ip(), 80),
-                Rc::new(SendOnce {
-                    data: RefCell::new(Some(payload.clone())),
-                }),
-            );
-            sim.run();
-        })
+        b.iter(|| transfer::run(&TcpConfig::default(), 0.0, &payload))
     });
     g.finish();
 }
 
 fn bench_tcp_lossy_transfer(c: &mut Criterion) {
-    use mm_net::fault::RandomDrop;
-    use mm_net::{Listener, RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpHandle};
-    use std::cell::RefCell;
-    struct Echo;
-    impl Listener for Echo {
-        fn on_connection(&self, _s: &mut mm_sim::Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
-            struct Sink;
-            impl SocketApp for Sink {
-                fn on_event(&self, _s: &mut mm_sim::Simulator, _h: &TcpHandle, _e: SocketEvent) {}
-            }
-            Rc::new(Sink)
-        }
-    }
-    struct SendOnce {
-        data: RefCell<Option<Bytes>>,
-    }
-    impl SocketApp for SendOnce {
-        fn on_event(&self, sim: &mut mm_sim::Simulator, h: &TcpHandle, ev: SocketEvent) {
-            if matches!(ev, SocketEvent::Connected) {
-                if let Some(d) = self.data.borrow_mut().take() {
-                    h.send(sim, d);
-                }
-            }
-        }
-    }
+    use mm_net::{RecoveryTier, TcpConfig};
     // The lossy counterpart of `transfer_1mb_simulated`: 1 MB through an
     // i.i.d. 1% drop on the data path, across the loss-recovery tiers.
     let mut g = c.benchmark_group("tcp");
@@ -192,37 +193,34 @@ fn bench_tcp_lossy_transfer(c: &mut Criterion) {
         ("transfer_1mb_1pct_loss_sack", RecoveryTier::Sack),
         ("transfer_1mb_1pct_loss_racktlp", RecoveryTier::RackTlp),
     ] {
-        let payload = payload.clone();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut sim = mm_sim::Simulator::new();
-                let ns = Namespace::root("w");
-                let ids = PacketIdGen::new();
-                let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
-                let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-                let cfg = TcpConfig {
-                    recovery,
-                    ..TcpConfig::default()
-                };
-                client.set_tcp_config(cfg.clone());
-                server.set_tcp_config(cfg);
-                ns.add_host(client.ip(), client.sink());
-                client.set_egress(RandomDrop::new(
-                    0.01,
-                    mm_sim::RngStream::from_seed(7),
-                    ns.router(),
-                ));
-                server.listen(80, Rc::new(Echo));
-                client.connect(
-                    &mut sim,
-                    SocketAddr::new(server.ip(), 80),
-                    Rc::new(SendOnce {
-                        data: RefCell::new(Some(payload.clone())),
-                    }),
-                );
-                sim.run();
-            })
-        });
+        let cfg = TcpConfig {
+            recovery,
+            ..TcpConfig::default()
+        };
+        g.bench_function(name, |b| b.iter(|| transfer::run(&cfg, 0.01, &payload)));
+    }
+    g.finish();
+}
+
+fn bench_tcp_paced_transfer(c: &mut Criterion) {
+    use mm_net::{CcAlgorithm, RecoveryTier, TcpConfig};
+    // The rate-control subsystem's host cost beside the clean/SACK/
+    // RackTlp arms: the same 1 MB transfer with BBR driving the pacer
+    // (rate samples on every ack, pacing timer churn), clean and at 1%
+    // loss.
+    let mut g = c.benchmark_group("tcp");
+    let payload = Bytes::from(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    let cfg = TcpConfig {
+        cc: CcAlgorithm::Bbr,
+        recovery: RecoveryTier::RackTlp,
+        ..TcpConfig::default()
+    };
+    for (name, loss) in [
+        ("transfer_1mb_paced_bbr", 0.0f64),
+        ("transfer_1mb_1pct_loss_paced_bbr", 0.01),
+    ] {
+        g.bench_function(name, |b| b.iter(|| transfer::run(&cfg, loss, &payload)));
     }
     g.finish();
 }
@@ -234,6 +232,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_lossy_transfer
+    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_lossy_transfer, bench_tcp_paced_transfer
 }
 criterion_main!(benches);

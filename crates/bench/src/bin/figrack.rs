@@ -1,7 +1,9 @@
 //! figrack — the loss-recovery-tier sweep: page loads over the figcell
 //! cellular regimes × loss-producing queue disciplines (DropTail-32,
 //! CoDel), under the mux protocol, with `TcpConfig::recovery` as the
-//! swept axis: NewReno vs SACK vs RACK-TLP + F-RTO.
+//! swept axis: NewReno vs SACK vs RACK-TLP + F-RTO — plus a CUBIC-CC
+//! arm at the RackTlp tier, so CUBIC's spurious-timeout undo path runs
+//! in an experiment and not just unit tests.
 //!
 //! The question figrack answers: figcell left the CoDel column mixed —
 //! under AQM, SACK's recovery speed buys little and the unrecoverable
@@ -24,21 +26,32 @@ fn main() {
     ));
     let mut r = figrack(n_sites, seed);
     println!(
-        "  {:<15} {:<12} | {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
-        "regime", "qdisc", "reno", "sack", "racktlp", "sack%", "rack%", "rack:sack%"
+        "  {:<15} {:<12} | {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "regime",
+        "qdisc",
+        "reno",
+        "sack",
+        "racktlp",
+        "cubic",
+        "sack%",
+        "rack%",
+        "rack:sack%",
+        "cubic%"
     );
     let mut metrics: Vec<(String, f64)> = Vec::new();
     for cell in &mut r.cells {
         println!(
-            "  {:<15} {:<12} | {:>10} {:>10} {:>10} | {:>7.1}% {:>7.1}% {:>9.1}%",
+            "  {:<15} {:<12} | {:>10} {:>10} {:>10} {:>10} | {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}%",
             cell.regime,
             cell.qdisc,
             ms(cell.reno.median()),
             ms(cell.sack.median()),
             ms(cell.racktlp.median()),
+            ms(cell.cubic_racktlp.median()),
             cell.sack_speedup_pct.median(),
             cell.racktlp_speedup_pct.median(),
             cell.racktlp_vs_sack_pct.median(),
+            cell.cubic_vs_reno_cc_pct.median(),
         );
         let prefix = format!(
             "{}_{}",
@@ -63,13 +76,25 @@ fn main() {
             format!("racktlp_vs_sack_pct_{prefix}"),
             cell.racktlp_vs_sack_pct.median(),
         ));
+        // The CUBIC-CC arm rides after the PR 4 metrics so the
+        // pre-existing keys keep their values and relative order.
+        metrics.extend(summary_metrics(
+            &format!("cubic_racktlp_{prefix}"),
+            &mut cell.cubic_racktlp,
+        ));
+        metrics.push((
+            format!("cubic_vs_reno_cc_pct_{prefix}"),
+            cell.cubic_vs_reno_cc_pct.median(),
+        ));
     }
     println!();
     println!("  sack%      = median per-site paired speedup of SACK over NewReno (figcell's");
     println!("               mux:sack%, reproduced cell-for-cell as the baseline);");
     println!("  rack%      = the same pairing for RACK-TLP + F-RTO over NewReno;");
     println!("  rack:sack% = RACK-TLP over SACK (positive = the time-based machinery pays);");
-    println!("  every site is loaded under all three tiers with the same seed and trace.");
+    println!("  cubic      = CUBIC congestion control at the RackTlp tier (other columns");
+    println!("               run Reno CC); cubic% pairs it against reno-CC racktlp;");
+    println!("  every site is loaded under all four arms with the same seed and trace.");
     match write_bench_json("figrack", seed, n_sites, &metrics) {
         Ok(path) => println!("\n  wrote {}", path.display()),
         Err(e) => eprintln!("\n  could not write BENCH_figrack.json: {e}"),

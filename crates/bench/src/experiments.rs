@@ -2,7 +2,7 @@
 
 use mahimahi::browser::{MuxConfig, ProtocolMode};
 use mahimahi::harness::{run_page_load, LinkSpec, LoadSpec, NetSpec, QdiscKind};
-use mahimahi::net::{RecoveryTier, TcpConfig};
+use mahimahi::net::{CcAlgorithm, RecoveryTier, TcpConfig};
 use mm_corpus::{
     cnbc_like, generate_plans, materialize, nytimes_like, server_distribution, wikihow_like,
     CorpusConfig, ServerDistribution, SitePlan,
@@ -556,6 +556,14 @@ pub struct FigRackCell {
     /// Per-site paired speedup of RackTlp over SACK, percent (positive =
     /// the time-based machinery pays on top of selective retransmission).
     pub racktlp_vs_sack_pct: Summary,
+    /// PLT under CUBIC congestion control at the RackTlp tier (same
+    /// traces/seeds) — the arm that exercises CUBIC's F-RTO
+    /// `on_spurious_timeout` undo in an experiment, not just unit tests
+    /// (every other column runs Reno CC).
+    pub cubic_racktlp: Summary,
+    /// Per-site paired speedup of CUBIC over Reno CC, both at the
+    /// RackTlp tier, percent (positive = CUBIC faster).
+    pub cubic_vs_reno_cc_pct: Summary,
 }
 
 pub struct FigRackResult {
@@ -600,7 +608,7 @@ pub fn figrack(n_sites: usize, seed: u64) -> FigRackResult {
             let downlink = downlink.clone();
             let per_site = parallel_map(&plans, move |i, plan| {
                 let site = materialize(plan);
-                let load = |recovery: RecoveryTier| {
+                let load = |cc: CcAlgorithm, recovery: RecoveryTier| {
                     let mut spec = LoadSpec::new(&site);
                     spec.net = NetSpec {
                         delay: Some(SimDuration::from_millis(FIGCELL_DELAY_MS)),
@@ -613,6 +621,7 @@ pub fn figrack(n_sites: usize, seed: u64) -> FigRackResult {
                     };
                     spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
                     spec.tcp = Some(TcpConfig {
+                        cc,
                         recovery,
                         ..TcpConfig::default()
                     });
@@ -620,9 +629,10 @@ pub fn figrack(n_sites: usize, seed: u64) -> FigRackResult {
                     run_page_load(&spec).plt.as_millis_f64()
                 };
                 (
-                    load(RecoveryTier::Reno),
-                    load(RecoveryTier::Sack),
-                    load(RecoveryTier::RackTlp),
+                    load(CcAlgorithm::Reno, RecoveryTier::Reno),
+                    load(CcAlgorithm::Reno, RecoveryTier::Sack),
+                    load(CcAlgorithm::Reno, RecoveryTier::RackTlp),
+                    load(CcAlgorithm::Cubic, RecoveryTier::RackTlp),
                 )
             });
             cells.push(FigRackCell {
@@ -632,18 +642,186 @@ pub fn figrack(n_sites: usize, seed: u64) -> FigRackResult {
                 sack: Summary::from_samples(per_site.iter().map(|s| s.1)),
                 racktlp: Summary::from_samples(per_site.iter().map(|s| s.2)),
                 sack_speedup_pct: Summary::from_samples(
-                    per_site.iter().map(|&(r, s, _)| (r - s) / r * 100.0),
+                    per_site.iter().map(|&(r, s, _, _)| (r - s) / r * 100.0),
                 ),
                 racktlp_speedup_pct: Summary::from_samples(
-                    per_site.iter().map(|&(r, _, k)| (r - k) / r * 100.0),
+                    per_site.iter().map(|&(r, _, k, _)| (r - k) / r * 100.0),
                 ),
                 racktlp_vs_sack_pct: Summary::from_samples(
-                    per_site.iter().map(|&(_, s, k)| (s - k) / s * 100.0),
+                    per_site.iter().map(|&(_, s, k, _)| (s - k) / s * 100.0),
+                ),
+                cubic_racktlp: Summary::from_samples(per_site.iter().map(|s| s.3)),
+                cubic_vs_reno_cc_pct: Summary::from_samples(
+                    per_site.iter().map(|&(_, _, k, c)| (k - c) / k * 100.0),
                 ),
             });
         }
     }
     FigRackResult { cells }
+}
+
+/// E10 — figbbr: the buffer-sweep for model-based congestion control.
+/// The figcell/figrack story so far is loss-*recovery*: how fast a
+/// loss-based sender repairs the damage its own bursts cause. figbbr
+/// asks the question one layer down — does a sender that never causes
+/// the damage (delivery-rate model + pacing, `CcAlgorithm::Bbr`) beat
+/// loss-based CC where the damage is worst (deep droptail buffers),
+/// without giving back the AQM column, and how does CUBIC (the era's
+/// Linux default, previously unswept — ROADMAP's open question) slot
+/// in? The sweep crosses the figcell cellular regimes × {droptail32,
+/// droptail256, CoDel} × CC {Reno, Cubic, Bbr} × the full recovery-tier
+/// ladder, under mux, with figcell's exact traces, seeds and per-site
+/// pairing — so the (Reno CC, RackTlp) column over droptail32/CoDel
+/// reproduces figrack's racktlp column cell-for-cell.
+pub struct FigBbrArm {
+    /// Congestion-control label ("reno" | "cubic" | "bbr").
+    pub cc: &'static str,
+    /// Recovery-tier label ("reno" | "sack" | "racktlp").
+    pub tier: &'static str,
+    pub plt: Summary,
+}
+
+pub struct FigBbrCell {
+    pub regime: String,
+    pub qdisc: String,
+    /// One PLT summary per (cc, tier) arm, cc-major in
+    /// [`FIGBBR_CCS`] × [`FIGBBR_TIERS`] order.
+    pub arms: Vec<FigBbrArm>,
+    /// Per-site paired speedup of BBR over Reno CC (both at the RackTlp
+    /// tier), percent — the headline: model-based pacing vs loss-based
+    /// CC with recovery held at the modern tier.
+    pub bbr_vs_reno_pct: Summary,
+    /// Per-site paired speedup of CUBIC over Reno CC (both RackTlp).
+    pub cubic_vs_reno_pct: Summary,
+    /// Per-site paired speedup of BBR over CUBIC (both RackTlp).
+    pub bbr_vs_cubic_pct: Summary,
+}
+
+impl FigBbrCell {
+    /// The PLT summary for a (cc, tier) arm.
+    pub fn arm_mut(&mut self, cc: &str, tier: &str) -> Option<&mut Summary> {
+        self.arms
+            .iter_mut()
+            .find(|a| a.cc == cc && a.tier == tier)
+            .map(|a| &mut a.plt)
+    }
+}
+
+pub struct FigBbrResult {
+    pub cells: Vec<FigBbrCell>,
+}
+
+impl FigBbrResult {
+    /// The cell for a given (regime, qdisc) operating point.
+    pub fn cell_mut(&mut self, regime: &str, qdisc: &str) -> Option<&mut FigBbrCell> {
+        self.cells
+            .iter_mut()
+            .find(|c| c.regime == regime && c.qdisc == qdisc)
+    }
+}
+
+/// The congestion controllers figbbr sweeps. BBR implies pacing (see
+/// `TcpConfig::pacing`); the loss-based arms run unpaced, as deployed.
+pub const FIGBBR_CCS: [(&str, CcAlgorithm); 3] = [
+    ("reno", CcAlgorithm::Reno),
+    ("cubic", CcAlgorithm::Cubic),
+    ("bbr", CcAlgorithm::Bbr),
+];
+
+/// The recovery tiers figbbr sweeps (the full ladder: CUBIC × recovery
+/// interactions are half the experiment's point).
+pub const FIGBBR_TIERS: [(&str, RecoveryTier); 3] = [
+    ("reno", RecoveryTier::Reno),
+    ("sack", RecoveryTier::Sack),
+    ("racktlp", RecoveryTier::RackTlp),
+];
+
+/// The queue disciplines figbbr sweeps: figrack's two loss-producing
+/// qdiscs plus a *deep* bounded buffer — 256 packets ≈ several seconds
+/// at cellular rates, the bufferbloat regime where a loss-based sender
+/// must fill the whole queue before it learns anything and a
+/// model-based one should never build the queue at all.
+pub fn figbbr_qdiscs() -> Vec<(&'static str, QdiscKind)> {
+    vec![
+        ("droptail32", QdiscKind::DropTailPackets(32)),
+        ("droptail256", QdiscKind::DropTailPackets(256)),
+        ("codel", QdiscKind::Codel),
+    ]
+}
+
+/// Run the CC × recovery buffer sweep over `n_sites` corpus sites. Per
+/// (regime, qdisc) cell every site is loaded nine times — CC {Reno,
+/// Cubic, Bbr} × tier {Reno, Sack, RackTlp}, mux — with figcell's seed,
+/// think time, network and trace realization (same RNG forks), so
+/// figrack/figcell columns line up cell-for-cell. Sites shard across
+/// threads with per-site seeds (serial-identical).
+pub fn figbbr(n_sites: usize, seed: u64) -> FigBbrResult {
+    let plans = corpus_subset(n_sites, seed);
+    let uplink = constant_rate(1.0, 1000);
+    let mut cells = Vec::new();
+    for (regime_name, params) in figcell_regimes() {
+        // Identical trace realization to figcell/figrack: same forks.
+        let mut trace_rng = RngStream::from_seed(seed).fork("figcell").fork(regime_name);
+        let downlink = cellular(&params, &mut trace_rng);
+        for (qdisc_name, qdisc) in figbbr_qdiscs() {
+            let uplink = uplink.clone();
+            let downlink = downlink.clone();
+            let per_site = parallel_map(&plans, move |i, plan| {
+                let site = materialize(plan);
+                let load = |cc: CcAlgorithm, recovery: RecoveryTier| {
+                    let mut spec = LoadSpec::new(&site);
+                    spec.net = NetSpec {
+                        delay: Some(SimDuration::from_millis(FIGCELL_DELAY_MS)),
+                        link: Some(LinkSpec {
+                            uplink: uplink.clone(),
+                            downlink: downlink.clone(),
+                            qdisc,
+                        }),
+                        ..NetSpec::default()
+                    };
+                    spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
+                    spec.tcp = Some(TcpConfig {
+                        cc,
+                        recovery,
+                        ..TcpConfig::default()
+                    });
+                    spec.seed = seed.wrapping_add(i as u64);
+                    run_page_load(&spec).plt.as_millis_f64()
+                };
+                let mut plts = Vec::with_capacity(FIGBBR_CCS.len() * FIGBBR_TIERS.len());
+                for (_, cc) in FIGBBR_CCS {
+                    for (_, tier) in FIGBBR_TIERS {
+                        plts.push(load(cc, tier));
+                    }
+                }
+                plts
+            });
+            // cc-major arm index; the RackTlp tier is index 2.
+            let idx = |cc: usize, tier: usize| cc * FIGBBR_TIERS.len() + tier;
+            let paired = |a: usize, b: usize| {
+                Summary::from_samples(per_site.iter().map(|s| (s[a] - s[b]) / s[a] * 100.0))
+            };
+            let mut arms = Vec::new();
+            for (ci, (cc_name, _)) in FIGBBR_CCS.iter().enumerate() {
+                for (ti, (tier_name, _)) in FIGBBR_TIERS.iter().enumerate() {
+                    arms.push(FigBbrArm {
+                        cc: cc_name,
+                        tier: tier_name,
+                        plt: Summary::from_samples(per_site.iter().map(|s| s[idx(ci, ti)])),
+                    });
+                }
+            }
+            cells.push(FigBbrCell {
+                regime: regime_name.to_string(),
+                qdisc: qdisc_name.to_string(),
+                arms,
+                bbr_vs_reno_pct: paired(idx(0, 2), idx(2, 2)),
+                cubic_vs_reno_pct: paired(idx(0, 2), idx(1, 2)),
+                bbr_vs_cubic_pct: paired(idx(1, 2), idx(2, 2)),
+            });
+        }
+    }
+    FigBbrResult { cells }
 }
 
 /// E5 — §4's corpus statistic: the distribution of physical servers per

@@ -1,12 +1,18 @@
-//! Congestion control: NewReno and CUBIC.
+//! Congestion control: NewReno, CUBIC, and BBR.
 //!
-//! The congestion window is kept in bytes. Both algorithms implement the
+//! The congestion window is kept in bytes. All algorithms implement the
 //! same small trait so the socket can switch between them (and the bench
-//! suite can ablate Reno vs CUBIC).
+//! suite can ablate them). Loss-based controllers (Reno, Cubic) ignore
+//! the rate-sample and pacing hooks — their no-op defaults keep the
+//! classic tiers byte-identical — while [`Bbr`] is built entirely on
+//! them: it models the path (bottleneck bandwidth × min RTT) from
+//! delivery-rate samples and drives the socket's pacer instead of
+//! reacting to loss.
 
 use mm_sim::{SimDuration, Timestamp};
 
 use crate::packet::MSS;
+use crate::tcp::rate::{RateSample, WindowedMaxBw};
 
 /// Which congestion-control algorithm a socket runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -17,6 +23,10 @@ pub enum CcAlgorithm {
     /// CUBIC (RFC 8312-style window growth), the Linux default in the
     /// paper's era.
     Cubic,
+    /// BBRv1: model-based congestion control from delivery-rate samples,
+    /// driving the pacer. Implies pacing (a BBR sender without pacing
+    /// would burst whole BDP-sized windows and defeat its own model).
+    Bbr,
 }
 
 /// Congestion-controller interface. All window values are bytes.
@@ -49,6 +59,18 @@ pub trait CongestionControl {
     fn on_spurious_timeout(&mut self) {}
     /// Fast recovery finished (the lost segment's range was acked).
     fn on_recovery_exit(&mut self);
+    /// A delivery-rate sample (see [`crate::tcp::rate`]) with the
+    /// current pipe estimate. Model-based controllers (BBR) rebuild
+    /// their path model here; loss-based controllers ignore it — the
+    /// no-op default keeps Reno/Cubic untouched.
+    fn on_rate_sample(&mut self, _rs: &RateSample, _inflight: u64, _now: Timestamp) {}
+    /// The rate (bytes/second) the controller wants the pacer to release
+    /// at, when it models one. `None` (the default) lets the socket fall
+    /// back to `gain × bw_estimate` from the delivery-rate estimator —
+    /// or not pace at all when pacing is off.
+    fn pacing_rate(&self) -> Option<u64> {
+        None
+    }
     /// True while in slow start.
     fn in_slow_start(&self) -> bool {
         self.cwnd() < self.ssthresh()
@@ -292,12 +314,389 @@ impl CongestionControl for Cubic {
     }
 }
 
+/// BBR STARTUP/DRAIN pacing gain: 2/ln 2, the smallest gain that can
+/// double the delivery rate every round trip.
+const BBR_HIGH_GAIN: f64 = 2.885;
+/// ProbeBW cwnd gain: two BDPs of inflight headroom absorbs delayed and
+/// aggregated ACKs without starving the pacer.
+const BBR_CWND_GAIN: f64 = 2.0;
+/// The ProbeBW pacing-gain cycle: one probing phase, one draining phase,
+/// six cruise phases.
+const BBR_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Bandwidth filter window, in packet-timed round trips.
+const BBR_BW_WINDOW_ROUNDS: u64 = 10;
+/// STARTUP exits once bandwidth has grown less than this factor across
+/// [`BBR_FULL_BW_ROUNDS`] consecutive rounds.
+const BBR_FULL_BW_THRESH: f64 = 1.25;
+const BBR_FULL_BW_ROUNDS: u32 = 3;
+/// Re-probe the minimum RTT when the estimate is older than this.
+const BBR_MIN_RTT_EXPIRY: SimDuration = SimDuration::from_secs(10);
+/// How long PROBE_RTT holds the window at the floor.
+const BBR_PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+/// The PROBE_RTT window floor: enough to keep delivery samples flowing.
+const BBR_MIN_CWND: u64 = 4 * MSS64;
+
+/// The BBRv1 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbrMode {
+    /// Exponential search for the bottleneck: pacing gain 2/ln2 until
+    /// the delivery rate stops growing.
+    Startup,
+    /// Drain the queue STARTUP built: pacing gain ln2/2 until inflight
+    /// fits one BDP.
+    Drain,
+    /// Steady state: cycle the pacing gain around 1.0 to track the
+    /// bottleneck as it moves.
+    ProbeBw,
+    /// Periodically shrink the window to the floor so the real
+    /// propagation delay (not a self-inflicted standing queue) shows
+    /// through to the min-RTT filter.
+    ProbeRtt,
+}
+
+/// BBRv1 (simplified; deviations in DESIGN.md §4): a model-based
+/// controller that estimates the bottleneck bandwidth (windowed max of
+/// delivery-rate samples over 10 rounds) and the round-trip propagation
+/// delay (windowed min RTT), paces at `gain × bw`, and caps inflight at
+/// `cwnd_gain × BDP`. Packet loss does not shrink the model — recovery
+/// conserves packets (ssthresh stays at `u64::MAX`, so the socket's PRR
+/// runs in its conservative branch) and the window snaps back on exit.
+#[derive(Debug)]
+pub struct Bbr {
+    mode: BbrMode,
+    cwnd: u64,
+    initial_cwnd: u64,
+    pacing_gain: f64,
+    cwnd_gain: f64,
+    /// Windowed-max bandwidth filter keyed by packet-timed round.
+    bw_filter: WindowedMaxBw<u64>,
+    /// Packet-timed round trips: a round ends when a sample's
+    /// `prior_delivered` reaches the `delivered` mark of the round start.
+    round_count: u64,
+    next_round_delivered: u64,
+    /// Minimum RTT and when it was last refreshed (PROBE_RTT trigger).
+    min_rtt: Option<SimDuration>,
+    min_rtt_stamp: Timestamp,
+    /// When the PROBE_RTT hold completes, once inflight reached the floor.
+    probe_rtt_done_at: Option<Timestamp>,
+    /// ProbeBW gain-cycle position and when the current phase started.
+    cycle_index: usize,
+    cycle_stamp: Timestamp,
+    /// STARTUP full-pipe detection.
+    full_bw: u64,
+    full_bw_count: u32,
+    filled_pipe: bool,
+    /// Window saved at recovery/PROBE_RTT entry, restored on exit
+    /// (Linux `bbr_save_cwnd`: a fresh save *assigns* — dropping any
+    /// stale value from an earlier path epoch — while a nested save,
+    /// recovery and PROBE_RTT interleaving, keeps the larger).
+    prior_cwnd: u64,
+    /// Whether a loss recovery is in progress (save/restore nesting).
+    in_recovery: bool,
+    /// (cwnd, prior_cwnd, in_recovery) before the last timeout, for the
+    /// F-RTO undo.
+    prior_frto: Option<(u64, u64, bool)>,
+}
+
+impl Bbr {
+    /// Standard initial state.
+    pub fn new() -> Self {
+        Self::with_initial_window(INITIAL_WINDOW)
+    }
+
+    /// Initial state with an explicit initial window in bytes.
+    pub fn with_initial_window(iw: u64) -> Self {
+        let iw = iw.max(BBR_MIN_CWND);
+        Bbr {
+            mode: BbrMode::Startup,
+            cwnd: iw,
+            initial_cwnd: iw,
+            pacing_gain: BBR_HIGH_GAIN,
+            cwnd_gain: BBR_HIGH_GAIN,
+            bw_filter: WindowedMaxBw::new(),
+            round_count: 0,
+            next_round_delivered: 0,
+            min_rtt: None,
+            min_rtt_stamp: Timestamp::ZERO,
+            probe_rtt_done_at: None,
+            cycle_index: 2, // a cruise phase; probing starts after one cycle
+            cycle_stamp: Timestamp::ZERO,
+            full_bw: 0,
+            full_bw_count: 0,
+            filled_pipe: false,
+            prior_cwnd: 0,
+            in_recovery: false,
+            prior_frto: None,
+        }
+    }
+
+    /// Windowed-max bottleneck bandwidth estimate, bytes/second.
+    pub fn max_bw(&self) -> Option<u64> {
+        self.bw_filter.max()
+    }
+
+    /// Bandwidth-delay product scaled by `gain`, when both estimates
+    /// exist.
+    fn bdp(&self, gain: f64) -> Option<u64> {
+        let bw = self.max_bw()?;
+        let rtt = self.min_rtt?;
+        Some((bw as f64 * rtt.as_secs_f64() * gain) as u64)
+    }
+
+    /// The inflight cap the current mode targets.
+    fn cwnd_target(&self) -> u64 {
+        match self.bdp(self.cwnd_gain) {
+            // Quantization headroom: never let the target round below
+            // the floor that keeps ACKs flowing.
+            Some(t) => t.max(BBR_MIN_CWND),
+            None => self.initial_cwnd,
+        }
+    }
+
+    fn update_bw_filter(&mut self, rs: &RateSample) {
+        self.bw_filter
+            .update(self.round_count, rs.bw, rs.is_app_limited);
+        self.bw_filter
+            .expire_before(self.round_count.saturating_sub(BBR_BW_WINDOW_ROUNDS));
+    }
+
+    fn check_full_pipe(&mut self, rs: &RateSample) {
+        if self.filled_pipe || rs.is_app_limited {
+            return;
+        }
+        let bw = self.max_bw().unwrap_or(0);
+        if bw as f64 >= self.full_bw as f64 * BBR_FULL_BW_THRESH {
+            self.full_bw = bw;
+            self.full_bw_count = 0;
+            return;
+        }
+        self.full_bw_count += 1;
+        if self.full_bw_count >= BBR_FULL_BW_ROUNDS {
+            self.filled_pipe = true;
+        }
+    }
+
+    fn enter_probe_bw(&mut self, now: Timestamp) {
+        self.mode = BbrMode::ProbeBw;
+        self.cwnd_gain = BBR_CWND_GAIN;
+        self.cycle_index = 2;
+        self.pacing_gain = BBR_CYCLE[self.cycle_index];
+        self.cycle_stamp = now;
+    }
+
+    fn advance_cycle(&mut self, inflight: u64, now: Timestamp) {
+        let phase_len = self.min_rtt.unwrap_or(SimDuration::from_millis(100));
+        let elapsed = now.saturating_duration_since(self.cycle_stamp);
+        let advance = if self.pacing_gain > 1.0 {
+            // Hold the probing phase a full min_rtt (building a queue
+            // takes a round trip to show up).
+            elapsed > phase_len
+        } else if self.pacing_gain < 1.0 {
+            // Leave the draining phase as soon as the probe's queue is
+            // gone — or after a full round if it never was there.
+            elapsed > phase_len || self.bdp(1.0).is_some_and(|bdp| inflight <= bdp)
+        } else {
+            elapsed > phase_len
+        };
+        if advance {
+            self.cycle_index = (self.cycle_index + 1) % BBR_CYCLE.len();
+            self.pacing_gain = BBR_CYCLE[self.cycle_index];
+            self.cycle_stamp = now;
+        }
+    }
+
+    /// Save the window before an episode (recovery or PROBE_RTT)
+    /// collapses it. Fresh saves assign so a stale window from an
+    /// earlier path epoch can never be resurrected; nested saves keep
+    /// the larger so the outermost episode's window survives.
+    fn save_cwnd(&mut self) {
+        if !self.in_recovery && self.mode != BbrMode::ProbeRtt {
+            self.prior_cwnd = self.cwnd;
+        } else {
+            self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+        }
+    }
+
+    fn handle_probe_rtt(&mut self, inflight: u64, now: Timestamp) {
+        match self.probe_rtt_done_at {
+            None => {
+                // Wait for inflight to actually reach the floor before
+                // starting the hold — the point is measuring an empty
+                // queue.
+                if inflight <= BBR_MIN_CWND + MSS64 {
+                    self.probe_rtt_done_at = Some(now + BBR_PROBE_RTT_DURATION);
+                }
+            }
+            Some(done) if now >= done => {
+                self.min_rtt_stamp = now;
+                self.probe_rtt_done_at = None;
+                self.cwnd = self.cwnd.max(self.prior_cwnd);
+                if self.filled_pipe {
+                    self.enter_probe_bw(now);
+                } else {
+                    self.mode = BbrMode::Startup;
+                    self.pacing_gain = BBR_HIGH_GAIN;
+                    self.cwnd_gain = BBR_HIGH_GAIN;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// BBR has no ssthresh: recovery must not multiplicatively collapse
+    /// the model-derived window. `u64::MAX` keeps the socket's PRR in
+    /// its conservative branch (send ≈ what was delivered — packet
+    /// conservation), which is BBRv1's loss response.
+    fn ssthresh(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn on_ack(&mut self, bytes_acked: u64, _now: Timestamp, _srtt: Option<SimDuration>) {
+        if self.mode == BbrMode::ProbeRtt {
+            // The hold pins the window at the floor.
+            self.cwnd = self.cwnd.min(BBR_MIN_CWND);
+            return;
+        }
+        if self.bdp(1.0).is_some() {
+            // Grow by what was delivered, capped at the mode's inflight
+            // target (`cwnd_gain × BDP`). The cap applies in STARTUP too
+            // (as in Linux): the target itself grows with the bandwidth
+            // estimate, so growth stays exponential, but inflight never
+            // runs a receive-window's worth past the model — without
+            // this, startup bloats its own RTT and the (RTT-timed)
+            // plateau detection crawls.
+            self.cwnd = (self.cwnd + bytes_acked).min(self.cwnd_target());
+        } else {
+            // No model yet (first round): grow like slow start.
+            self.cwnd += bytes_acked;
+        }
+        self.cwnd = self.cwnd.max(BBR_MIN_CWND);
+    }
+
+    fn on_fast_retransmit(&mut self, flight_size: u64, _now: Timestamp) {
+        // Packet conservation while recovery runs; the window snaps back
+        // on exit (loss does not change the path model). Conservation
+        // can only shrink the window, never expand it.
+        self.save_cwnd();
+        self.in_recovery = true;
+        self.cwnd = flight_size.min(self.cwnd).max(BBR_MIN_CWND);
+    }
+
+    fn on_timeout(&mut self, _flight_size: u64, _now: Timestamp) {
+        self.prior_frto = Some((self.cwnd, self.prior_cwnd, self.in_recovery));
+        self.save_cwnd();
+        self.in_recovery = true;
+        self.cwnd = MSS64.max(BBR_MIN_CWND.min(self.cwnd));
+    }
+
+    fn on_spurious_timeout(&mut self) {
+        if let Some((cwnd, prior_cwnd, in_recovery)) = self.prior_frto.take() {
+            self.cwnd = cwnd;
+            self.prior_cwnd = prior_cwnd;
+            self.in_recovery = in_recovery;
+        }
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.in_recovery = false;
+        self.cwnd = self.cwnd.max(self.prior_cwnd);
+        if self.mode == BbrMode::ProbeRtt {
+            // A recovery ending mid-hold must not burst into the queue
+            // PROBE_RTT is draining; the saved window comes back at the
+            // hold's own exit.
+            self.cwnd = self.cwnd.min(BBR_MIN_CWND);
+        }
+    }
+
+    fn on_rate_sample(&mut self, rs: &RateSample, inflight: u64, now: Timestamp) {
+        // Packet-timed round accounting: the sampled segment was sent
+        // at or after the previous round's `delivered` mark → one full
+        // window has round-tripped.
+        let round_start = rs.prior_delivered >= self.next_round_delivered;
+        if round_start {
+            self.next_round_delivered = rs.delivered;
+            self.round_count += 1;
+        }
+        self.update_bw_filter(rs);
+        if round_start {
+            self.check_full_pipe(rs);
+        }
+
+        // Min-RTT tracking, the Linux `bbr_update_min_rtt` rule. `<=`
+        // (not `<`) so a steady path keeps refreshing the stamp and
+        // PROBE_RTT only fires when the floor has genuinely not been
+        // seen for the whole expiry window. On expiry the current
+        // sample *replaces* the minimum even when larger — without
+        // that, a path whose propagation delay rose would keep an
+        // obsolete low min forever, permanently under-sizing the BDP
+        // (and PROBE_RTT, which uses the pre-update expiry verdict
+        // below, then re-measures the drained floor from scratch).
+        let min_rtt_expired = self.min_rtt.is_some()
+            && now.saturating_duration_since(self.min_rtt_stamp) > BBR_MIN_RTT_EXPIRY;
+        if !rs.rtt.is_zero() && (self.min_rtt.is_none_or(|m| rs.rtt <= m) || min_rtt_expired) {
+            self.min_rtt = Some(rs.rtt);
+            self.min_rtt_stamp = now;
+        }
+
+        match self.mode {
+            BbrMode::Startup => {
+                if self.filled_pipe {
+                    self.mode = BbrMode::Drain;
+                    self.pacing_gain = 1.0 / BBR_HIGH_GAIN;
+                    self.cwnd_gain = BBR_HIGH_GAIN;
+                }
+            }
+            BbrMode::Drain => {
+                if self.bdp(1.0).is_some_and(|bdp| inflight <= bdp) {
+                    self.enter_probe_bw(now);
+                }
+            }
+            BbrMode::ProbeBw => self.advance_cycle(inflight, now),
+            BbrMode::ProbeRtt => {}
+        }
+
+        if self.mode != BbrMode::ProbeRtt && min_rtt_expired {
+            self.save_cwnd();
+            self.mode = BbrMode::ProbeRtt;
+            self.pacing_gain = 1.0;
+            self.cwnd_gain = 1.0;
+            self.cwnd = BBR_MIN_CWND;
+            self.probe_rtt_done_at = None;
+        }
+        if self.mode == BbrMode::ProbeRtt {
+            self.handle_probe_rtt(inflight, now);
+        }
+    }
+
+    fn pacing_rate(&self) -> Option<u64> {
+        self.max_bw()
+            .map(|bw| ((bw as f64 * self.pacing_gain) as u64).max(1))
+    }
+
+    fn in_slow_start(&self) -> bool {
+        !self.filled_pipe
+    }
+}
+
 /// Construct a boxed controller for the given algorithm with the given
 /// initial window in bytes.
 pub fn make_controller(alg: CcAlgorithm, initial_window: u64) -> Box<dyn CongestionControl> {
     match alg {
         CcAlgorithm::Reno => Box::new(Reno::with_initial_window(initial_window)),
         CcAlgorithm::Cubic => Box::new(Cubic::with_initial_window(initial_window)),
+        CcAlgorithm::Bbr => Box::new(Bbr::with_initial_window(initial_window)),
     }
 }
 
@@ -420,10 +819,232 @@ mod tests {
     }
 
     #[test]
-    fn factory_produces_both() {
+    fn factory_produces_all() {
         let r = make_controller(CcAlgorithm::Reno, INITIAL_WINDOW);
         let c = make_controller(CcAlgorithm::Cubic, INITIAL_WINDOW);
+        let b = make_controller(CcAlgorithm::Bbr, INITIAL_WINDOW);
         assert_eq!(r.cwnd(), INITIAL_WINDOW);
         assert_eq!(c.cwnd(), INITIAL_WINDOW);
+        assert_eq!(b.cwnd(), INITIAL_WINDOW);
+    }
+
+    /// A synthetic rate sample: `bw` bytes/s, `rtt` ms, with the round
+    /// bookkeeping driven by (prior_delivered, delivered).
+    fn rs(bw: u64, rtt_ms: u64, prior_delivered: u64, delivered: u64) -> RateSample {
+        RateSample {
+            bw,
+            delivered_delta: delivered - prior_delivered,
+            interval: SimDuration::from_millis(rtt_ms.max(1)),
+            delivered,
+            prior_delivered,
+            rtt: SimDuration::from_millis(rtt_ms),
+            min_rtt: Some(SimDuration::from_millis(rtt_ms)),
+            is_app_limited: false,
+        }
+    }
+
+    /// Feed `n` rounds of samples at a fixed bw/rtt, advancing the
+    /// delivered counter a window per round so every sample starts a
+    /// round.
+    fn feed_rounds(
+        b: &mut Bbr,
+        n: u64,
+        bw: u64,
+        rtt_ms: u64,
+        now_ms: &mut u64,
+        delivered: &mut u64,
+    ) {
+        for _ in 0..n {
+            let prior = *delivered;
+            *delivered += bw * rtt_ms / 1000;
+            *now_ms += rtt_ms;
+            b.on_rate_sample(
+                &rs(bw, rtt_ms, prior, *delivered),
+                bw * rtt_ms / 1000,
+                Timestamp::from_millis(*now_ms),
+            );
+        }
+    }
+
+    #[test]
+    fn bbr_startup_exits_on_bw_plateau_then_drains_to_probe_bw() {
+        let mut b = Bbr::new();
+        assert!(b.in_slow_start());
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        // Growing bandwidth: stays in startup.
+        feed_rounds(&mut b, 1, 100_000, 100, &mut now_ms, &mut delivered);
+        feed_rounds(&mut b, 1, 200_000, 100, &mut now_ms, &mut delivered);
+        feed_rounds(&mut b, 1, 400_000, 100, &mut now_ms, &mut delivered);
+        assert_eq!(b.mode, BbrMode::Startup);
+        // Plateau at 400 kB/s: three rounds without 25% growth → drain.
+        feed_rounds(&mut b, 3, 400_000, 100, &mut now_ms, &mut delivered);
+        assert!(b.filled_pipe, "plateau must fill the pipe");
+        assert_eq!(b.mode, BbrMode::Drain);
+        assert!(b.pacing_gain < 1.0, "drain pacing gain {}", b.pacing_gain);
+        assert!(!b.in_slow_start());
+        // One more sample with inflight ≤ BDP (40 kB) finishes draining.
+        let prior = delivered;
+        delivered += 1000;
+        now_ms += 100;
+        b.on_rate_sample(
+            &rs(400_000, 100, prior, delivered),
+            10_000,
+            Timestamp::from_millis(now_ms),
+        );
+        assert_eq!(b.mode, BbrMode::ProbeBw);
+        assert_eq!(b.pacing_gain, 1.0, "probe-bw starts in a cruise phase");
+        // Pacing rate follows the bandwidth model.
+        assert_eq!(b.pacing_rate(), Some(400_000));
+        // cwnd target = 2 × BDP = 80 kB.
+        assert_eq!(b.cwnd_target(), 80_000);
+    }
+
+    #[test]
+    fn bbr_probe_bw_cycles_gains() {
+        let mut b = Bbr::new();
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        feed_rounds(&mut b, 2, 400_000, 100, &mut now_ms, &mut delivered);
+        feed_rounds(&mut b, 4, 400_000, 100, &mut now_ms, &mut delivered);
+        assert_eq!(b.mode, BbrMode::ProbeBw);
+        // Walk at least one full gain cycle; every configured gain must
+        // appear.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..20 {
+            feed_rounds(&mut b, 1, 400_000, 100, &mut now_ms, &mut delivered);
+            seen.insert((b.pacing_gain * 100.0) as u64);
+        }
+        assert!(seen.contains(&125), "probing gain seen: {seen:?}");
+        assert!(seen.contains(&75), "draining gain seen: {seen:?}");
+        assert!(seen.contains(&100), "cruise gain seen: {seen:?}");
+    }
+
+    #[test]
+    fn bbr_probe_rtt_after_min_rtt_expiry_and_recovery() {
+        let mut b = Bbr::new();
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        feed_rounds(&mut b, 6, 400_000, 100, &mut now_ms, &mut delivered);
+        assert_eq!(b.mode, BbrMode::ProbeBw);
+        let cwnd_before = b.cwnd();
+        // RTTs above the recorded minimum for > 10 s: the stamp goes
+        // stale and PROBE_RTT engages, pinning the window at the floor.
+        feed_rounds(&mut b, 101, 400_000, 105, &mut now_ms, &mut delivered);
+        assert_eq!(b.mode, BbrMode::ProbeRtt);
+        assert_eq!(b.cwnd(), BBR_MIN_CWND);
+        b.on_ack(100_000, Timestamp::from_millis(now_ms), None);
+        assert_eq!(b.cwnd(), BBR_MIN_CWND, "acks must not regrow the hold");
+        // Inflight reaches the floor → 200 ms hold → restore and resume.
+        let prior = delivered;
+        delivered += 1000;
+        now_ms += 100;
+        b.on_rate_sample(
+            &rs(400_000, 100, prior, delivered),
+            BBR_MIN_CWND,
+            Timestamp::from_millis(now_ms),
+        );
+        assert!(b.probe_rtt_done_at.is_some());
+        let prior = delivered;
+        delivered += 1000;
+        now_ms += 250;
+        b.on_rate_sample(
+            &rs(400_000, 100, prior, delivered),
+            BBR_MIN_CWND,
+            Timestamp::from_millis(now_ms),
+        );
+        assert_eq!(b.mode, BbrMode::ProbeBw);
+        assert!(b.cwnd() >= cwnd_before.min(b.cwnd_target()));
+    }
+
+    #[test]
+    fn bbr_loss_conserves_and_restores() {
+        let mut b = Bbr::new();
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        feed_rounds(&mut b, 6, 400_000, 100, &mut now_ms, &mut delivered);
+        // Grow the window to the model target (2 × BDP = 80 kB).
+        b.on_ack(200_000, Timestamp::from_millis(now_ms), None);
+        let cwnd = b.cwnd();
+        assert_eq!(cwnd, 80_000);
+        b.on_fast_retransmit(30_000, Timestamp::from_millis(now_ms));
+        assert_eq!(b.cwnd(), 30_000, "packet conservation during recovery");
+        assert_eq!(b.ssthresh(), u64::MAX, "no multiplicative collapse");
+        b.on_recovery_exit();
+        assert_eq!(b.cwnd(), cwnd, "window restored after recovery");
+        // Timeout collapses, F-RTO undo restores.
+        b.on_timeout(30_000, Timestamp::from_millis(now_ms));
+        assert!(b.cwnd() <= BBR_MIN_CWND);
+        b.on_spurious_timeout();
+        assert_eq!(b.cwnd(), cwnd);
+    }
+
+    #[test]
+    fn bbr_recovery_interleaved_with_probe_rtt_keeps_the_saved_window() {
+        // Recovery starts, PROBE_RTT engages mid-recovery, recovery
+        // exits mid-hold: the exit must not burst past the hold's
+        // 4-segment floor, and the hold's own exit must still restore
+        // the window saved before either episode began.
+        let mut b = Bbr::new();
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        feed_rounds(&mut b, 6, 400_000, 100, &mut now_ms, &mut delivered);
+        b.on_ack(200_000, Timestamp::from_millis(now_ms), None);
+        let cwnd = b.cwnd();
+        assert_eq!(cwnd, 80_000);
+        b.on_fast_retransmit(30_000, Timestamp::from_millis(now_ms));
+        // Min-RTT goes stale during recovery → PROBE_RTT engages.
+        feed_rounds(&mut b, 101, 400_000, 105, &mut now_ms, &mut delivered);
+        assert_eq!(b.mode, BbrMode::ProbeRtt);
+        // Recovery completes mid-hold: the window stays at the floor.
+        b.on_recovery_exit();
+        assert_eq!(b.cwnd(), BBR_MIN_CWND, "no burst into the hold");
+        // Hold runs to completion; the pre-episode window comes back.
+        let prior = delivered;
+        delivered += 1000;
+        now_ms += 100;
+        b.on_rate_sample(
+            &rs(400_000, 100, prior, delivered),
+            BBR_MIN_CWND,
+            Timestamp::from_millis(now_ms),
+        );
+        let prior = delivered;
+        delivered += 1000;
+        now_ms += 250;
+        b.on_rate_sample(
+            &rs(400_000, 100, prior, delivered),
+            BBR_MIN_CWND,
+            Timestamp::from_millis(now_ms),
+        );
+        assert_ne!(b.mode, BbrMode::ProbeRtt);
+        assert_eq!(b.cwnd(), cwnd, "saved window restored at hold exit");
+    }
+
+    #[test]
+    fn bbr_min_rtt_tracks_a_rising_path_after_expiry() {
+        // Propagation delay rises mid-connection: once the 10 s filter
+        // expires the higher sample must *replace* the obsolete minimum
+        // (the Linux rule) — otherwise BDP stays under-sized forever.
+        let mut b = Bbr::new();
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        feed_rounds(&mut b, 3, 400_000, 50, &mut now_ms, &mut delivered);
+        assert_eq!(b.min_rtt, Some(SimDuration::from_millis(50)));
+        // The path now takes 150 ms; before expiry the min holds...
+        feed_rounds(&mut b, 10, 400_000, 150, &mut now_ms, &mut delivered);
+        assert_eq!(b.min_rtt, Some(SimDuration::from_millis(50)));
+        // ...and once the 10 s window passes, the estimate follows the
+        // path up.
+        feed_rounds(&mut b, 60, 400_000, 150, &mut now_ms, &mut delivered);
+        assert_eq!(b.min_rtt, Some(SimDuration::from_millis(150)));
+    }
+
+    #[test]
+    fn bbr_app_limited_samples_never_lower_bw() {
+        let mut b = Bbr::new();
+        let (mut now_ms, mut delivered) = (0u64, 0u64);
+        feed_rounds(&mut b, 2, 400_000, 100, &mut now_ms, &mut delivered);
+        assert_eq!(b.max_bw(), Some(400_000));
+        let prior = delivered;
+        delivered += 100;
+        now_ms += 100;
+        let mut s = rs(1_000, 100, prior, delivered);
+        s.is_app_limited = true;
+        b.on_rate_sample(&s, 100, Timestamp::from_millis(now_ms));
+        assert_eq!(b.max_bw(), Some(400_000), "app-limited trickle ignored");
     }
 }

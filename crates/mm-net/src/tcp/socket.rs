@@ -38,7 +38,9 @@ use crate::addr::SocketAddr;
 use crate::packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, MSS};
 use crate::sink::SinkRef;
 use crate::tcp::cc::{make_controller, CcAlgorithm, CongestionControl};
+use crate::tcp::pacing::{Pacer, PACING_GAIN_CA, PACING_GAIN_SS};
 use crate::tcp::rack::{FrtoState, RackState, TLP_SLACK};
+use crate::tcp::rate::{RateEstimator, TxRecord};
 use crate::tcp::rtt::RttEstimator;
 use crate::tcp::sack::{ReceiverSack, Scoreboard, DUP_THRESH};
 
@@ -106,6 +108,14 @@ pub struct TcpConfig {
     /// detection and F-RTO. Default `Reno`: the NewReno baseline stays
     /// byte-identical.
     pub recovery: RecoveryTier,
+    /// Pace new-data transmissions instead of bursting the whole window:
+    /// segments release at `pacing_gain × estimated_bw` (the delivery-
+    /// rate estimator's windowed max, or the controller's own model when
+    /// it has one — see [`CongestionControl::pacing_rate`]). Default off;
+    /// every pre-pacing baseline is byte-identical. `CcAlgorithm::Bbr`
+    /// paces regardless of this flag — an unpaced BBR would burst the
+    /// very queues its model exists to avoid.
+    pub pacing: bool,
 }
 
 impl Default for TcpConfig {
@@ -119,6 +129,7 @@ impl Default for TcpConfig {
             max_retries: 15,
             initial_cwnd_segments: None,
             recovery: RecoveryTier::default(),
+            pacing: false,
         }
     }
 }
@@ -182,6 +193,9 @@ struct RetxEntry {
     /// Whether this entry currently counts toward the incremental pipe
     /// estimate (see [`TcpInner::pipe`]).
     in_pipe: bool,
+    /// Delivery-rate bookkeeping stamped at first transmission
+    /// (draft-cheng per-packet state; see [`crate::tcp::rate`]).
+    tx: TxRecord,
 }
 
 /// Full connection state. Public API lives on [`TcpHandle`].
@@ -277,6 +291,20 @@ pub struct TcpInner {
     prior_lost_point: u64,
     /// Scratch buffer for newly sacked ranges (avoids per-ack allocation).
     sack_delta: Vec<SackBlock>,
+    /// Delivery-rate estimator (always maintained — pure bookkeeping —
+    /// but only consumed when pacing or a model-based controller runs).
+    rate: RateEstimator,
+    /// The most recently *sent* segment this ack delivered: the packet
+    /// whose stamped [`TxRecord`] closes into this ack's rate sample
+    /// (draft-cheng picks exactly this one). Retransmitted entries are
+    /// excluded — which copy the ack covers is Karn-ambiguous.
+    rate_candidate: Option<(Timestamp, u64, TxRecord)>,
+    /// Pacing release clock (active only when `pacing_active()`).
+    pacer: Pacer,
+    /// Release instant the last paced transmission stopped at, consumed
+    /// by `manage_timers` (the same simulator-at-arms-length pattern as
+    /// `reo_deadline`).
+    pace_deadline: Option<Timestamp>,
 
     // --- receive side ---
     /// Next in-order byte expected from the peer.
@@ -304,6 +332,8 @@ pub struct TcpInner {
     tlp_timer: Timer,
     /// RACK reordering-window timer (RackTlp tier only).
     reo_timer: Timer,
+    /// Pacing release timer (pacing only).
+    pacing_timer: Timer,
     app: Option<Rc<dyn SocketApp>>,
     /// Events waiting to be dispatched once the borrow is released.
     pending_events: Vec<SocketEvent>,
@@ -331,6 +361,10 @@ pub struct TcpStats {
     pub rack_loss_marks: u64,
     /// Retransmission timeouts proven spurious by F-RTO (and undone).
     pub spurious_rtos: u64,
+    /// Delivery-rate samples fed to the congestion controller.
+    pub rate_samples: u64,
+    /// Transmission opportunities deferred by the pacer (pacing only).
+    pub pacing_waits: u64,
 }
 
 /// Shared handle to a TCP connection.
@@ -392,6 +426,10 @@ impl TcpInner {
             frto: FrtoState::Inactive,
             prior_lost_point: 0,
             sack_delta: Vec::new(),
+            rate: RateEstimator::new(),
+            rate_candidate: None,
+            pacer: Pacer::new(),
+            pace_deadline: None,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             rcv_sack: ReceiverSack::new(),
@@ -404,6 +442,7 @@ impl TcpInner {
             ack_timer: Timer::new(),
             tlp_timer: Timer::new(),
             reo_timer: Timer::new(),
+            pacing_timer: Timer::new(),
             app: None,
             pending_events: Vec::new(),
             stats: TcpStats::default(),
@@ -496,10 +535,31 @@ impl TcpInner {
         out.freeze()
     }
 
-    /// Transmit as much new data as the window allows; returns packets.
+    /// Transmit as much new data as the window allows — released one
+    /// serialization interval at a time when pacing is active; returns
+    /// packets.
     fn transmit_new(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         use crate::packet::MSS;
         let had_backlog = self.send_queued_bytes > 0;
+        // One rate lookup per transmission opportunity; `None` means
+        // unpaced (pacing off, or no bandwidth estimate yet to pace
+        // against) and the loop below is byte-identical to its
+        // pre-pacing self.
+        let pace_rate = self.current_pacing_rate();
+        self.pace_deadline = None;
+        // App-limited marking must precede the sends it covers (Linux
+        // stamps `tp->app_limited` in the write path, before
+        // transmission): when the queued data cannot fill the available
+        // window, every segment of this burst measures the app, not the
+        // path — including the first one, which would otherwise be
+        // stamped un-limited and "validate" a model built from a
+        // trickle.
+        if had_backlog
+            && self.send_queued_bytes < self.send_window().saturating_sub(self.flight_size())
+        {
+            self.rate
+                .on_app_limited(self.flight_size() + self.send_queued_bytes);
+        }
         loop {
             let window = self.send_window();
             let flight = self.flight_size();
@@ -511,6 +571,19 @@ impl TcpInner {
             let send_fin_now =
                 self.fin_pending && self.send_queued_bytes == 0 && self.fin_seq.is_none();
             if !has_data && !send_fin_now {
+                // Out of application data with window to spare: every
+                // sample taken until this flight drains measures the app,
+                // not the path (draft-cheng app-limited marking).
+                self.rate.on_app_limited(self.flight_size());
+                break;
+            }
+            if has_data && pace_rate.is_some() && !self.pacer.can_send(now) {
+                // The window permits more, the pacer does not (yet):
+                // stop here and let the pacing timer resume the loop at
+                // the release instant. The window gate above ran first,
+                // so pacing can only ever delay what cwnd permits.
+                self.stats.pacing_waits += 1;
+                self.pace_deadline = Some(self.pacer.ready_at());
                 break;
             }
             if has_data {
@@ -535,7 +608,11 @@ impl TcpInner {
                     self.fin_seq = Some(seg.seq_end() - 1);
                     self.enter_fin_state();
                 }
+                let len = seg.seq_len();
                 self.insert_retx(seq, seg, now);
+                if let Some(rate) = pace_rate {
+                    self.pacer.on_sent(now, len, rate);
+                }
                 out.push(pkt);
             } else {
                 // Bare FIN.
@@ -675,6 +752,9 @@ impl TcpInner {
     /// queue. A new transmission always counts toward pipe: nothing
     /// above it can be sacked and no loss evidence about it can exist.
     fn insert_retx(&mut self, seq: u64, segment: TcpSegment, sent_at: Timestamp) {
+        // Delivery-rate stamp (the flight-empty check must precede the
+        // insert: an idle restart resets the sample window).
+        let tx = self.rate.on_send(sent_at, self.retx.is_empty());
         self.pipe_count += segment.seq_len();
         self.retx.insert(
             seq,
@@ -684,6 +764,7 @@ impl TcpInner {
                 first_sent_at: sent_at,
                 retransmitted: false,
                 in_pipe: true,
+                tx,
             },
         );
     }
@@ -757,20 +838,30 @@ impl TcpInner {
                 .unwrap_or(d.start);
             let keys: Vec<u64> = self.retx.range(first..d.end).map(|(&s, _)| s).collect();
             for seq in keys {
-                let (end, sent_at, retransmitted) = {
+                let (end, sent_at, retransmitted, tx) = {
                     let e = &self.retx[&seq];
-                    (e.segment.seq_end(), e.sent_at, e.retransmitted)
+                    (e.segment.seq_end(), e.sent_at, e.retransmitted, e.tx)
                 };
-                if rack_active && self.scoreboard.is_sacked(seq, end) {
-                    // Same ambiguity guard as the cumulative-ack path:
-                    // mid-F-RTO, retransmitted deliveries don't advance
-                    // the delivery clock.
-                    if !(frto_armed && retransmitted) {
-                        self.rack_dirty |= self.rack.on_delivered(sent_at, end, retransmitted, now);
+                if self.scoreboard.is_sacked(seq, end) {
+                    if !retransmitted {
+                        // Unambiguous delivery: candidate for this ack's
+                        // rate sample, and a windowed min-RTT input.
+                        self.note_delivered_record(sent_at, end, tx);
+                        self.rate
+                            .on_rtt(now.saturating_duration_since(sent_at), now);
                     }
-                    if self.rack_lost.remove(&seq) && !retransmitted {
-                        // The "lost" original was merely reordered.
-                        self.rack.on_spurious_mark();
+                    if rack_active {
+                        // Same ambiguity guard as the cumulative-ack
+                        // path: mid-F-RTO, retransmitted deliveries
+                        // don't advance the delivery clock.
+                        if !(frto_armed && retransmitted) {
+                            self.rack_dirty |=
+                                self.rack.on_delivered(sent_at, end, retransmitted, now);
+                        }
+                        if self.rack_lost.remove(&seq) && !retransmitted {
+                            // The "lost" original was merely reordered.
+                            self.rack.on_spurious_mark();
+                        }
                     }
                 }
                 self.refresh_pipe_entry(seq);
@@ -823,6 +914,99 @@ impl TcpInner {
     /// delivery order from sacked coverage).
     fn rack_active(&self) -> bool {
         self.sack_enabled && self.config.recovery.uses_rack()
+    }
+
+    /// Whether new-data transmissions go through the pacer: the config
+    /// asked, or the controller is BBR (whose model assumes paced
+    /// release — an unpaced BBR would burst the very queues it exists
+    /// to avoid).
+    fn pacing_active(&self) -> bool {
+        self.config.pacing || matches!(self.config.cc, CcAlgorithm::Bbr)
+    }
+
+    /// The rate (bytes/second) the pacer releases at right now, if any:
+    /// the controller's own model when it has one, else `gain ×
+    /// bw_estimate` from the delivery-rate estimator ([`PACING_GAIN_SS`]
+    /// in slow start, [`PACING_GAIN_CA`] after — the Linux defaults).
+    /// `None` (pacing off, or no estimate yet) means unpaced.
+    ///
+    /// Floored at one initial window per smoothed RTT: pacing exists to
+    /// spread bursts, never to throttle a connection below what a fresh
+    /// unpaced sender would move in one round trip. Without the floor,
+    /// the *request* direction of an application-limited connection is
+    /// poisoned by its own model — every sample is a tiny app-limited
+    /// trickle, the windowed-max bandwidth settles at a few kB/s, and a
+    /// burst of requests then leaks out one per "serialization" delay of
+    /// that garbage rate, multiplying page load time (Linux expresses
+    /// the same intent through its IW/srtt initial pacing rate).
+    ///
+    /// The floor is deliberately *unconditional* — a known deviation
+    /// from Linux, which replaces the initial rate once the model has
+    /// samples. Replay connections are perpetually app-limited, their
+    /// windowed estimates decay between object bursts, and a
+    /// lift-once-validated variant re-poisons the request path the
+    /// moment one full-window write validates a model that later
+    /// expires (measured: the page-load regression came straight back).
+    /// The cost is bounded: on a path whose BDP is below one initial
+    /// window, BBR's below-rate phases (DRAIN, PROBE_RTT) cannot pace
+    /// under the floor, leaving at most ~one IW of standing queue
+    /// (DESIGN.md §4; the cwnd floor of PROBE_RTT still caps inflight).
+    fn current_pacing_rate(&self) -> Option<u64> {
+        if !self.pacing_active() {
+            return None;
+        }
+        let model = self.cc.pacing_rate().or_else(|| {
+            let bw = self.rate.bw_estimate()?;
+            let gain = if self.cc.in_slow_start() {
+                PACING_GAIN_SS
+            } else {
+                PACING_GAIN_CA
+            };
+            Some((bw as f64 * gain) as u64)
+        })?;
+        let iw = match self.config.initial_cwnd_segments {
+            Some(segments) => segments as u64 * MSS as u64,
+            None => crate::tcp::cc::INITIAL_WINDOW,
+        };
+        let floor = self
+            .rtt
+            .srtt()
+            .filter(|s| !s.is_zero())
+            .map(|s| ((iw as u128 * 1_000_000_000) / s.as_nanos() as u128) as u64)
+            .unwrap_or(0);
+        Some(model.max(floor).max(1))
+    }
+
+    /// Remember the most recently *sent* never-retransmitted segment
+    /// this ack delivered — the one whose stamped record closes into the
+    /// ack's rate sample.
+    fn note_delivered_record(&mut self, sent_at: Timestamp, end_seq: u64, tx: TxRecord) {
+        let newer = match self.rate_candidate {
+            None => true,
+            Some((ts, end, _)) => sent_at > ts || (sent_at == ts && end_seq > end),
+        };
+        if newer {
+            self.rate_candidate = Some((sent_at, end_seq, tx));
+        }
+    }
+
+    /// Close this ack's delivery bookkeeping into a rate sample and feed
+    /// it to the congestion controller. `delivered_bytes` is the ack's
+    /// DeliveredData (cumulative advance, minus sacked coverage it
+    /// swallowed, plus newly sacked bytes — the same quantity PRR
+    /// consumes).
+    fn emit_rate_sample(&mut self, delivered_bytes: u64, now: Timestamp) {
+        self.rate.on_delivery(delivered_bytes, now);
+        if let Some((sent_at, _end, tx)) = self.rate_candidate.take() {
+            if let Some(rs) = self.rate.sample(&tx, sent_at, now) {
+                self.stats.rate_samples += 1;
+                // The incremental pipe estimate (not raw flight): what
+                // the model should compare against BDP is bytes believed
+                // in the network, not sequence space covering losses.
+                let inflight = self.pipe_count;
+                self.cc.on_rate_sample(&rs, inflight, now);
+            }
+        }
     }
 
     /// Is the first outstanding segment presumed lost? (RFC 6675's
@@ -1125,6 +1309,9 @@ impl TcpInner {
         if ack > self.snd_nxt {
             return; // acks data we never sent; ignore
         }
+        // Rate-sample candidates are per-ack: never let one leak into a
+        // later ack's sample (its delivered counts would be stale).
+        self.rate_candidate = None;
         // Fold SACK blocks into the scoreboard first; both the dup-ack
         // and the cumulative-ack paths feed on the newly sacked count,
         // and the newly covered ranges drive the incremental pipe and
@@ -1146,6 +1333,16 @@ impl TcpInner {
         if self.rack_active() && (ack > self.snd_una || newly_sacked > 0) {
             // Any delivery re-arms the Tail Loss Probe allowance.
             self.tlp_fired = false;
+        }
+        if ack <= self.snd_una && newly_sacked > 0 {
+            // SACK-only progress is still delivery — and not only on
+            // classifiable duplicate ACKs: a payload-bearing segment (a
+            // pipelined request on a bidirectional mux connection) can
+            // carry new blocks with an unmoved ack number. Missing these
+            // would permanently undercount `delivered` and under-read
+            // every later bandwidth sample. Most of BBR's samples under
+            // loss arrive through this path.
+            self.emit_rate_sample(newly_sacked, now);
         }
         if ack > self.snd_una {
             let newly_acked = ack - self.snd_una;
@@ -1186,6 +1383,8 @@ impl TcpInner {
                     let e = self.remove_retx(k).unwrap();
                     if !e.retransmitted {
                         sample = Some(now.duration_since(e.sent_at));
+                        // Unambiguous delivery: rate-sample candidate.
+                        self.note_delivered_record(e.sent_at, e.segment.seq_end(), e.tx);
                     }
                     if frto_armed && !e.retransmitted && !was_sacked {
                         frto_evidence += e.segment.seq_len();
@@ -1226,6 +1425,7 @@ impl TcpInner {
                         let sent_at = e.sent_at;
                         let first_sent_at = e.first_sent_at;
                         let retransmitted = e.retransmitted;
+                        let tx = e.tx;
                         self.remove_retx(k);
                         self.retx.insert(
                             ack,
@@ -1235,6 +1435,7 @@ impl TcpInner {
                                 first_sent_at,
                                 retransmitted,
                                 in_pipe: false,
+                                tx,
                             },
                         );
                         if self.rack_lost.remove(&k) {
@@ -1253,7 +1454,17 @@ impl TcpInner {
 
             if let Some(rtt) = sample {
                 self.rtt.on_measurement(rtt);
+                self.rate.on_rtt(rtt, now);
             }
+
+            // Close this ack's deliveries into a rate sample for the
+            // congestion controller (model-based CC and pacing; a no-op
+            // for the loss-based controllers). DeliveredData exactly as
+            // PRR counts it.
+            self.emit_rate_sample(
+                newly_acked.saturating_sub(swallowed_sacked) + newly_sacked,
+                now,
+            );
 
             // F-RTO (RFC 5682, per-entry evidence variant): advance the
             // spurious-timeout probe before any recovery retransmissions.
@@ -1525,6 +1736,7 @@ impl TcpInner {
         self.ack_timer.cancel();
         self.tlp_timer.cancel();
         self.reo_timer.cancel();
+        self.pacing_timer.cancel();
         self.send_queue.clear();
         self.send_queued_bytes = 0;
         self.retx.clear();
@@ -1532,6 +1744,9 @@ impl TcpInner {
         self.rack_lost.clear();
         self.reo_deadline = None;
         self.tlp_deadline = None;
+        self.pace_deadline = None;
+        self.pacer.reset();
+        self.rate_candidate = None;
         self.frto = FrtoState::Inactive;
         self.ooo.clear();
         self.scoreboard.clear();
@@ -1744,6 +1959,23 @@ impl TcpHandle {
         self.inner.borrow().sack_enabled
     }
 
+    /// Windowed-max delivery-rate estimate, bytes per second
+    /// (diagnostics/tests — e.g. asserting BBR converged to link rate).
+    pub fn delivery_rate(&self) -> Option<u64> {
+        self.inner.borrow().rate.bw_estimate()
+    }
+
+    /// Windowed minimum RTT from the delivery-rate estimator.
+    pub fn min_rtt_estimate(&self) -> Option<SimDuration> {
+        self.inner.borrow().rate.min_rtt()
+    }
+
+    /// The rate the pacer would release at right now, if pacing is
+    /// active and a rate is known (diagnostics/tests).
+    pub fn pacing_rate(&self) -> Option<u64> {
+        self.inner.borrow().current_pacing_rate()
+    }
+
     /// Replace the application observer (used by the host's two-phase
     /// accept, before any event can have fired).
     pub(crate) fn set_app(&self, app: Rc<dyn SocketApp>) {
@@ -1796,6 +2028,7 @@ impl TcpHandle {
             self.inner.borrow().rto_timer.cancel();
         }
         self.manage_rack_timers(sim);
+        self.manage_pacing_timer(sim);
         if let Some(delay) = delayed_ack {
             let me = self.clone();
             let timer = self.inner.borrow().ack_timer.clone();
@@ -1911,6 +2144,47 @@ impl TcpHandle {
             TimerPlan::Keep => {}
             TimerPlan::Cancel => reo_timer.cancel(),
         }
+    }
+
+    /// Arm (or cancel) the pacing release timer. `transmit_new` records
+    /// the release instant it stopped at in `pace_deadline` (cleared on
+    /// entry, so a deadline here is always from the latest transmission
+    /// opportunity); the fire handler simply re-runs the transmit loop.
+    fn manage_pacing_timer(&self, sim: &mut Simulator) {
+        let (timer, deadline) = {
+            let inner = self.inner.borrow();
+            let deadline = inner
+                .pace_deadline
+                .filter(|_| inner.state != TcpState::Closed);
+            (inner.pacing_timer.clone(), deadline)
+        };
+        match deadline {
+            Some(at) if timer.is_armed() && timer.deadline() == at => {}
+            Some(at) => {
+                let me = self.clone();
+                timer.arm_at(sim, at, move |sim| me.on_pace_timer(sim));
+            }
+            None => timer.cancel(),
+        }
+    }
+
+    /// Pacing release instant reached: resume the transmit loop (which
+    /// re-checks the window — an ack may have shrunk it meanwhile).
+    fn on_pace_timer(&self, sim: &mut Simulator) {
+        let now = sim.now();
+        let mut packets = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if matches!(
+                inner.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::FinWait1
+            ) {
+                inner.transmit_new(now, &mut packets);
+            } else {
+                return;
+            }
+        }
+        self.flush(sim, packets);
     }
 
     /// Tail Loss Probe fire: one probe segment — new data if the peer's

@@ -25,6 +25,9 @@ pub struct QdiscStats {
     pub dropped: u64,
     /// Sum of sojourn times of dequeued packets, for mean-delay reporting.
     pub total_sojourn: SimDuration,
+    /// High-water mark of the backlog in packets — the standing-queue
+    /// measurement the pacing/BBR experiments compare senders by.
+    pub max_backlog_packets: usize,
 }
 
 impl QdiscStats {
@@ -115,6 +118,7 @@ impl Qdisc for DropTail {
             pkt,
             enqueued_at: now,
         });
+        self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
         EnqueueResult::Accepted
     }
 
@@ -192,6 +196,7 @@ impl Qdisc for DropHead {
                 break;
             }
         }
+        self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
         EnqueueResult::Accepted
     }
 
@@ -292,6 +297,7 @@ impl Qdisc for CoDel {
             pkt,
             enqueued_at: now,
         });
+        self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
         EnqueueResult::Accepted
     }
 
@@ -477,6 +483,7 @@ impl Qdisc for Pie {
             pkt,
             enqueued_at: now,
         });
+        self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
         EnqueueResult::Accepted
     }
 
@@ -606,6 +613,20 @@ mod tests {
         let stats = q.stats();
         // Sojourns 20ms and 10ms → mean 15ms.
         assert_eq!(stats.mean_sojourn(), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn max_backlog_high_water_mark() {
+        let mut q = DropTail::infinite();
+        for i in 0..5 {
+            q.enqueue(t(0), pkt(i, 100));
+        }
+        q.dequeue(t(1));
+        q.dequeue(t(1));
+        q.enqueue(t(2), pkt(9, 100));
+        // Peak was 5; the current backlog of 4 must not lower it.
+        assert_eq!(q.stats().max_backlog_packets, 5);
+        assert_eq!(q.len_packets(), 4);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ([`RngStream`]), the sampling distributions the workload models need
 //! ([`dist`]), and the summary statistics the experiments report ([`stats`]).
 //!
-//! Design rules (see DESIGN.md §4):
+//! Design rules (see DESIGN.md §5):
 //! * **Bit-identical runs.** Integer time, tie-breaking by insertion order,
 //!   and label-forked RNG streams make a run a pure function of its seed.
 //! * **Single-threaded.** Actor state lives in `Rc<RefCell<_>>` captured by
