@@ -193,10 +193,7 @@ fn bench_tcp_lossy_transfer(c: &mut Criterion) {
         ("transfer_1mb_1pct_loss_sack", RecoveryTier::Sack),
         ("transfer_1mb_1pct_loss_racktlp", RecoveryTier::RackTlp),
     ] {
-        let cfg = TcpConfig {
-            recovery,
-            ..TcpConfig::default()
-        };
+        let cfg = TcpConfig::builder().recovery(recovery).build();
         g.bench_function(name, |b| b.iter(|| transfer::run(&cfg, 0.01, &payload)));
     }
     g.finish();
@@ -211,17 +208,60 @@ fn bench_tcp_paced_transfer(c: &mut Criterion) {
     let mut g = c.benchmark_group("tcp");
     let payload = Bytes::from(vec![7u8; 1 << 20]);
     g.throughput(Throughput::Bytes(payload.len() as u64));
-    let cfg = TcpConfig {
-        cc: CcAlgorithm::Bbr,
-        recovery: RecoveryTier::RackTlp,
-        ..TcpConfig::default()
-    };
+    let cfg = TcpConfig::builder()
+        .cc(CcAlgorithm::Bbr)
+        .recovery(RecoveryTier::RackTlp)
+        .build();
     for (name, loss) in [
         ("transfer_1mb_paced_bbr", 0.0f64),
         ("transfer_1mb_1pct_loss_paced_bbr", 0.01),
     ] {
         g.bench_function(name, |b| b.iter(|| transfer::run(&cfg, loss, &payload)));
     }
+    g.finish();
+}
+
+fn bench_world_64_users(c: &mut Criterion) {
+    use bench::{
+        corpus_subset, FIGSHARE_ARRIVAL_WINDOW_MS, FIGSHARE_BULK_BYTES, FIGSHARE_DOWN_MBPS,
+        FIGSHARE_UP_MBPS,
+    };
+    use mahimahi::fleet::{run_fleet, CcMix, FleetSpec};
+    use mahimahi::harness::{LinkSpec, LoadSpec, NetSpec, QdiscKind};
+    use mm_corpus::materialize;
+    use mm_sim::SimDuration;
+    use mm_trace::constant_rate;
+
+    // The acceptance gate on the slab/timer-mux fabric: a full 64-user
+    // contention world (page load + bulk transfer per user through one
+    // shared bottleneck) must construct and run to completion in
+    // seconds, not minutes.
+    let plan = corpus_subset(1, 2014).remove(0);
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function("world_64_users", |b| {
+        b.iter(|| {
+            let site = materialize(&plan);
+            let mut load = LoadSpec::new(&site);
+            load.net = NetSpec {
+                delay: Some(SimDuration::from_millis(40)),
+                link: Some(LinkSpec {
+                    uplink: constant_rate(FIGSHARE_UP_MBPS, 1000),
+                    downlink: constant_rate(FIGSHARE_DOWN_MBPS, 1000),
+                    qdisc: QdiscKind::DropTailPackets(256),
+                }),
+                ..NetSpec::default()
+            };
+            load.seed = 2014;
+            run_fleet(&FleetSpec {
+                load,
+                n_users: 64,
+                cc_mix: CcMix::BbrRenoSplit,
+                bulk_bytes: FIGSHARE_BULK_BYTES,
+                arrival_window: SimDuration::from_millis(FIGSHARE_ARRIVAL_WINDOW_MS),
+            })
+        })
+    });
     g.finish();
 }
 
@@ -232,6 +272,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_lossy_transfer, bench_tcp_paced_transfer
+    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_lossy_transfer, bench_tcp_paced_transfer, bench_world_64_users
 }
 criterion_main!(benches);

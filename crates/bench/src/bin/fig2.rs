@@ -5,55 +5,52 @@
 //! Paper: DelayShell 0 ms adds 0.15% to median PLT; LinkShell at
 //! 1000 Mbit/s adds 1.5%.
 
+use bench::cli::ExperimentSpec;
 use bench::fig2;
-use bench::report::{
-    header, ms, paper_vs_measured, pct, plot_cdfs, summary_metrics, write_bench_json,
-};
+use bench::report::{ms, paper_vs_measured, pct, plot_cdfs, summary_metrics};
 
 fn main() {
-    let n_sites: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
-    header(&format!(
-        "Figure 2 — shell overhead on page load time ({n_sites} sites)"
-    ));
-    let mut r = fig2(n_sites, 2014);
-    println!("  bare ReplayShell:       median {}", ms(r.replay.median()));
-    println!("  + DelayShell 0 ms:      median {}", ms(r.delay0.median()));
-    println!(
-        "  + LinkShell 1000 Mbps:  median {}",
-        ms(r.link1000.median())
-    );
-    println!();
-    paper_vs_measured(
-        "DelayShell 0 ms overhead at median",
-        "+0.15%",
-        &pct(r.delay0_overhead_pct()),
-    );
-    paper_vs_measured(
-        "LinkShell 1000 Mbit/s overhead at median",
-        "+1.5%",
-        &pct(r.link1000_overhead_pct()),
-    );
-    println!();
-    let mut metrics = Vec::new();
-    metrics.push(("delay0_overhead_pct".to_string(), r.delay0_overhead_pct()));
-    metrics.push((
-        "link1000_overhead_pct".to_string(),
-        r.link1000_overhead_pct(),
-    ));
-    let (mut a, mut b, mut c) = (r.replay, r.delay0, r.link1000);
-    metrics.extend(summary_metrics("replay", &mut a));
-    metrics.extend(summary_metrics("delay0", &mut b));
-    metrics.extend(summary_metrics("link1000", &mut c));
-    plot_cdfs(&mut [
-        ("ReplayShell", &mut a),
-        ("DelayShell 0 ms", &mut b),
-        ("LinkShell 1000 Mbits/s", &mut c),
-    ]);
-    match write_bench_json("fig2", 2014, n_sites, &metrics) {
-        Ok(path) => println!("\n  wrote {}", path.display()),
-        Err(e) => eprintln!("\n  could not write BENCH_fig2.json: {e}"),
+    ExperimentSpec {
+        name: "fig2",
+        default_sites: 500,
+        title: |n| format!("Figure 2 — shell overhead on page load time ({n} sites)"),
+        run: |n_sites, seed| {
+            let mut r = fig2(n_sites, seed);
+            println!("  bare ReplayShell:       median {}", ms(r.replay.median()));
+            println!("  + DelayShell 0 ms:      median {}", ms(r.delay0.median()));
+            println!(
+                "  + LinkShell 1000 Mbps:  median {}",
+                ms(r.link1000.median())
+            );
+            println!();
+            paper_vs_measured(
+                "DelayShell 0 ms overhead at median",
+                "+0.15%",
+                &pct(r.delay0_overhead_pct()),
+            );
+            paper_vs_measured(
+                "LinkShell 1000 Mbit/s overhead at median",
+                "+1.5%",
+                &pct(r.link1000_overhead_pct()),
+            );
+            println!();
+            let mut metrics = Vec::new();
+            metrics.push(("delay0_overhead_pct".to_string(), r.delay0_overhead_pct()));
+            metrics.push((
+                "link1000_overhead_pct".to_string(),
+                r.link1000_overhead_pct(),
+            ));
+            let (mut a, mut b, mut c) = (r.replay, r.delay0, r.link1000);
+            metrics.extend(summary_metrics("replay", &mut a));
+            metrics.extend(summary_metrics("delay0", &mut b));
+            metrics.extend(summary_metrics("link1000", &mut c));
+            plot_cdfs(&mut [
+                ("ReplayShell", &mut a),
+                ("DelayShell 0 ms", &mut b),
+                ("LinkShell 1000 Mbits/s", &mut c),
+            ]);
+            Some(metrics)
+        },
     }
+    .main()
 }

@@ -3,57 +3,56 @@
 //!
 //! Paper: means within 0.5% across machines; σ within 1.6% of the mean.
 
-use bench::report::{header, paper_vs_measured, write_bench_json};
+use bench::cli::ExperimentSpec;
+use bench::report::paper_vs_measured;
 use bench::table1;
 
 fn main() {
-    let loads: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
-    header(&format!(
-        "Table 1 — reproducibility across host machines ({loads} loads/cell)"
-    ));
-    let r = table1(loads, 2014);
-    println!("  {:<18} {:>14} {:>14}", "", "Machine 1", "Machine 2");
-    for site in ["www.cnbc.com", "www.wikihow.com"] {
-        let row: Vec<String> = r
-            .cells
-            .iter()
-            .filter(|(s, _, _)| s == site)
-            .map(|(_, _, sum)| format!("{:.0}±{:.0} ms", sum.mean(), sum.std_dev()))
-            .collect();
-        println!("  {:<18} {:>14} {:>14}", site, row[0], row[1]);
+    ExperimentSpec {
+        name: "table1",
+        default_sites: 100,
+        title: |n| format!("Table 1 — reproducibility across host machines ({n} loads/cell)"),
+        run: |loads, seed| {
+            let r = table1(loads, seed);
+            println!("  {:<18} {:>14} {:>14}", "", "Machine 1", "Machine 2");
+            for site in ["www.cnbc.com", "www.wikihow.com"] {
+                let row: Vec<String> = r
+                    .cells
+                    .iter()
+                    .filter(|(s, _, _)| s == site)
+                    .map(|(_, _, sum)| format!("{:.0}±{:.0} ms", sum.mean(), sum.std_dev()))
+                    .collect();
+                println!("  {:<18} {:>14} {:>14}", site, row[0], row[1]);
+            }
+            println!();
+            paper_vs_measured(
+                "worst cross-machine mean difference",
+                "< 0.5%",
+                &format!("{:.3}%", r.worst_cross_machine_mean_diff() * 100.0),
+            );
+            paper_vs_measured(
+                "worst σ / mean",
+                "≤ 1.6%",
+                &format!("{:.3}%", r.worst_cv() * 100.0),
+            );
+            let mut metrics = vec![
+                (
+                    "worst_cross_machine_mean_diff_pct".to_string(),
+                    r.worst_cross_machine_mean_diff() * 100.0,
+                ),
+                ("worst_cv_pct".to_string(), r.worst_cv() * 100.0),
+            ];
+            for (site, machine, summary) in &r.cells {
+                let key = format!(
+                    "{}_{}",
+                    site.replace(['.', '-'], "_"),
+                    machine.to_lowercase().replace(' ', "_")
+                );
+                metrics.push((format!("{key}_mean_ms"), summary.mean()));
+                metrics.push((format!("{key}_std_ms"), summary.std_dev()));
+            }
+            Some(metrics)
+        },
     }
-    println!();
-    paper_vs_measured(
-        "worst cross-machine mean difference",
-        "< 0.5%",
-        &format!("{:.3}%", r.worst_cross_machine_mean_diff() * 100.0),
-    );
-    paper_vs_measured(
-        "worst σ / mean",
-        "≤ 1.6%",
-        &format!("{:.3}%", r.worst_cv() * 100.0),
-    );
-    let mut metrics = vec![
-        (
-            "worst_cross_machine_mean_diff_pct".to_string(),
-            r.worst_cross_machine_mean_diff() * 100.0,
-        ),
-        ("worst_cv_pct".to_string(), r.worst_cv() * 100.0),
-    ];
-    for (site, machine, summary) in &r.cells {
-        let key = format!(
-            "{}_{}",
-            site.replace(['.', '-'], "_"),
-            machine.to_lowercase().replace(' ', "_")
-        );
-        metrics.push((format!("{key}_mean_ms"), summary.mean()));
-        metrics.push((format!("{key}_std_ms"), summary.std_dev()));
-    }
-    match write_bench_json("table1", 2014, loads, &metrics) {
-        Ok(path) => println!("\n  wrote {}", path.display()),
-        Err(e) => eprintln!("\n  could not write BENCH_table1.json: {e}"),
-    }
+    .main()
 }

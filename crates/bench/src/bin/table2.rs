@@ -8,7 +8,7 @@
 //!   14 Mbit/s  19.3%, 127.3%  6.2%, 42.4%   3.3%, 20.3%
 //!   25 Mbit/s  21.4%, 111.6%  6.3%, 51.8%   2.6%, 15.0%
 
-use bench::report::{header, write_bench_json};
+use bench::cli::ExperimentSpec;
 use bench::table2;
 
 const PAPER: [[(f64, f64); 3]; 3] = [
@@ -18,49 +18,47 @@ const PAPER: [[(f64, f64); 3]; 3] = [
 ];
 
 fn main() {
-    let n_sites: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
-    header(&format!(
-        "Table 2 — PLT inflation without multi-origin preservation ({n_sites} sites)"
-    ));
-    let r = table2(n_sites, 2014);
-    println!(
-        "  {:<11} {:>24} {:>24} {:>24}",
-        "", "30 ms", "120 ms", "300 ms"
-    );
-    for (row, &mbps) in [1.0, 14.0, 25.0].iter().enumerate() {
-        let mut cols = Vec::new();
-        for (col, &delay) in [30u64, 120, 300].iter().enumerate() {
-            let cell = r
-                .cells
-                .iter()
-                .find(|c| c.mbps == mbps && c.delay_ms == delay)
-                .unwrap();
-            let (pm, pp) = PAPER[row][col];
-            cols.push(format!(
-                "{:.1}%,{:.1}% (p:{pm},{pp})",
-                cell.median_diff_pct, cell.p95_diff_pct
-            ));
-        }
-        println!(
-            "  {:<11} {:>24} {:>24} {:>24}",
-            format!("{mbps} Mbit/s"),
-            cols[0],
-            cols[1],
-            cols[2]
-        );
+    ExperimentSpec {
+        name: "table2",
+        default_sites: 60,
+        title: |n| format!("Table 2 — PLT inflation without multi-origin preservation ({n} sites)"),
+        run: |n_sites, seed| {
+            let r = table2(n_sites, seed);
+            println!(
+                "  {:<11} {:>24} {:>24} {:>24}",
+                "", "30 ms", "120 ms", "300 ms"
+            );
+            for (row, &mbps) in [1.0, 14.0, 25.0].iter().enumerate() {
+                let mut cols = Vec::new();
+                for (col, &delay) in [30u64, 120, 300].iter().enumerate() {
+                    let cell = r
+                        .cells
+                        .iter()
+                        .find(|c| c.mbps == mbps && c.delay_ms == delay)
+                        .unwrap();
+                    let (pm, pp) = PAPER[row][col];
+                    cols.push(format!(
+                        "{:.1}%,{:.1}% (p:{pm},{pp})",
+                        cell.median_diff_pct, cell.p95_diff_pct
+                    ));
+                }
+                println!(
+                    "  {:<11} {:>24} {:>24} {:>24}",
+                    format!("{mbps} Mbit/s"),
+                    cols[0],
+                    cols[1],
+                    cols[2]
+                );
+            }
+            println!("\n  each cell: measured median%,p95% (p: paper values)");
+            let mut metrics = Vec::new();
+            for cell in &r.cells {
+                let prefix = format!("{:.0}mbps_{}ms", cell.mbps, cell.delay_ms);
+                metrics.push((format!("median_diff_pct_{prefix}"), cell.median_diff_pct));
+                metrics.push((format!("p95_diff_pct_{prefix}"), cell.p95_diff_pct));
+            }
+            Some(metrics)
+        },
     }
-    println!("\n  each cell: measured median%,p95% (p: paper values)");
-    let mut metrics = Vec::new();
-    for cell in &r.cells {
-        let prefix = format!("{:.0}mbps_{}ms", cell.mbps, cell.delay_ms);
-        metrics.push((format!("median_diff_pct_{prefix}"), cell.median_diff_pct));
-        metrics.push((format!("p95_diff_pct_{prefix}"), cell.p95_diff_pct));
-    }
-    match write_bench_json("table2", 2014, n_sites, &metrics) {
-        Ok(path) => println!("\n  wrote {}", path.display()),
-        Err(e) => eprintln!("\n  could not write BENCH_table2.json: {e}"),
-    }
+    .main()
 }

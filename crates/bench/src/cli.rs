@@ -1,0 +1,46 @@
+//! The shared experiment runner: every `bench/src/bin/*` binary is the
+//! same six lines of arg parsing, header printing and JSON writing
+//! around a different experiment body. [`ExperimentSpec`] owns that
+//! boilerplate so a new experiment binary is just a spec literal.
+
+use crate::report::{header, write_bench_json};
+
+/// The corpus-wide experiment seed (the paper's publication year).
+pub const DEFAULT_SEED: u64 = 2014;
+
+/// Flat `(key, value)` metrics an experiment body hands back for the
+/// BENCH JSON file.
+pub type Metrics = Vec<(String, f64)>;
+
+/// One experiment binary: name, default scale, and the body.
+pub struct ExperimentSpec {
+    /// Bench name — also the `BENCH_<name>.json` stem.
+    pub name: &'static str,
+    /// Default for the first CLI argument (sites or loads per arm).
+    pub default_sites: usize,
+    /// Section-header title for the parsed scale.
+    pub title: fn(n: usize) -> String,
+    /// Run the experiment at `(n, seed)`: print the human-readable
+    /// tables, return the flat JSON metrics — or `None` for experiments
+    /// that do not write a BENCH file (corpus_stats).
+    pub run: fn(n: usize, seed: u64) -> Option<Metrics>,
+}
+
+impl ExperimentSpec {
+    /// Parse `argv[1]` (falling back to `default_sites`), print the
+    /// header, run the body, and write `BENCH_<name>.json` if the body
+    /// returned metrics. Binaries call this from `main`.
+    pub fn main(&self) {
+        let n = std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.default_sites);
+        header(&(self.title)(n));
+        if let Some(metrics) = (self.run)(n, DEFAULT_SEED) {
+            match write_bench_json(self.name, DEFAULT_SEED, n, &metrics) {
+                Ok(path) => println!("\n  wrote {}", path.display()),
+                Err(e) => eprintln!("\n  could not write BENCH_{}.json: {e}", self.name),
+            }
+        }
+    }
+}

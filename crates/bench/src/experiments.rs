@@ -485,14 +485,15 @@ pub fn figcell(n_sites: usize, seed: u64) -> FigCellResult {
                     if mux {
                         spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
                     }
-                    spec.tcp = Some(TcpConfig {
-                        recovery: if sack {
-                            RecoveryTier::Sack
-                        } else {
-                            RecoveryTier::Reno
-                        },
-                        ..TcpConfig::default()
-                    });
+                    spec.tcp = Some(
+                        TcpConfig::builder()
+                            .recovery(if sack {
+                                RecoveryTier::Sack
+                            } else {
+                                RecoveryTier::Reno
+                            })
+                            .build(),
+                    );
                     spec.seed = seed.wrapping_add(i as u64);
                     run_page_load(&spec).plt.as_millis_f64()
                 };
@@ -620,11 +621,7 @@ pub fn figrack(n_sites: usize, seed: u64) -> FigRackResult {
                         ..NetSpec::default()
                     };
                     spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
-                    spec.tcp = Some(TcpConfig {
-                        cc,
-                        recovery,
-                        ..TcpConfig::default()
-                    });
+                    spec.tcp = Some(TcpConfig::builder().cc(cc).recovery(recovery).build());
                     spec.seed = seed.wrapping_add(i as u64);
                     run_page_load(&spec).plt.as_millis_f64()
                 };
@@ -780,11 +777,7 @@ pub fn figbbr(n_sites: usize, seed: u64) -> FigBbrResult {
                         ..NetSpec::default()
                     };
                     spec.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
-                    spec.tcp = Some(TcpConfig {
-                        cc,
-                        recovery,
-                        ..TcpConfig::default()
-                    });
+                    spec.tcp = Some(TcpConfig::builder().cc(cc).recovery(recovery).build());
                     spec.seed = seed.wrapping_add(i as u64);
                     run_page_load(&spec).plt.as_millis_f64()
                 };
@@ -834,6 +827,149 @@ pub fn corpus_stats(n_sites: usize, seed: u64) -> ServerDistribution {
         ..CorpusConfig::default()
     });
     server_distribution(&plans)
+}
+
+/// One cell of the figshare contention sweep: `n_users` concurrent
+/// users through one shared bottleneck under a (qdisc, CC mix,
+/// protocol) configuration.
+pub struct FigShareCell {
+    pub n_users: usize,
+    pub qdisc: String,
+    pub cc_mix: String,
+    pub protocol: String,
+    /// Jain's fairness index over per-user bulk goodputs.
+    pub fairness: f64,
+    /// Interpolated PLT percentiles across the user population, ms.
+    pub plt_p50_ms: f64,
+    pub plt_p95_ms: f64,
+    pub plt_p99_ms: f64,
+    /// Fraction of aggregate bulk goodput taken by BBR users.
+    pub bbr_share: f64,
+    /// High-water backlog of the bottleneck downlink queue, packets.
+    pub max_queue_packets: usize,
+}
+
+pub struct FigShareResult {
+    pub cells: Vec<FigShareCell>,
+}
+
+/// Bytes of each user's companion bulk download.
+pub const FIGSHARE_BULK_BYTES: u64 = 2_000_000;
+/// The shared bottleneck: 40/12 Mbit/s, [`FIGCELL_DELAY_MS`] each way.
+pub const FIGSHARE_DOWN_MBPS: f64 = 40.0;
+pub const FIGSHARE_UP_MBPS: f64 = 12.0;
+/// Users arrive staggered across this window.
+pub const FIGSHARE_ARRIVAL_WINDOW_MS: u64 = 2_000;
+
+/// The swept CC population mixes.
+pub fn figshare_mixes() -> Vec<mahimahi::fleet::CcMix> {
+    use mahimahi::fleet::CcMix;
+    vec![CcMix::AllReno, CcMix::AllBbr, CcMix::BbrRenoSplit]
+}
+
+/// The population sizes run for a `figshare <n>` invocation: every
+/// default rung (2, 16, 64) no larger than `n`, plus `n` itself — so
+/// `figshare 1024` adds the 1024-user arm behind the size flag.
+pub fn figshare_populations(n: usize) -> Vec<usize> {
+    let mut ns: Vec<usize> = [2usize, 16, 64]
+        .iter()
+        .copied()
+        .filter(|&k| k <= n)
+        .collect();
+    if !ns.contains(&n) {
+        ns.push(n);
+    }
+    ns.sort_unstable();
+    ns
+}
+
+/// E-share — the population-scale contention sweep: `n_users` users,
+/// each a page load plus a bulk download, through one shared
+/// delay+link bottleneck, over qdisc {droptail32, droptail256, codel}
+/// × CC mix {all-Reno, all-BBR, 50/50 BBR+Reno} × protocol {http1,
+/// mux}. `smoke` restricts to the given population and two cells (the
+/// CI configuration). Cells run in parallel; each is an independent
+/// deterministic world seeded by `seed`, so user `i` arrives at the
+/// same instant in every cell (per-user pairing).
+pub fn figshare(n: usize, smoke: bool, seed: u64) -> FigShareResult {
+    use mahimahi::fleet::{run_fleet, CcMix, FleetSpec};
+
+    let plan = corpus_subset(1, seed).remove(0);
+    let populations = if smoke {
+        vec![n]
+    } else {
+        figshare_populations(n)
+    };
+    struct Cell {
+        n_users: usize,
+        qdisc_name: &'static str,
+        qdisc: QdiscKind,
+        mix: CcMix,
+        protocol: &'static str,
+    }
+    let mut grid = Vec::new();
+    for &n_users in &populations {
+        for (qdisc_name, qdisc) in figbbr_qdiscs() {
+            for mix in figshare_mixes() {
+                for protocol in ["http1", "mux"] {
+                    if smoke
+                        && !matches!(
+                            (qdisc_name, mix, protocol),
+                            ("droptail256", CcMix::BbrRenoSplit, "mux")
+                                | ("codel", CcMix::AllReno, "http1")
+                        )
+                    {
+                        continue;
+                    }
+                    grid.push(Cell {
+                        n_users,
+                        qdisc_name,
+                        qdisc,
+                        mix,
+                        protocol,
+                    });
+                }
+            }
+        }
+    }
+
+    let cells = parallel_map(&grid, |_, cell| {
+        let site = materialize(&plan);
+        let mut load = LoadSpec::new(&site);
+        load.net = NetSpec {
+            delay: Some(SimDuration::from_millis(FIGCELL_DELAY_MS)),
+            link: Some(LinkSpec {
+                uplink: constant_rate(FIGSHARE_UP_MBPS, 1000),
+                downlink: constant_rate(FIGSHARE_DOWN_MBPS, 1000),
+                qdisc: cell.qdisc,
+            }),
+            ..NetSpec::default()
+        };
+        if cell.protocol == "mux" {
+            load.browser.protocol = ProtocolMode::Mux(MuxConfig::default());
+        }
+        load.seed = seed;
+        let r = run_fleet(&FleetSpec {
+            load,
+            n_users: cell.n_users,
+            cc_mix: cell.mix,
+            bulk_bytes: FIGSHARE_BULK_BYTES,
+            arrival_window: SimDuration::from_millis(FIGSHARE_ARRIVAL_WINDOW_MS),
+        });
+        FigShareCell {
+            n_users: cell.n_users,
+            qdisc: cell.qdisc_name.to_string(),
+            cc_mix: cell.mix.label().to_string(),
+            protocol: cell.protocol.to_string(),
+            fairness: r.fairness(),
+            plt_p50_ms: r.plt_percentile(50.0),
+            plt_p95_ms: r.plt_percentile(95.0),
+            plt_p99_ms: r.plt_percentile(99.0),
+            bbr_share: r.bbr_goodput_share(),
+            max_queue_packets: r.max_downlink_queue_packets,
+        }
+    });
+    FigShareResult { cells }
 }
 
 /// Deterministic corpus subset used by multi-site experiments: sites are

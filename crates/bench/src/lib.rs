@@ -4,6 +4,7 @@
 //! binaries, from criterion benches, and (in reduced form) from the smoke
 //! tests in `tests/`.
 
+pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod report;

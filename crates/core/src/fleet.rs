@@ -1,0 +1,509 @@
+//! Population-scale contention worlds: one shared bottleneck, many users.
+//!
+//! Where [`crate::harness::run_page_load`] builds a pristine world per
+//! measurement, [`run_fleet`] builds ONE world and puts `n_users`
+//! concurrent users inside it — each with a browser doing a page load and
+//! a long-running bulk download — all contending for the same emulated
+//! link. This is the `figshare` substrate: fairness (Jain's index over
+//! per-user bulk goodputs), per-user PLT percentiles under cross traffic,
+//! and bottleneck queue occupancy, swept over qdisc × CC mix × protocol.
+//!
+//! Topology (mahimahi nesting order preserved):
+//!
+//! ```text
+//! root ns: replay servers (shared) + one bulk server per user
+//!   └─ delay / link / loss shells          (the shared bottleneck)
+//!        └─ inner ns: n_users browser hosts
+//! ```
+//!
+//! Per-user congestion control lives on the user's dedicated bulk server
+//! (the data sender), so a 50/50 BBR+Reno population genuinely races
+//! BBRv1 against NewReno through one queue. Every host in a fleet world
+//! runs its socket timers through a shared per-host
+//! [`mm_net::Host::enable_timer_mux`] mux rather than the simulator's
+//! global heap.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mm_browser::{Browser, PageLoadResult, ProtocolMode, Resolver};
+use mm_net::{CcAlgorithm, Host, IpAddr, Listener, SocketAddr, SocketApp, SocketEvent, TcpHandle};
+use mm_replay::{ReplayShell, ServerProtocol};
+use mm_shells::{ShellLayer, ShellStack};
+use mm_sim::{jain_fairness, RngStream, SimDuration, Simulator, Summary, Timestamp};
+
+use crate::harness::LoadSpec;
+
+/// A fleet world: one shared [`LoadSpec`]-shaped environment plus the
+/// population knobs. The embedded `load` describes the site, network,
+/// browser and base TCP configuration every user shares; `load.seed`
+/// seeds the whole world.
+pub struct FleetSpec<'a> {
+    /// The environment (site, replay, browser, net, base TCP, seed).
+    pub load: LoadSpec<'a>,
+    /// How many concurrent users share the bottleneck.
+    pub n_users: usize,
+    /// Congestion-control population mix.
+    pub cc_mix: CcMix,
+    /// Bytes each user's companion bulk download transfers (0 = none).
+    pub bulk_bytes: u64,
+    /// User `i` arrives at `arrival_window * i / n_users` — deterministic
+    /// stagger, so user indices pair across sweep cells.
+    pub arrival_window: SimDuration,
+}
+
+/// Congestion-control population mix across a fleet's users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcMix {
+    /// Every user's sender runs NewReno.
+    AllReno,
+    /// Every user's sender runs BBRv1.
+    AllBbr,
+    /// Even-indexed users run BBRv1, odd-indexed NewReno (50/50).
+    BbrRenoSplit,
+}
+
+impl CcMix {
+    /// The algorithm user `i` drives its bulk sender with.
+    pub fn cc_for(&self, user: usize) -> CcAlgorithm {
+        match self {
+            CcMix::AllReno => CcAlgorithm::Reno,
+            CcMix::AllBbr => CcAlgorithm::Bbr,
+            CcMix::BbrRenoSplit => {
+                if user.is_multiple_of(2) {
+                    CcAlgorithm::Bbr
+                } else {
+                    CcAlgorithm::Reno
+                }
+            }
+        }
+    }
+
+    /// When the whole population runs one algorithm, that algorithm —
+    /// it then also applies to the shared replay servers. A split mix
+    /// cannot (shared servers have one config), so web flows keep the
+    /// base config; see DESIGN.md §7.
+    pub fn uniform(&self) -> Option<CcAlgorithm> {
+        match self {
+            CcMix::AllReno => Some(CcAlgorithm::Reno),
+            CcMix::AllBbr => Some(CcAlgorithm::Bbr),
+            CcMix::BbrRenoSplit => None,
+        }
+    }
+
+    /// Stable key fragment for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CcMix::AllReno => "all_reno",
+            CcMix::AllBbr => "all_bbr",
+            CcMix::BbrRenoSplit => "bbr_reno",
+        }
+    }
+}
+
+/// What one user experienced inside the shared world.
+#[derive(Debug, Clone)]
+pub struct UserOutcome {
+    /// User index (0-based).
+    pub user: usize,
+    /// The congestion control its bulk sender ran.
+    pub cc: CcAlgorithm,
+    /// Page load time of the user's single page load, in milliseconds.
+    pub plt_ms: f64,
+    /// Goodput of the user's bulk download in bits/second.
+    pub goodput_bps: f64,
+    /// Bytes the bulk download actually delivered.
+    pub bulk_bytes: u64,
+}
+
+/// Everything measured from one fleet world.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    pub users: Vec<UserOutcome>,
+    /// High-water backlog of the bottleneck downlink queue, in packets.
+    pub max_downlink_queue_packets: usize,
+    /// High-water backlog of the bottleneck uplink queue, in packets.
+    pub max_uplink_queue_packets: usize,
+    /// Virtual time at which the last event ran.
+    pub completed_at: SimDuration,
+}
+
+impl FleetResult {
+    /// Per-user bulk goodputs, user order.
+    pub fn goodputs(&self) -> Vec<f64> {
+        self.users.iter().map(|u| u.goodput_bps).collect()
+    }
+
+    /// Jain's fairness index over per-user bulk goodputs.
+    pub fn fairness(&self) -> f64 {
+        jain_fairness(&self.goodputs())
+    }
+
+    /// Interpolated PLT percentile across users, in milliseconds.
+    pub fn plt_percentile(&self, p: f64) -> f64 {
+        let mut s = Summary::from_samples(self.users.iter().map(|u| u.plt_ms).collect::<Vec<_>>());
+        s.percentile_interpolated(p)
+    }
+
+    /// Fraction of aggregate bulk goodput taken by BBR users (0.0 for an
+    /// all-Reno world, 1.0 for all-BBR; the dominance measurement for the
+    /// 50/50 mix).
+    pub fn bbr_goodput_share(&self) -> f64 {
+        let total: f64 = self.goodputs().iter().sum();
+        // fold from +0.0: an empty `Iterator::sum` yields -0.0, which
+        // would leak a negative zero into reports for all-Reno worlds.
+        let bbr: f64 = self
+            .users
+            .iter()
+            .filter(|u| u.cc == CcAlgorithm::Bbr)
+            .map(|u| u.goodput_bps)
+            .fold(0.0, |a, b| a + b);
+        if total > 0.0 {
+            bbr / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Browser host address for user `i` (100.64/16, clear of the corpus's
+/// 23/8 server pool and the harness's single-load browser IP).
+fn user_ip(i: usize) -> IpAddr {
+    assert!(i < 200 * 200, "fleet larger than the address plan");
+    IpAddr::new(100, 64, 1 + (i / 200) as u8, (2 + i % 200) as u8)
+}
+
+/// Dedicated bulk-server address for user `i` (10.99/16).
+fn bulk_ip(i: usize) -> IpAddr {
+    IpAddr::new(10, 99, 1 + (i / 200) as u8, (1 + i % 200) as u8)
+}
+
+const BULK_PORT: u16 = 5001;
+
+/// Server side of a bulk transfer: on connect, push `bytes` and close.
+struct BulkListener {
+    bytes: u64,
+}
+
+impl Listener for BulkListener {
+    fn on_connection(&self, _sim: &mut Simulator, _h: TcpHandle) -> Rc<dyn SocketApp> {
+        struct Sender {
+            bytes: u64,
+        }
+        impl SocketApp for Sender {
+            fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+                if let SocketEvent::Connected = ev {
+                    h.send(sim, Bytes::from(vec![0u8; self.bytes as usize]));
+                    h.close(sim);
+                }
+            }
+        }
+        Rc::new(Sender { bytes: self.bytes })
+    }
+}
+
+/// Client side: counts delivered bytes, stamps completion.
+struct BulkClient {
+    started: Timestamp,
+    expected: u64,
+    received: RefCell<u64>,
+    /// `(last data timestamp, bytes so far)` — completion uses the final
+    /// entry even if the transfer dies short of `expected`.
+    progress: Rc<RefCell<Option<(Timestamp, u64)>>>,
+}
+
+impl SocketApp for BulkClient {
+    fn on_event(&self, sim: &mut Simulator, h: &TcpHandle, ev: SocketEvent) {
+        match ev {
+            SocketEvent::Data(b) => {
+                let mut recv = self.received.borrow_mut();
+                *recv += b.len() as u64;
+                *self.progress.borrow_mut() = Some((sim.now(), *recv));
+                if *recv >= self.expected {
+                    h.close(sim);
+                }
+            }
+            SocketEvent::PeerClosed => h.close(sim),
+            _ => {}
+        }
+    }
+}
+
+impl BulkClient {
+    fn goodput_bps(&self) -> (f64, u64) {
+        match *self.progress.borrow() {
+            Some((at, bytes)) if at > self.started => {
+                let secs = (at - self.started).as_secs_f64();
+                ((bytes as f64) * 8.0 / secs, bytes)
+            }
+            _ => (0.0, 0),
+        }
+    }
+}
+
+/// Run one fleet world to completion.
+///
+/// Panics if any user's page load never finishes — a world where loads
+/// hang is a harness bug, not a measurable outcome.
+pub fn run_fleet(spec: &FleetSpec<'_>) -> FleetResult {
+    assert!(spec.n_users >= 1, "a fleet needs at least one user");
+    let mut sim = Simulator::new();
+    let rng = RngStream::from_seed(spec.load.seed);
+    let ids = mm_net::PacketIdGen::new();
+
+    let base_tcp = spec.load.tcp.clone().unwrap_or_default();
+
+    // Shared replay servers, outermost — same protocol passthrough as the
+    // single-load harness.
+    let mut replay_config = spec.load.replay.clone();
+    if let ProtocolMode::Mux(mux) = &spec.load.browser.protocol {
+        replay_config.protocol = ServerProtocol::Mux(mux.clone());
+    }
+    if replay_config.tcp.is_none() {
+        replay_config.tcp = match spec.cc_mix.uniform() {
+            Some(cc) => Some(base_tcp.to_builder().cc(cc).build()),
+            None => Some(base_tcp.clone()),
+        };
+    }
+    let shell = {
+        let root_ns = mm_net::Namespace::root("replayshell");
+        Rc::new(ReplayShell::new(
+            &root_ns,
+            spec.load.site,
+            replay_config,
+            &ids,
+        ))
+    };
+    let root_ns = shell.ns.clone();
+    shell.enable_timer_mux();
+    let explicit_iw = spec.load.tcp.as_ref().and_then(|t| t.initial_cwnd_segments);
+    if let ProtocolMode::Mux(mux) = &spec.load.browser.protocol {
+        if explicit_iw.is_none() {
+            if let Some(iw) = mux.server_initial_cwnd_segments {
+                for host in &shell.hosts {
+                    host.set_tcp_config(
+                        host.tcp_config()
+                            .to_builder()
+                            .initial_cwnd_segments(iw)
+                            .build(),
+                    );
+                }
+            }
+        }
+    }
+
+    // One bulk server per user, also outermost: the user's long-running
+    // sender, carrying that user's congestion control.
+    let mut bulk_servers = Vec::with_capacity(spec.n_users);
+    if spec.bulk_bytes > 0 {
+        for i in 0..spec.n_users {
+            let host = Host::new_in(bulk_ip(i), ids.clone(), &root_ns);
+            host.enable_timer_mux();
+            host.set_tcp_config(base_tcp.to_builder().cc(spec.cc_mix.cc_for(i)).build());
+            host.listen(
+                BULK_PORT,
+                Rc::new(BulkListener {
+                    bytes: spec.bulk_bytes,
+                }),
+            );
+            bulk_servers.push(host);
+        }
+    }
+
+    // The shared bottleneck: delay / link / loss in mahimahi order.
+    let mut stack = ShellStack::new(&root_ns);
+    if let Some(overhead) = spec.load.net.shell_overhead {
+        stack = stack.with_shell_overhead(overhead);
+    }
+    if let Some(delay) = spec.load.net.delay {
+        stack = stack.delay(delay);
+    }
+    if let Some(link) = &spec.load.net.link {
+        let qdisc = link.qdisc;
+        stack = stack.link_asymmetric(link.uplink.clone(), link.downlink.clone(), &move || {
+            qdisc.build()
+        });
+    }
+    if let Some((up, down)) = spec.load.net.loss {
+        stack = stack.loss(up, down, &rng.fork("loss"));
+    }
+    let inner_ns = stack.innermost();
+
+    let resolver: Resolver = {
+        let shell = shell.clone();
+        Rc::new(move |url: &mm_http::Url| {
+            let ip: IpAddr = url
+                .host
+                .parse()
+                .expect("replay corpora address hosts by IP literal");
+            shell.resolve(SocketAddr::new(ip, url.port))
+        })
+    };
+
+    // Users: staggered deterministic arrivals across the window, so the
+    // same user index arrives at the same time in every cell of a sweep
+    // (per-user pairing).
+    let plt_slots: Vec<Rc<RefCell<Option<PageLoadResult>>>> = (0..spec.n_users)
+        .map(|_| Rc::new(RefCell::new(None)))
+        .collect();
+    let mut bulk_clients: Vec<Rc<BulkClient>> = Vec::with_capacity(spec.n_users);
+    for (i, plt_slot) in plt_slots.iter().enumerate() {
+        let start = Timestamp::ZERO
+            + SimDuration::from_nanos(
+                spec.arrival_window.as_nanos() * i as u64 / spec.n_users as u64,
+            );
+        let host = Host::new_in(user_ip(i), ids.clone(), &inner_ns);
+        host.enable_timer_mux();
+        let mut browser_config = spec.load.browser.clone();
+        browser_config.tcp = Some(base_tcp.to_builder().cc(spec.cc_mix.cc_for(i)).build());
+        let browser = Browser::new(host.clone(), resolver.clone(), browser_config);
+        let slot = plt_slot.clone();
+        let root_url = spec.load.site.root_url.clone();
+        sim.schedule_at(start, move |sim| {
+            browser.navigate(sim, &root_url, move |_sim, r| {
+                *slot.borrow_mut() = Some(r);
+            });
+        });
+
+        if spec.bulk_bytes > 0 {
+            let client = Rc::new(BulkClient {
+                started: start,
+                expected: spec.bulk_bytes,
+                received: RefCell::new(0),
+                progress: Rc::new(RefCell::new(None)),
+            });
+            bulk_clients.push(client.clone());
+            let bulk_addr = SocketAddr::new(bulk_ip(i), BULK_PORT);
+            sim.schedule_at(start, move |sim| {
+                host.connect(sim, bulk_addr, client);
+            });
+        }
+    }
+
+    sim.run();
+
+    let users = (0..spec.n_users)
+        .map(|i| {
+            let plt = plt_slots[i]
+                .borrow_mut()
+                .take()
+                .unwrap_or_else(|| panic!("user {i}: page load did not complete"));
+            let (goodput_bps, bulk_bytes) = match bulk_clients.get(i) {
+                Some(c) => c.goodput_bps(),
+                None => (0.0, 0),
+            };
+            UserOutcome {
+                user: i,
+                cc: spec.cc_mix.cc_for(i),
+                plt_ms: plt.plt.as_millis_f64(),
+                goodput_bps,
+                bulk_bytes,
+            }
+        })
+        .collect();
+
+    let (mut max_up, mut max_down) = (0, 0);
+    for layer in stack.layers() {
+        if let ShellLayer::Link(link) = layer {
+            max_up = max_up.max(link.uplink.qdisc_stats().max_backlog_packets);
+            max_down = max_down.max(link.downlink.qdisc_stats().max_backlog_packets);
+        }
+    }
+
+    FleetResult {
+        users,
+        max_downlink_queue_packets: max_down,
+        max_uplink_queue_packets: max_up,
+        completed_at: sim.now() - Timestamp::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{LinkSpec, NetSpec};
+    use mm_corpus::{materialize, plan_site, SiteParams};
+    use mm_trace::constant_rate;
+
+    fn small_site() -> mm_record::StoredSite {
+        let params = SiteParams {
+            servers: Some(4),
+            median_objects: 10.0,
+            ..SiteParams::default()
+        };
+        let plan = plan_site(960, &params, &mut RngStream::from_seed(17));
+        materialize(&plan)
+    }
+
+    fn base_spec(site: &mm_record::StoredSite, n: usize) -> FleetSpec<'_> {
+        let mut load = LoadSpec::new(site);
+        load.net = NetSpec {
+            delay: Some(SimDuration::from_millis(20)),
+            link: Some(LinkSpec::symmetric(constant_rate(20.0, 2000))),
+            ..NetSpec::default()
+        };
+        load.seed = 2014;
+        FleetSpec {
+            load,
+            n_users: n,
+            cc_mix: CcMix::AllReno,
+            bulk_bytes: 200_000,
+            arrival_window: SimDuration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn two_user_fleet_completes_with_positive_goodputs() {
+        let site = small_site();
+        let r = run_fleet(&base_spec(&site, 2));
+        assert_eq!(r.users.len(), 2);
+        for u in &r.users {
+            assert!(u.plt_ms > 0.0, "user {} plt {}", u.user, u.plt_ms);
+            assert!(u.goodput_bps > 0.0, "user {} goodput", u.user);
+            assert_eq!(u.bulk_bytes, 200_000);
+        }
+        let j = r.fairness();
+        assert!(j > 0.0 && j <= 1.0, "fairness {j}");
+        assert!(r.max_downlink_queue_packets > 0);
+    }
+
+    #[test]
+    fn fleet_determinism_same_seed_same_outcomes() {
+        let site = small_site();
+        let a = run_fleet(&base_spec(&site, 3));
+        let b = run_fleet(&base_spec(&site, 3));
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.plt_ms, y.plt_ms);
+            assert_eq!(x.goodput_bps, y.goodput_bps);
+        }
+        assert_eq!(a.max_downlink_queue_packets, b.max_downlink_queue_packets);
+    }
+
+    #[test]
+    fn contention_slows_loads_down() {
+        let site = small_site();
+        let solo = run_fleet(&base_spec(&site, 1));
+        let crowd = run_fleet(&base_spec(&site, 8));
+        // Under 8-way contention on the same link, the median PLT must
+        // exceed the uncontended load's.
+        assert!(
+            crowd.plt_percentile(50.0) > solo.plt_percentile(50.0),
+            "crowd {} vs solo {}",
+            crowd.plt_percentile(50.0),
+            solo.plt_percentile(50.0)
+        );
+    }
+
+    #[test]
+    fn split_mix_assigns_both_algorithms() {
+        let site = small_site();
+        let mut spec = base_spec(&site, 4);
+        spec.cc_mix = CcMix::BbrRenoSplit;
+        let r = run_fleet(&spec);
+        let bbr = r.users.iter().filter(|u| u.cc == CcAlgorithm::Bbr).count();
+        assert_eq!(bbr, 2);
+        let share = r.bbr_goodput_share();
+        assert!(share > 0.0 && share < 1.0, "share {share}");
+    }
+}

@@ -34,7 +34,7 @@ pub enum QdiscKind {
 }
 
 impl QdiscKind {
-    fn build(&self) -> Box<dyn Qdisc> {
+    pub(crate) fn build(&self) -> Box<dyn Qdisc> {
         match *self {
             QdiscKind::Infinite => Box::new(DropTail::infinite()),
             QdiscKind::DropTailPackets(n) => Box::new(DropTail::new(QueueLimit::Packets(n))),
@@ -174,11 +174,12 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
                 // connection can match the burst capacity of an HTTP/1.1
                 // pool.
                 for host in &shell.hosts {
-                    let config = mm_net::TcpConfig {
-                        initial_cwnd_segments: Some(iw),
-                        ..host.tcp_config()
-                    };
-                    host.set_tcp_config(config);
+                    host.set_tcp_config(
+                        host.tcp_config()
+                            .to_builder()
+                            .initial_cwnd_segments(iw)
+                            .build(),
+                    );
                 }
             }
         }

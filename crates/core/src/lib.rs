@@ -28,6 +28,7 @@
 //! assert!(result.plt.as_millis() > 60); // at least one round trip
 //! ```
 
+pub mod fleet;
 pub mod harness;
 
 /// Re-exports of every subsystem, one module per shell/substrate.
@@ -42,4 +43,5 @@ pub use mm_sim as sim;
 pub use mm_trace as trace;
 pub use mm_web as web;
 
+pub use fleet::{run_fleet, CcMix, FleetResult, FleetSpec, UserOutcome};
 pub use harness::{run_loads, run_page_load, LinkSpec, LoadSpec, NetSpec, QdiscKind};

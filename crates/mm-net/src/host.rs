@@ -6,9 +6,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use mm_sim::dist::Distribution;
-use mm_sim::{RngStream, SimDuration, Simulator};
+use mm_sim::{RngStream, SimDuration, Simulator, TimerMux};
 
 use crate::addr::{IpAddr, SocketAddr};
+use crate::conn::{ConnId, ConnTable};
 use crate::fabric::Namespace;
 use crate::packet::{Packet, TcpFlags, TcpSegment};
 use crate::sink::{BlackHole, PacketSink, SinkRef};
@@ -72,7 +73,10 @@ impl HostNoise {
 struct HostInner {
     ip: IpAddr,
     egress: SinkRef,
-    sockets: HashMap<(SocketAddr, SocketAddr), TcpHandle>,
+    /// Live sockets in a flat slab (stable generation-checked [`ConnId`]s
+    /// plus the `(local, remote)` demux map) — point lookups only, so the
+    /// storage layout is invisible to event ordering.
+    sockets: ConnTable,
     listeners: HashMap<u16, Rc<dyn Listener>>,
     /// Transparent-intercept listener: accepts a SYN to *any* (ip, port),
     /// binding the socket to the packet's original destination — the
@@ -82,6 +86,11 @@ struct HostInner {
     next_ephemeral: u16,
     ids: PacketIdGen,
     config: TcpConfig,
+    /// When set, every new socket's timers share this mux instead of each
+    /// registering into the simulator's global heap. Off by default: the
+    /// mux batches same-instant firings, which shifts event interleaving
+    /// relative to the pre-mux baselines; fleet worlds opt in.
+    timer_mux: Option<TimerMux>,
     noise: Option<HostNoise>,
     /// Dispatch-ordering floor: host noise must never reorder a host's
     /// inbound packet stream (real scheduler jitter delays the whole
@@ -105,12 +114,13 @@ impl Host {
             inner: Rc::new(RefCell::new(HostInner {
                 ip,
                 egress: BlackHole::new(),
-                sockets: HashMap::new(),
+                sockets: ConnTable::new(),
                 listeners: HashMap::new(),
                 catch_all: None,
                 next_ephemeral: 32768,
                 ids,
                 config: TcpConfig::default(),
+                timer_mux: None,
                 noise: None,
                 last_dispatch_at: mm_sim::Timestamp::ZERO,
                 stats: HostStats::default(),
@@ -148,6 +158,22 @@ impl Host {
     /// Install per-packet processing noise (host profile).
     pub fn set_noise(&self, noise: HostNoise) {
         self.inner.borrow_mut().noise = Some(noise);
+    }
+
+    /// Route every *subsequently created* socket's timers through one
+    /// shared per-host [`TimerMux`]. Idempotent. Population-scale worlds
+    /// enable this on all hosts; single-load baselines leave it off so
+    /// their event interleaving (and BENCH outputs) stay byte-identical.
+    pub fn enable_timer_mux(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.timer_mux.is_none() {
+            inner.timer_mux = Some(TimerMux::new());
+        }
+    }
+
+    /// The shared timer mux, if enabled.
+    pub fn timer_mux(&self) -> Option<TimerMux> {
+        self.inner.borrow().timer_mux.clone()
     }
 
     /// Register this host in a namespace: sets the egress to the
@@ -200,7 +226,7 @@ impl Host {
         remote: SocketAddr,
         app: Rc<dyn SocketApp>,
     ) -> TcpHandle {
-        let (local, egress, ids, config) = {
+        let (local, egress, ids, config, mux) = {
             let mut inner = self.inner.borrow_mut();
             let port = inner.alloc_ephemeral(remote);
             inner.stats.connections_initiated += 1;
@@ -209,9 +235,10 @@ impl Host {
                 inner.egress.clone(),
                 inner.ids.shared(),
                 inner.config.clone(),
+                inner.timer_mux.clone(),
             )
         };
-        let handle = TcpHandle::connect(sim, local, remote, config, egress, ids, app);
+        let handle = TcpHandle::connect(sim, local, remote, config, egress, ids, app, mux.as_ref());
         self.inner
             .borrow_mut()
             .sockets
@@ -224,12 +251,23 @@ impl Host {
         self.inner.borrow().sockets.len()
     }
 
-    /// Drop closed sockets from the demux table.
+    /// Live connection ids, in slot order (diagnostics; pair with
+    /// [`Host::socket`]).
+    pub fn socket_ids(&self) -> Vec<ConnId> {
+        self.inner.borrow().sockets.ids().collect()
+    }
+
+    /// The socket for a [`ConnId`], if that incarnation is still live.
+    pub fn socket(&self, id: ConnId) -> Option<TcpHandle> {
+        self.inner.borrow().sockets.get(id).cloned()
+    }
+
+    /// Drop closed sockets from the connection table.
     pub fn reap_closed(&self) {
         self.inner
             .borrow_mut()
             .sockets
-            .retain(|_, h| h.state() != crate::tcp::socket::TcpState::Closed);
+            .retain(|h| h.state() != crate::tcp::socket::TcpState::Closed);
     }
 
     fn dispatch(&self, sim: &mut Simulator, pkt: Packet) {
@@ -249,7 +287,7 @@ impl Host {
                 // Misdelivered packet (shouldn't happen with correct
                 // routing); drop silently but count it.
                 Action::Drop
-            } else if let Some(h) = inner.sockets.get(&(pkt.dst, pkt.src)) {
+            } else if let Some(h) = inner.sockets.get_by_addr(&(pkt.dst, pkt.src)) {
                 Action::Socket(h.clone())
             } else if pkt.segment.flags.syn && !pkt.segment.flags.ack {
                 match inner.listeners.get(&pkt.dst.port) {
@@ -298,13 +336,14 @@ impl Host {
     }
 
     fn accept(&self, sim: &mut Simulator, listener: Rc<dyn Listener>, pkt: Packet) {
-        let (egress, ids, config) = {
+        let (egress, ids, config, mux) = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.connections_accepted += 1;
             (
                 inner.egress.clone(),
                 inner.ids.shared(),
                 inner.config.clone(),
+                inner.timer_mux.clone(),
             )
         };
         // Two-phase accept: the placeholder app is replaced before any
@@ -328,6 +367,7 @@ impl Host {
             egress,
             ids,
             Rc::new(NoApp),
+            mux.as_ref(),
         );
         let app = listener.on_connection(sim, handle.clone());
         handle.set_app(app);
@@ -350,7 +390,8 @@ impl HostInner {
                 self.next_ephemeral + 1
             };
             let local = SocketAddr::new(self.ip, port);
-            if !self.sockets.contains_key(&(local, remote)) && !self.listeners.contains_key(&port) {
+            if !self.sockets.contains_addr(&(local, remote)) && !self.listeners.contains_key(&port)
+            {
                 return port;
             }
         }

@@ -12,6 +12,7 @@
 //! directly testable.
 
 pub mod addr;
+pub mod conn;
 pub mod fabric;
 pub mod fault;
 pub mod host;
@@ -20,10 +21,12 @@ pub mod sink;
 pub mod tcp;
 
 pub use addr::{IpAddr, Origin, SocketAddr};
+pub use conn::{ConnId, ConnTable};
 pub use fabric::{Namespace, NsCounters};
 pub use host::{Host, HostNoise, HostStats, Listener, PacketIdGen};
 pub use packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, HEADER_BYTES, MSS, MTU};
 pub use sink::{BlackHole, Capture, FnSink, PacketSink, SinkRef, Tap};
 pub use tcp::{
-    CcAlgorithm, RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats,
+    CcAlgorithm, RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpConfigBuilder, TcpHandle,
+    TcpState, TcpStats,
 };

@@ -25,4 +25,7 @@ pub use rack::{FrtoState, RackState};
 pub use rate::{MinRttFilter, RateEstimator, RateSample, TxRecord, WindowedMaxBw};
 pub use rtt::RttEstimator;
 pub use sack::{ReceiverSack, Scoreboard, DUP_THRESH};
-pub use socket::{RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpHandle, TcpState, TcpStats};
+pub use socket::{
+    RecoveryTier, SocketApp, SocketEvent, TcpConfig, TcpConfigBuilder, TcpHandle, TcpState,
+    TcpStats,
+};

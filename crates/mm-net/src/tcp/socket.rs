@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
-use mm_sim::{SimDuration, Simulator, Timer, Timestamp};
+use mm_sim::{SimDuration, Simulator, Timer, TimerMux, Timestamp};
 
 use crate::addr::SocketAddr;
 use crate::packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, MSS};
@@ -131,6 +131,103 @@ impl Default for TcpConfig {
             recovery: RecoveryTier::default(),
             pacing: false,
         }
+    }
+}
+
+impl TcpConfig {
+    /// Start a builder from the defaults. The builder is the documented
+    /// construction path: the struct's fields stay public for
+    /// struct-update compatibility, but new code should chain setters so
+    /// field growth stops churning every construction site.
+    ///
+    /// ```
+    /// use mm_net::{CcAlgorithm, RecoveryTier, TcpConfig};
+    /// let config = TcpConfig::builder()
+    ///     .cc(CcAlgorithm::Bbr)
+    ///     .recovery(RecoveryTier::RackTlp)
+    ///     .pacing(true)
+    ///     .build();
+    /// assert_eq!(config.cc, CcAlgorithm::Bbr);
+    /// ```
+    pub fn builder() -> TcpConfigBuilder {
+        TcpConfigBuilder {
+            config: TcpConfig::default(),
+        }
+    }
+
+    /// Continue building from an existing configuration (the ergonomic
+    /// replacement for `TcpConfig { field: x, ..base }` updates).
+    pub fn to_builder(&self) -> TcpConfigBuilder {
+        TcpConfigBuilder {
+            config: self.clone(),
+        }
+    }
+}
+
+/// Chained-setter builder for [`TcpConfig`]; see [`TcpConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct TcpConfigBuilder {
+    config: TcpConfig,
+}
+
+impl TcpConfigBuilder {
+    /// Congestion-control algorithm.
+    pub fn cc(mut self, cc: CcAlgorithm) -> Self {
+        self.config.cc = cc;
+        self
+    }
+
+    /// Loss-recovery tier.
+    pub fn recovery(mut self, recovery: RecoveryTier) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Pace new-data transmissions (see [`TcpConfig::pacing`]).
+    pub fn pacing(mut self, pacing: bool) -> Self {
+        self.config.pacing = pacing;
+        self
+    }
+
+    /// Receive window advertised to the peer, bytes.
+    pub fn recv_window(mut self, bytes: u64) -> Self {
+        self.config.recv_window = bytes;
+        self
+    }
+
+    /// Initial RTO before any RTT sample exists.
+    pub fn initial_rto(mut self, rto: SimDuration) -> Self {
+        self.config.initial_rto = rto;
+        self
+    }
+
+    /// Floor on the RTO.
+    pub fn min_rto(mut self, rto: SimDuration) -> Self {
+        self.config.min_rto = rto;
+        self
+    }
+
+    /// Delay ACKs for this long, acking every second segment immediately.
+    pub fn delayed_ack(mut self, delay: SimDuration) -> Self {
+        self.config.delayed_ack = Some(delay);
+        self
+    }
+
+    /// Maximum consecutive RTOs before the connection is reset.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Initial congestion window in segments (None = IW10).
+    pub fn initial_cwnd_segments(mut self, segments: u32) -> Self {
+        self.config.initial_cwnd_segments = Some(segments);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> TcpConfig {
+        self.config
     }
 }
 
@@ -381,6 +478,7 @@ impl TcpInner {
         config: TcpConfig,
         egress: SinkRef,
         packet_ids: Rc<std::cell::Cell<u64>>,
+        timer_mux: Option<&TimerMux>,
     ) -> Self {
         let cc = make_controller(
             config.cc,
@@ -390,6 +488,13 @@ impl TcpInner {
             },
         );
         let rtt = RttEstimator::new(config.initial_rto, config.min_rto);
+        // All five per-socket timers share the host's mux when one is
+        // installed — one dispatcher slot in the global heap per host
+        // instead of a dead closure per (re)arm per socket.
+        let new_timer = || match timer_mux {
+            Some(mux) => Timer::in_mux(mux),
+            None => Timer::new(),
+        };
         TcpInner {
             local,
             remote,
@@ -437,12 +542,12 @@ impl TcpInner {
             unacked_segments: 0,
             egress,
             packet_ids,
-            rto_timer: Timer::new(),
+            rto_timer: new_timer(),
             rearm_rto: false,
-            ack_timer: Timer::new(),
-            tlp_timer: Timer::new(),
-            reo_timer: Timer::new(),
-            pacing_timer: Timer::new(),
+            ack_timer: new_timer(),
+            tlp_timer: new_timer(),
+            reo_timer: new_timer(),
+            pacing_timer: new_timer(),
             app: None,
             pending_events: Vec::new(),
             stats: TcpStats::default(),
@@ -1766,6 +1871,7 @@ impl TcpInner {
 impl TcpHandle {
     /// Create the client half of a connection and emit its SYN.
     /// `egress` is where packets go (normally the namespace router).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn connect(
         sim: &mut Simulator,
         local: SocketAddr,
@@ -1774,8 +1880,17 @@ impl TcpHandle {
         egress: SinkRef,
         packet_ids: Rc<std::cell::Cell<u64>>,
         app: Rc<dyn SocketApp>,
+        timer_mux: Option<&TimerMux>,
     ) -> TcpHandle {
-        let mut inner = TcpInner::new(local, remote, TcpState::SynSent, config, egress, packet_ids);
+        let mut inner = TcpInner::new(
+            local,
+            remote,
+            TcpState::SynSent,
+            config,
+            egress,
+            packet_ids,
+            timer_mux,
+        );
         inner.app = Some(app);
         let now = sim.now();
         let syn = inner.make_packet(TcpFlags::SYN, 0, Bytes::new());
@@ -1801,6 +1916,7 @@ impl TcpHandle {
         egress: SinkRef,
         packet_ids: Rc<std::cell::Cell<u64>>,
         app: Rc<dyn SocketApp>,
+        timer_mux: Option<&TimerMux>,
     ) -> TcpHandle {
         let mut inner = TcpInner::new(
             local,
@@ -1809,6 +1925,7 @@ impl TcpHandle {
             config,
             egress,
             packet_ids,
+            timer_mux,
         );
         inner.app = Some(app);
         inner.rcv_nxt = syn.seq + 1;
@@ -2401,6 +2518,7 @@ mod tests {
             TcpConfig::default(),
             crate::sink::BlackHole::new(),
             Rc::new(std::cell::Cell::new(0)),
+            None,
         )
     }
 

@@ -272,7 +272,7 @@ proptest! {
         drops in prop::collection::vec(0u64..60, 0..12),
     ) {
         recovery_terminates(
-            TcpConfig { recovery: RecoveryTier::Sack, ..TcpConfig::default() },
+            TcpConfig::builder().recovery(RecoveryTier::Sack).build(),
             total,
             &drops,
         );
@@ -289,7 +289,7 @@ proptest! {
         // TLP-never-fires-past-a-nearer-RTO invariant is a debug
         // assertion exercised by every one of these cases.)
         recovery_terminates(
-            TcpConfig { recovery: RecoveryTier::RackTlp, ..TcpConfig::default() },
+            TcpConfig::builder().recovery(RecoveryTier::RackTlp).build(),
             total,
             &drops,
         );
@@ -306,11 +306,10 @@ proptest! {
         // still arrive intact with the pipe invariants holding on every
         // packet.
         recovery_terminates(
-            TcpConfig {
-                cc: CcAlgorithm::Bbr,
-                recovery: RecoveryTier::RackTlp,
-                ..TcpConfig::default()
-            },
+            TcpConfig::builder()
+                .cc(CcAlgorithm::Bbr)
+                .recovery(RecoveryTier::RackTlp)
+                .build(),
             total,
             &drops,
         );
@@ -453,11 +452,10 @@ fn delayed_ack_sack_transfer(
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new(IpAddr::new(10, 0, 0, 2), ids);
-    let config = TcpConfig {
-        recovery: tier,
-        delayed_ack: Some(SimDuration::from_millis(40)),
-        ..TcpConfig::default()
-    };
+    let config = TcpConfig::builder()
+        .recovery(tier)
+        .delayed_ack(SimDuration::from_millis(40))
+        .build();
     client.set_tcp_config(config.clone());
     server.set_tcp_config(config);
 
@@ -801,11 +799,10 @@ proptest! {
         let ids = PacketIdGen::new();
         let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
         let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-        let config = TcpConfig {
-            cc: CcAlgorithm::Bbr,
-            recovery: RecoveryTier::RackTlp,
-            ..TcpConfig::default()
-        };
+        let config = TcpConfig::builder()
+            .cc(CcAlgorithm::Bbr)
+            .recovery(RecoveryTier::RackTlp)
+            .build();
         client.set_tcp_config(config.clone());
         server.set_tcp_config(config);
         let violations = Rc::new(RefCell::new(Vec::new()));

@@ -175,11 +175,7 @@ fn tail_loss_transfer_cfg(
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-    let config = TcpConfig {
-        recovery: tier,
-        min_rto,
-        ..TcpConfig::default()
-    };
+    let config = TcpConfig::builder().recovery(tier).min_rto(min_rto).build();
     client.set_tcp_config(config.clone());
     server.set_tcp_config(config);
     ns.add_host(
@@ -300,10 +296,7 @@ fn stalled_transfer(tier: RecoveryTier) -> (Timestamp, mm_net::TcpStats, Vec<Sen
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-    let config = TcpConfig {
-        recovery: tier,
-        ..TcpConfig::default()
-    };
+    let config = TcpConfig::builder().recovery(tier).build();
     client.set_tcp_config(config.clone());
     server.set_tcp_config(config);
     ns.add_host(

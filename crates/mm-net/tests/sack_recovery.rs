@@ -149,14 +149,8 @@ fn lossy_transfer_cfg(
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-    client.set_tcp_config(TcpConfig {
-        recovery: tier(client_sack),
-        ..TcpConfig::default()
-    });
-    server.set_tcp_config(TcpConfig {
-        recovery: tier(server_sack),
-        ..TcpConfig::default()
-    });
+    client.set_tcp_config(TcpConfig::builder().recovery(tier(client_sack)).build());
+    server.set_tcp_config(TcpConfig::builder().recovery(tier(server_sack)).build());
     // Client → (lossy delayed wire) → namespace; namespace → (delayed
     // wire) → client.
     ns.add_host(

@@ -184,6 +184,15 @@ impl ReplayShell {
     pub fn server_count(&self) -> usize {
         self.hosts.len()
     }
+
+    /// Route every server host's socket timers through a shared per-host
+    /// [`mm_net::Host::enable_timer_mux`] mux. Population-scale worlds
+    /// call this; single-load baselines leave the global timer heap.
+    pub fn enable_timer_mux(&self) {
+        for host in &self.hosts {
+            host.enable_timer_mux();
+        }
+    }
 }
 
 struct ReplayListener {

@@ -127,11 +127,10 @@ fn uplink_max_backlog(stack: &ShellStack) -> usize {
 }
 
 fn bbr_config() -> TcpConfig {
-    TcpConfig {
-        cc: CcAlgorithm::Bbr,
-        recovery: RecoveryTier::RackTlp,
-        ..TcpConfig::default()
-    }
+    TcpConfig::builder()
+        .cc(CcAlgorithm::Bbr)
+        .recovery(RecoveryTier::RackTlp)
+        .build()
 }
 
 /// The issue's convergence criterion: on a clean 14 Mbit/s / 120 ms RTT
@@ -181,11 +180,10 @@ fn bbr_converges_to_link_rate() {
 /// (cwnd_gain × BDP), far below the buffer.
 #[test]
 fn bbr_standing_queue_below_reno_in_deep_buffer() {
-    let reno = TcpConfig {
-        cc: CcAlgorithm::Reno,
-        recovery: RecoveryTier::RackTlp,
-        ..TcpConfig::default()
-    };
+    let reno = TcpConfig::builder()
+        .cc(CcAlgorithm::Reno)
+        .recovery(RecoveryTier::RackTlp)
+        .build();
     let run = |config: TcpConfig| {
         let mut w = bulk_upload(
             config,
@@ -228,12 +226,11 @@ fn pacing_engages_and_preserves_correctness_under_loss_based_cc() {
     for cc in [CcAlgorithm::Reno, CcAlgorithm::Cubic] {
         let total = 2 << 20;
         let run = |pacing: bool, queue: QueueLimit| {
-            let config = TcpConfig {
-                cc,
-                recovery: RecoveryTier::RackTlp,
-                pacing,
-                ..TcpConfig::default()
-            };
+            let config = TcpConfig::builder()
+                .cc(cc)
+                .recovery(RecoveryTier::RackTlp)
+                .pacing(pacing)
+                .build();
             let mut w = bulk_upload(config, total, 10.0, SimDuration::from_millis(20), queue);
             w.sim.run();
             assert_eq!(

@@ -21,6 +21,6 @@ pub mod timer;
 
 pub use engine::{EventFn, RunResult, Simulator};
 pub use rng::RngStream;
-pub use stats::Summary;
+pub use stats::{jain_fairness, Summary};
 pub use time::{SimDuration, Timestamp};
-pub use timer::{PeriodicTimer, Timer};
+pub use timer::{PeriodicTimer, Timer, TimerMux};

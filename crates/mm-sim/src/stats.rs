@@ -89,6 +89,24 @@ impl Summary {
         self.samples[rank.clamp(1, n) - 1]
     }
 
+    /// Linearly interpolated percentile (the R-7 / NumPy default): rank
+    /// `p/100 × (n−1)` interpolated between the two closest order
+    /// statistics. Smoother than nearest-rank on small samples — a
+    /// 64-user fleet's p99 should not snap to the single worst user's
+    /// exact value the moment n crosses a rank boundary. Panics if empty
+    /// or `p` out of `[0, 100]`.
+    pub fn percentile_interpolated(&mut self, p: f64) -> f64 {
+        assert!(!self.is_empty(), "percentile of empty summary");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = (p / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.samples[lo] + (self.samples[hi.min(n - 1)] - self.samples[lo]) * frac
+    }
+
     /// Median (50th percentile, nearest-rank).
     pub fn median(&mut self) -> f64 {
         self.percentile(50.0)
@@ -170,6 +188,27 @@ pub fn percent_diff(a: f64, b: f64) -> f64 {
     (a - b) / b * 100.0
 }
 
+/// Jain's fairness index over per-flow allocations:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`. 1.0 = perfectly equal shares; `1/n` = one flow
+/// holds everything; always in `(0, 1]` for positive allocations. The
+/// standard fairness statistic for shared-bottleneck experiments.
+///
+/// Panics on an empty slice, a negative or non-finite allocation, or an
+/// all-zero vector — each of those means a broken experiment, not an
+/// unfair one.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "fairness of zero flows");
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &x in xs {
+        assert!(x.is_finite() && x >= 0.0, "bad allocation: {x}");
+        sum += x;
+        sum_sq += x * x;
+    }
+    assert!(sum > 0.0, "fairness of all-zero allocations");
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
 /// Render an ASCII CDF plot (for experiment binaries' terminal output).
 pub fn ascii_cdf_plot(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
     assert!(width >= 20 && height >= 5, "plot too small");
@@ -239,6 +278,67 @@ mod tests {
         assert_eq!(s.percentile(100.0), 100.0);
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(1.0), 1.0);
+    }
+
+    #[test]
+    fn interpolated_percentiles_small_sample() {
+        let mut s = Summary::from_samples([1.0, 2.0, 3.0, 4.0]);
+        // rank = p/100 × 3: p50 → 1.5 → 2.5; p95 → 2.85 → 3.85;
+        // p99 → 2.97 → 3.97.
+        assert!((s.percentile_interpolated(50.0) - 2.5).abs() < 1e-12);
+        assert!((s.percentile_interpolated(95.0) - 3.85).abs() < 1e-12);
+        assert!((s.percentile_interpolated(99.0) - 3.97).abs() < 1e-12);
+        assert_eq!(s.percentile_interpolated(0.0), 1.0);
+        assert_eq!(s.percentile_interpolated(100.0), 4.0);
+    }
+
+    #[test]
+    fn interpolated_percentiles_large_sample() {
+        let mut s = Summary::from_samples((1..=100).map(|i| i as f64));
+        // rank = p/100 × 99 over samples 1..=100: value = 1 + rank.
+        assert!((s.percentile_interpolated(50.0) - 50.5).abs() < 1e-12);
+        assert!((s.percentile_interpolated(95.0) - 95.05).abs() < 1e-12);
+        assert!((s.percentile_interpolated(99.0) - 99.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_percentile_single_sample() {
+        let mut s = Summary::from_samples([7.0]);
+        assert_eq!(s.percentile_interpolated(50.0), 7.0);
+        assert_eq!(s.percentile_interpolated(99.0), 7.0);
+    }
+
+    #[test]
+    fn jain_single_flow_is_one() {
+        assert_eq!(jain_fairness(&[123.4]), 1.0);
+    }
+
+    #[test]
+    fn jain_equal_split_is_one() {
+        let v = vec![5.5; 64];
+        assert!((jain_fairness(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_hand_computed_values() {
+        // (1+2+3)² / (3 × (1+4+9)) = 36/42.
+        assert!((jain_fairness(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        // (4+1+1+1+1)² / (5 × 20) = 64/100.
+        assert!((jain_fairness(&[4.0, 1.0, 1.0, 1.0, 1.0]) - 0.64).abs() < 1e-12);
+        // One flow starves: index collapses toward 1/n.
+        assert!((jain_fairness(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness of zero flows")]
+    fn jain_empty_rejected() {
+        jain_fairness(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn jain_all_zero_rejected() {
+        jain_fairness(&[0.0, 0.0]);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! `arm()` bumps the generation and the scheduled closure only fires if its
 //! generation is still current.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use crate::engine::Simulator;
+use crate::engine::{EventFn, Simulator};
 use crate::time::{SimDuration, Timestamp};
 
 /// A cancellable, rearmable one-shot timer.
@@ -35,6 +36,12 @@ use crate::time::{SimDuration, Timestamp};
 pub struct Timer {
     generation: Rc<Cell<u64>>,
     deadline: Rc<Cell<Timestamp>>,
+    /// When set, this timer registers into a shared [`TimerMux`] instead of
+    /// the simulator's global heap; cancellation then physically removes the
+    /// pending entry rather than leaving a dead closure behind.
+    mux: Option<Rc<MuxInner>>,
+    /// The mux map key of the currently pending entry, if any.
+    mux_key: Rc<Cell<Option<(Timestamp, u64)>>>,
 }
 
 impl Timer {
@@ -43,6 +50,16 @@ impl Timer {
         Timer {
             generation: Rc::new(Cell::new(0)),
             deadline: Rc::new(Cell::new(Timestamp::NEVER)),
+            mux: None,
+            mux_key: Rc::new(Cell::new(None)),
+        }
+    }
+
+    /// Create an unarmed timer whose firings route through `mux`.
+    pub fn in_mux(mux: &TimerMux) -> Self {
+        Timer {
+            mux: Some(mux.inner.clone()),
+            ..Timer::new()
         }
     }
 
@@ -67,6 +84,25 @@ impl Timer {
         let gen = self.generation.get() + 1;
         self.generation.set(gen);
         self.deadline.set(at);
+        if let Some(mux) = &self.mux {
+            if let Some(old) = self.mux_key.take() {
+                mux.pending.borrow_mut().remove(&old);
+            }
+            let key = (at, mux.next_entry_seq());
+            let deadline = self.deadline.clone();
+            let mux_key = self.mux_key.clone();
+            mux.pending.borrow_mut().insert(
+                key,
+                Box::new(move |sim| {
+                    mux_key.set(None);
+                    deadline.set(Timestamp::NEVER);
+                    f(sim);
+                }),
+            );
+            self.mux_key.set(Some(key));
+            mux.reschedule(sim);
+            return;
+        }
         let generation = self.generation.clone();
         let deadline = self.deadline.clone();
         sim.schedule_at(at, move |sim| {
@@ -81,6 +117,9 @@ impl Timer {
     pub fn cancel(&self) {
         self.generation.set(self.generation.get() + 1);
         self.deadline.set(Timestamp::NEVER);
+        if let (Some(mux), Some(key)) = (&self.mux, self.mux_key.take()) {
+            mux.pending.borrow_mut().remove(&key);
+        }
     }
 
     /// True if the timer is armed and has not yet fired or been cancelled.
@@ -91,6 +130,96 @@ impl Timer {
     /// The instant the timer will fire, or `Timestamp::NEVER` if unarmed.
     pub fn deadline(&self) -> Timestamp {
         self.deadline.get()
+    }
+}
+
+/// A shared timer multiplexer: many [`Timer`]s created via
+/// [`Timer::in_mux`] funnel through ONE dispatcher slot in the simulator's
+/// global heap instead of each `arm()` pushing its own closure.
+///
+/// Two wins at population scale (thousands of sockets, five timers each):
+/// the global heap holds at most one entry per mux regardless of how many
+/// timers are armed, and cancellation/rearm *removes* the pending entry
+/// from the mux's map — no dead-generation closures accumulate for the
+/// engine to grind through.
+///
+/// Ordering: entries at the same instant fire in arm order (a per-mux
+/// sequence number mirrors the engine's insertion-order tie-break).
+/// Note that relative ordering *between* mux-backed timers and other
+/// same-instant events differs from the global-heap path — all firings
+/// due at `t` run back-to-back when the dispatcher pops — so worlds that
+/// must stay byte-identical to pre-mux baselines leave the mux off.
+///
+/// Cloning yields another handle to the same mux.
+#[derive(Clone, Default)]
+pub struct TimerMux {
+    inner: Rc<MuxInner>,
+}
+
+#[derive(Default)]
+struct MuxInner {
+    pending: RefCell<BTreeMap<(Timestamp, u64), EventFn>>,
+    next_seq: Cell<u64>,
+    dispatcher: Timer,
+}
+
+impl TimerMux {
+    /// Create an empty mux.
+    pub fn new() -> Self {
+        TimerMux::default()
+    }
+
+    /// Create an unarmed timer backed by this mux (alias for
+    /// [`Timer::in_mux`]).
+    pub fn timer(&self) -> Timer {
+        Timer::in_mux(self)
+    }
+
+    /// Number of pending (armed, not yet fired) entries.
+    pub fn pending_count(&self) -> usize {
+        self.inner.pending.borrow().len()
+    }
+}
+
+impl MuxInner {
+    fn next_entry_seq(&self) -> u64 {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        seq
+    }
+
+    /// Keep the dispatcher armed at the earliest pending deadline (or
+    /// unarmed when the map is empty).
+    fn reschedule(self: &Rc<Self>, sim: &mut Simulator) {
+        let first = self.pending.borrow().keys().next().copied();
+        match first {
+            None => self.dispatcher.cancel(),
+            Some((at, _)) => {
+                if self.dispatcher.deadline() != at {
+                    let mux = self.clone();
+                    self.dispatcher.arm_at(sim, at, move |sim| mux.fire(sim));
+                }
+            }
+        }
+    }
+
+    /// Run every entry due at the current instant, one at a time so a
+    /// firing may arm further timers (including into this mux) safely.
+    fn fire(self: Rc<Self>, sim: &mut Simulator) {
+        loop {
+            let due = {
+                let mut pending = self.pending.borrow_mut();
+                match pending.keys().next().copied() {
+                    Some(key) if key.0 <= sim.now() => pending.remove(&key),
+                    _ => None,
+                }
+            };
+            match due {
+                Some(f) => f(sim),
+                None => break,
+            }
+        }
+        self.reschedule(sim);
     }
 }
 
@@ -214,6 +343,113 @@ mod tests {
         });
         sim.run();
         assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn mux_timers_fire_in_time_then_arm_order() {
+        let mut sim = Simulator::new();
+        let mux = TimerMux::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let timers: Vec<Timer> = (0..4).map(|_| mux.timer()).collect();
+        for (tag, delay_ms) in [(0u64, 7u64), (1, 3), (2, 7), (3, 3)] {
+            let l = log.clone();
+            timers[tag as usize].arm(&mut sim, SimDuration::from_millis(delay_ms), move |_| {
+                l.borrow_mut().push(tag)
+            });
+        }
+        sim.run();
+        // Earliest deadline first; same-deadline entries in arm order.
+        assert_eq!(*log.borrow(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn mux_shares_one_heap_slot() {
+        let mut sim = Simulator::new();
+        let mux = TimerMux::new();
+        let timers: Vec<Timer> = (0..100).map(|_| mux.timer()).collect();
+        for (i, t) in timers.iter().enumerate() {
+            t.arm(&mut sim, SimDuration::from_millis(1 + i as u64), |_| {});
+        }
+        assert_eq!(mux.pending_count(), 100);
+        // 100 armed timers, one dispatcher entry in the engine's heap.
+        assert_eq!(sim.pending_events(), 1);
+        sim.run();
+        assert_eq!(mux.pending_count(), 0);
+    }
+
+    #[test]
+    fn mux_cancel_removes_entry() {
+        let mut sim = Simulator::new();
+        let mux = TimerMux::new();
+        let fired = Rc::new(Cell::new(false));
+        let t = mux.timer();
+        let f = fired.clone();
+        t.arm(&mut sim, SimDuration::from_millis(5), move |_| f.set(true));
+        assert_eq!(mux.pending_count(), 1);
+        t.cancel();
+        // Physically removed — not a dead generation left to grind through.
+        assert_eq!(mux.pending_count(), 0);
+        assert!(!t.is_armed());
+        sim.run();
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn mux_rearm_supersedes_previous() {
+        let mut sim = Simulator::new();
+        let mux = TimerMux::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let t = mux.timer();
+        let l1 = log.clone();
+        t.arm(&mut sim, SimDuration::from_millis(5), move |sim| {
+            l1.borrow_mut().push(("old", sim.now().as_millis()))
+        });
+        let l2 = log.clone();
+        t.arm(&mut sim, SimDuration::from_millis(9), move |sim| {
+            l2.borrow_mut().push(("new", sim.now().as_millis()))
+        });
+        assert_eq!(mux.pending_count(), 1);
+        assert_eq!(t.deadline(), Timestamp::from_millis(9));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![("new", 9)]);
+    }
+
+    #[test]
+    fn mux_firing_can_rearm_itself() {
+        let mut sim = Simulator::new();
+        let mux = TimerMux::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let t = mux.timer();
+        let t2 = t.clone();
+        let l = log.clone();
+        t.arm(&mut sim, SimDuration::from_millis(10), move |sim| {
+            l.borrow_mut().push(sim.now().as_millis());
+            let l2 = l.clone();
+            t2.arm(sim, SimDuration::from_millis(10), move |sim| {
+                l2.borrow_mut().push(sim.now().as_millis());
+            });
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20]);
+    }
+
+    #[test]
+    fn mux_and_plain_timers_coexist() {
+        let mut sim = Simulator::new();
+        let mux = TimerMux::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let muxed = mux.timer();
+        let plain = Timer::new();
+        let l1 = log.clone();
+        muxed.arm(&mut sim, SimDuration::from_millis(4), move |_| {
+            l1.borrow_mut().push("muxed")
+        });
+        let l2 = log.clone();
+        plain.arm(&mut sim, SimDuration::from_millis(2), move |_| {
+            l2.borrow_mut().push("plain")
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["plain", "muxed"]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests on the simulation substrate: event ordering, summary
 //! statistics invariants, RNG stream independence.
 
-use mm_sim::{RngStream, SimDuration, Simulator, Summary, Timestamp};
+use mm_sim::{jain_fairness, RngStream, SimDuration, Simulator, Summary, Timestamp};
 use proptest::prelude::*;
 use rand::RngCore;
 use std::cell::RefCell;
@@ -52,6 +52,30 @@ proptest! {
         let mut s = Summary::from_samples(samples);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(s.cdf_at(lo) <= s.cdf_at(hi));
+    }
+
+    #[test]
+    fn jain_fairness_in_unit_interval(goodputs in prop::collection::vec(1e-3f64..1e9, 1..128)) {
+        // For arbitrary positive goodput vectors the index is a valid
+        // fairness: strictly positive, at most 1, and at least 1/n (the
+        // single-flow-takes-all floor).
+        let j = jain_fairness(&goodputs);
+        prop_assert!(j > 0.0, "fairness {j} not positive");
+        prop_assert!(j <= 1.0 + 1e-12, "fairness {j} above 1");
+        prop_assert!(j >= 1.0 / goodputs.len() as f64 - 1e-12, "fairness {j} below 1/n");
+    }
+
+    #[test]
+    fn interpolated_percentile_monotone_and_bounded(
+        samples in prop::collection::vec(0.0f64..1e6, 1..200),
+        p in 0.0f64..100.0,
+        q in 0.0f64..100.0,
+    ) {
+        let mut s = Summary::from_samples(samples);
+        let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+        let (vlo, vhi) = (s.percentile_interpolated(lo), s.percentile_interpolated(hi));
+        prop_assert!(vlo <= vhi + 1e-9);
+        prop_assert!(s.min() <= vlo + 1e-9 && vhi <= s.max() + 1e-9);
     }
 
     #[test]

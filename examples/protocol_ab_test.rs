@@ -43,10 +43,7 @@ fn main() {
     for (name, cc) in [("Reno", CcAlgorithm::Reno), ("CUBIC", CcAlgorithm::Cubic)] {
         let mut spec = LoadSpec::new(&site);
         spec.net = net.clone();
-        spec.tcp = Some(mm_net::TcpConfig {
-            cc,
-            ..Default::default()
-        });
+        spec.tcp = Some(mm_net::TcpConfig::builder().cc(cc).build());
         let r = run_page_load(&spec);
         println!("  {name:<6} PLT {}", r.plt);
     }
