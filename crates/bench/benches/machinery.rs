@@ -181,6 +181,28 @@ fn bench_tcp_transfer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_tcp_transfer_metrics(c: &mut Criterion) {
+    use mm_metrics::{MetricsHandle, Registry, RegistrySink};
+    use mm_net::TcpConfig;
+    // The observability overhead gate: the same 1 MB transfer with a
+    // live RegistrySink attached (counter bumps on every recovery
+    // event, cwnd/srtt gauge samples on every retransmission-path
+    // touch). Target: within 5% of `transfer_1mb_simulated` — the
+    // sink is two Rc derefs and a Vec index per event, nothing that
+    // should show up beside full-stack segment processing.
+    let mut g = c.benchmark_group("tcp");
+    let payload = Bytes::from(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    let registry = Registry::default();
+    let cfg = TcpConfig::builder()
+        .metrics(MetricsHandle::new(RegistrySink::new(registry.clone())))
+        .build();
+    g.bench_function("transfer_1mb_metrics_enabled", |b| {
+        b.iter(|| transfer::run(&cfg, 0.0, &payload))
+    });
+    g.finish();
+}
+
 fn bench_tcp_lossy_transfer(c: &mut Criterion) {
     use mm_net::{RecoveryTier, TcpConfig};
     // The lossy counterpart of `transfer_1mb_simulated`: 1 MB through an
@@ -272,6 +294,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_lossy_transfer, bench_tcp_paced_transfer, bench_world_64_users
+    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_transfer_metrics, bench_tcp_lossy_transfer, bench_tcp_paced_transfer, bench_world_64_users
 }
 criterion_main!(benches);

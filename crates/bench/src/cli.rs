@@ -30,13 +30,45 @@ impl ExperimentSpec {
     /// Parse `argv[1]` (falling back to `default_sites`), print the
     /// header, run the body, and write `BENCH_<name>.json` if the body
     /// returned metrics. Binaries call this from `main`.
+    ///
+    /// Every binary also accepts `--trace-out <path>` (after any
+    /// positional arguments): it turns on the harness's process-global
+    /// flow tracing, so every page load records per-flow TCP samples
+    /// (cwnd, srtt, in-flight, delivered, state transitions), and the
+    /// accumulated JSONL is written to `<path>` after the run. Tracing
+    /// only observes — the BENCH output is unchanged.
     pub fn main(&self) {
-        let n = std::env::args()
-            .nth(1)
+        let args: Vec<String> = std::env::args().collect();
+        let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        });
+        if trace_out.is_some() {
+            mahimahi::obs::enable_trace();
+        }
+        let n = args
+            .get(1)
             .and_then(|s| s.parse().ok())
             .unwrap_or(self.default_sites);
         header(&(self.title)(n));
-        if let Some(metrics) = (self.run)(n, DEFAULT_SEED) {
+        let metrics = (self.run)(n, DEFAULT_SEED);
+        if let Some(path) = &trace_out {
+            let jsonl = mahimahi::obs::take_trace_jsonl();
+            match std::fs::write(path, &jsonl) {
+                Ok(()) => println!(
+                    "\n  wrote {} ({} flow samples)",
+                    path,
+                    jsonl.lines().count()
+                ),
+                Err(e) => eprintln!("\n  could not write trace {path}: {e}"),
+            }
+        }
+        if let Some(metrics) = metrics {
             match write_bench_json(self.name, DEFAULT_SEED, n, &metrics) {
                 Ok(path) => println!("\n  wrote {}", path.display()),
                 Err(e) => eprintln!("\n  could not write BENCH_{}.json: {e}", self.name),

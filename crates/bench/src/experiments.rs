@@ -972,6 +972,82 @@ pub fn figshare(n: usize, smoke: bool, seed: u64) -> FigShareResult {
     FigShareResult { cells }
 }
 
+/// E-soak — figsoak: the long-lived serving soak. Every other
+/// experiment builds a world per measurement; figsoak keeps ONE
+/// multi-origin replay world serving open-loop Poisson session arrivals
+/// for simulated hours and reports production-posture numbers:
+/// requests/sec, session PLT tails, and the leak-detector high-water
+/// marks (server connection table, client socket pool, retransmission
+/// queues, SACK scoreboards). Everything observable is exported as a
+/// Prometheus text snapshot from the soak's metrics registry.
+pub struct FigSoakReport {
+    pub result: mahimahi::soak::SoakResult,
+    /// Prometheus text snapshot of the soak registry (validated).
+    pub snapshot: String,
+}
+
+/// Mean session inter-arrival time (open loop).
+pub const FIGSOAK_ARRIVAL_MEAN_MS: u64 = 1_000;
+/// Client slot-pool size: the admission limit on concurrent sessions.
+pub const FIGSOAK_MAX_LIVE: usize = 32;
+/// Bound on the sampled server connection-table high-water mark: the
+/// slot pool times a per-session connection budget. A session against
+/// the corpus site opens an HTTP/1.1 pool per origin (~180 connections
+/// across ~30 origins), and closed connections linger until the next
+/// maintenance pass, so the budget is ~200 per concurrent session. The
+/// point of the assertion is that occupancy is bounded by concurrency
+/// — a 4x longer soak peaks at the same mark — not by run length.
+pub const FIGSOAK_CONN_BOUND: usize = FIGSOAK_MAX_LIVE * 200;
+
+/// Run the soak for `minutes` of simulated time over the figshare
+/// bottleneck (40/12 Mbit/s, 80 ms RTT, deep droptail buffer). Panics
+/// if the world leaks — connections still tabled after the drain, or a
+/// connection-table high-water mark beyond the concurrency bound — or
+/// if the metrics snapshot fails Prometheus text validation, so every
+/// invocation (CI smoke included) is a memory-bounds assertion.
+pub fn figsoak(minutes: usize, seed: u64) -> FigSoakReport {
+    use mahimahi::metrics::{validate_text, Registry};
+    use mahimahi::soak::{run_soak, SoakSpec};
+
+    let plan = corpus_subset(1, seed).remove(0);
+    let site = materialize(&plan);
+    let mut spec = SoakSpec::new(&site);
+    spec.delay = Some(SimDuration::from_millis(FIGCELL_DELAY_MS));
+    spec.link = Some(LinkSpec {
+        uplink: constant_rate(FIGSHARE_UP_MBPS, 1000),
+        downlink: constant_rate(FIGSHARE_DOWN_MBPS, 1000),
+        qdisc: QdiscKind::DropTailPackets(256),
+    });
+    spec.arrival_mean = SimDuration::from_millis(FIGSOAK_ARRIVAL_MEAN_MS);
+    spec.duration = SimDuration::from_secs(minutes as u64 * 60);
+    spec.max_live_sessions = FIGSOAK_MAX_LIVE;
+    spec.seed = seed;
+
+    let registry = Registry::new();
+    let result = run_soak(&spec, &registry);
+    let snapshot = registry.encode();
+    validate_text(&snapshot).expect("soak snapshot must be valid Prometheus text");
+
+    // The soak's reason to exist: a long-serving world must not
+    // accumulate state. Anything tabled after the drain, or occupancy
+    // beyond what live concurrency explains, is a leak.
+    assert_eq!(
+        result.server_conns_final, 0,
+        "server connection table not empty after drain"
+    );
+    assert_eq!(
+        result.client_sockets_final, 0,
+        "client socket pool not empty after drain"
+    );
+    assert!(
+        result.server_conn_high_water <= FIGSOAK_CONN_BOUND,
+        "server connection high-water {} exceeds concurrency bound {}",
+        result.server_conn_high_water,
+        FIGSOAK_CONN_BOUND
+    );
+    FigSoakReport { result, snapshot }
+}
+
 /// Deterministic corpus subset used by multi-site experiments: sites are
 /// drawn evenly across the corpus so the subset spans small and large
 /// sites.

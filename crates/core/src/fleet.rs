@@ -125,6 +125,12 @@ pub struct FleetResult {
     pub max_downlink_queue_packets: usize,
     /// High-water backlog of the bottleneck uplink queue, in packets.
     pub max_uplink_queue_packets: usize,
+    /// High-water backlog of the bottleneck downlink queue, in wire
+    /// bytes (same peaks, byte-denominated — see
+    /// `QdiscStats::max_backlog_bytes`).
+    pub max_downlink_queue_bytes: usize,
+    /// High-water backlog of the bottleneck uplink queue, in wire bytes.
+    pub max_uplink_queue_bytes: usize,
     /// Virtual time at which the last event ran.
     pub completed_at: SimDuration,
 }
@@ -404,10 +410,15 @@ pub fn run_fleet(spec: &FleetSpec<'_>) -> FleetResult {
         .collect();
 
     let (mut max_up, mut max_down) = (0, 0);
+    let (mut max_up_bytes, mut max_down_bytes) = (0, 0);
     for layer in stack.layers() {
         if let ShellLayer::Link(link) = layer {
-            max_up = max_up.max(link.uplink.qdisc_stats().max_backlog_packets);
-            max_down = max_down.max(link.downlink.qdisc_stats().max_backlog_packets);
+            let up = link.uplink.qdisc_stats();
+            let down = link.downlink.qdisc_stats();
+            max_up = max_up.max(up.max_backlog_packets);
+            max_down = max_down.max(down.max_backlog_packets);
+            max_up_bytes = max_up_bytes.max(up.max_backlog_bytes);
+            max_down_bytes = max_down_bytes.max(down.max_backlog_bytes);
         }
     }
 
@@ -415,6 +426,8 @@ pub fn run_fleet(spec: &FleetSpec<'_>) -> FleetResult {
         users,
         max_downlink_queue_packets: max_down,
         max_uplink_queue_packets: max_up,
+        max_downlink_queue_bytes: max_down_bytes,
+        max_uplink_queue_bytes: max_up_bytes,
         completed_at: sim.now() - Timestamp::ZERO,
     }
 }

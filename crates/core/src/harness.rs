@@ -145,6 +145,33 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     let rng = RngStream::from_seed(spec.seed);
     let ids = PacketIdGen::new();
 
+    // Per-flow trace capture (the experiment bins' `--trace-out`
+    // plumbing): when the process-global trace is on and this spec
+    // carries no explicit sink, give the load a private tracer and
+    // merge its samples on completion. The substituted config differs
+    // from the untraced path only in the sink field — hosts fall back
+    // to `TcpConfig::default()` when no config flows in, and sinks only
+    // observe — so the simulation itself is unchanged.
+    let trace = (crate::obs::trace_enabled()
+        && spec.tcp.as_ref().is_none_or(|t| t.metrics.is_none()))
+    .then(mm_metrics::FlowTracer::new);
+    let spec_tcp = match &trace {
+        Some(tracer) => Some(
+            spec.tcp
+                .clone()
+                .unwrap_or_default()
+                .to_builder()
+                .metrics(mm_metrics::MetricsHandle::new(
+                    mm_metrics::RegistrySink::with_tracer(
+                        mm_metrics::Registry::new(),
+                        tracer.clone(),
+                    ),
+                ))
+                .build(),
+        ),
+        None => spec.tcp.clone(),
+    };
+
     // Outermost: ReplayShell's world. The browser's protocol choice is
     // passed through to the servers so both ends of the connection speak
     // the same wire format — one knob on the spec drives the whole stack.
@@ -156,7 +183,7 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     // replay worlds and browsers built outside this harness wire up the
     // same way; an explicit config on either side wins.
     if replay_config.tcp.is_none() {
-        replay_config.tcp = spec.tcp.clone();
+        replay_config.tcp = spec_tcp.clone();
     }
     let shell = {
         let root_ns = Namespace::root("replayshell");
@@ -165,7 +192,7 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     let root_ns = shell.ns.clone();
     // An explicit IW in `spec.tcp` is the experimenter's ablation knob and
     // must win over the mux deployment default.
-    let explicit_iw = spec.tcp.as_ref().and_then(|t| t.initial_cwnd_segments);
+    let explicit_iw = spec_tcp.as_ref().and_then(|t| t.initial_cwnd_segments);
     if let ProtocolMode::Mux(mux) = &spec.browser.protocol {
         if explicit_iw.is_none() {
             if let Some(iw) = mux.server_initial_cwnd_segments {
@@ -219,7 +246,7 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     }
     let mut browser_config = spec.browser.clone();
     if browser_config.tcp.is_none() {
-        browser_config.tcp = spec.tcp.clone();
+        browser_config.tcp = spec_tcp.clone();
     }
 
     let resolver: Resolver = {
@@ -247,6 +274,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
         *slot.borrow_mut() = Some(r);
     });
     sim.run();
+    if let Some(tracer) = &trace {
+        crate::obs::merge_tracer(tracer);
+    }
     let r = result
         .borrow_mut()
         .take()

@@ -1,0 +1,136 @@
+//! Observability glue for the harness layers: registry export helpers
+//! for page-load and fleet results, and the process-global flow-trace
+//! collector behind the experiment binaries' `--trace-out` flag.
+//!
+//! The collector is process-global because experiment bodies shard
+//! site loops across threads (`bench::parallel_map`) and each load
+//! builds its own world: every load gets a private [`FlowTracer`]
+//! (single-threaded, like the world), and drains its JSONL into the
+//! shared buffer when the load completes. Enabling the trace installs
+//! a metrics sink into otherwise-unconfigured loads; sinks only
+//! observe, so simulation results — and therefore BENCH outputs — are
+//! unchanged.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::fleet::FleetResult;
+use mm_metrics::{FlowTracer, Registry, LATENCY_BUCKETS_S};
+use mm_sim::SimDuration;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE_BUFFER: Mutex<String> = Mutex::new(String::new());
+
+/// Turn on process-global flow tracing: subsequent
+/// [`run_page_load`](crate::harness::run_page_load) calls whose spec
+/// carries no explicit metrics sink get a private tracer whose samples
+/// accumulate for [`take_trace_jsonl`].
+pub fn enable_trace() {
+    TRACE_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`enable_trace`] has been called.
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::SeqCst)
+}
+
+/// Append one world's drained trace to the global buffer.
+pub fn append_trace_jsonl(jsonl: &str) {
+    if !jsonl.is_empty() {
+        TRACE_BUFFER
+            .lock()
+            .expect("trace buffer poisoned")
+            .push_str(jsonl);
+    }
+}
+
+/// Drain a per-world tracer into the global buffer.
+pub fn merge_tracer(tracer: &FlowTracer) {
+    append_trace_jsonl(&tracer.take_jsonl());
+}
+
+/// Take everything traced so far (the `--trace-out` writer).
+pub fn take_trace_jsonl() -> String {
+    std::mem::take(&mut *TRACE_BUFFER.lock().expect("trace buffer poisoned"))
+}
+
+/// Record one page-load time into the `plt_seconds` histogram.
+pub fn record_plt(registry: &Registry, plt: SimDuration) {
+    registry
+        .histogram(
+            "plt_seconds",
+            "Page load time distribution.",
+            &LATENCY_BUCKETS_S,
+        )
+        .observe(plt.as_secs_f64());
+}
+
+/// Export a fleet world's outcome: the population PLT histogram,
+/// per-user goodput gauges, and the bottleneck-queue high-water marks
+/// in both denominations.
+pub fn export_fleet_metrics(result: &FleetResult, registry: &Registry) {
+    let plt = registry.histogram(
+        "fleet_plt_seconds",
+        "Per-user page load times in the shared world.",
+        &LATENCY_BUCKETS_S,
+    );
+    for user in &result.users {
+        plt.observe(user.plt_ms / 1e3);
+        registry
+            .gauge_with(
+                "fleet_user_goodput_bps",
+                "Bulk goodput of one user's download.",
+                &[("user", &user.user.to_string())],
+            )
+            .set(user.goodput_bps);
+    }
+    registry
+        .gauge(
+            "fleet_queue_max_downlink_packets",
+            "High-water backlog of the bottleneck downlink queue.",
+        )
+        .set(result.max_downlink_queue_packets as f64);
+    registry
+        .gauge(
+            "fleet_queue_max_uplink_packets",
+            "High-water backlog of the bottleneck uplink queue.",
+        )
+        .set(result.max_uplink_queue_packets as f64);
+    registry
+        .gauge(
+            "fleet_queue_max_downlink_bytes",
+            "Byte-denominated downlink backlog high-water mark.",
+        )
+        .set(result.max_downlink_queue_bytes as f64);
+    registry
+        .gauge(
+            "fleet_queue_max_uplink_bytes",
+            "Byte-denominated uplink backlog high-water mark.",
+        )
+        .set(result.max_uplink_queue_bytes as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_buffer_accumulates_and_drains() {
+        // Note: shares process-global state with other tests, so only
+        // assert on our own marker line surviving the round trip.
+        append_trace_jsonl("{\"flow\":999999}\n");
+        let drained = take_trace_jsonl();
+        assert!(drained.contains("{\"flow\":999999}"));
+        assert!(!take_trace_jsonl().contains("999999"));
+    }
+
+    #[test]
+    fn record_plt_fills_buckets() {
+        let registry = Registry::new();
+        record_plt(&registry, SimDuration::from_millis(300));
+        record_plt(&registry, SimDuration::from_millis(1500));
+        let text = registry.encode();
+        assert!(text.contains("plt_seconds_count 2"));
+        assert!(text.contains("plt_seconds_bucket{le=\"0.5\"} 1"));
+    }
+}

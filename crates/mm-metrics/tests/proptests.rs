@@ -1,0 +1,71 @@
+//! Property tests on the metrics layer: histogram conservation laws,
+//! encoder validity, tracer bounds.
+
+use mm_metrics::{validate_text, FlowSample, FlowTracer, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn histogram_bucket_counts_sum_to_sample_count(
+        samples in prop::collection::vec(-10.0f64..1e4, 0..300),
+        bounds in prop::collection::vec(0.001f64..1e4, 1..12),
+    ) {
+        let mut bounds = bounds;
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bounds.dedup();
+        let registry = Registry::new();
+        let h = registry.histogram("x_values", "", &bounds);
+        for &s in &samples {
+            h.observe(s);
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.len(), bounds.len() + 1);
+        prop_assert_eq!(counts.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let sum: f64 = samples.iter().sum();
+        prop_assert!((h.sum() - sum).abs() <= 1e-6 * sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn every_encoding_validates(
+        counter_vals in prop::collection::vec(0u64..u64::MAX / 2, 0..5),
+        gauge_vals in prop::collection::vec(-1e9f64..1e9, 0..5),
+        hist_samples in prop::collection::vec(0.0f64..100.0, 0..50),
+    ) {
+        let registry = Registry::new();
+        for (i, &v) in counter_vals.iter().enumerate() {
+            registry
+                .counter_with("events_total", "Things that happened.", &[("kind", &format!("k{i}"))])
+                .add(v);
+        }
+        for (i, &v) in gauge_vals.iter().enumerate() {
+            registry
+                .gauge_with("level", "", &[("kind", &format!("k{i}"))])
+                .set(v);
+        }
+        let h = registry.histogram("dur_seconds", "", &[0.1, 1.0, 10.0]);
+        for &s in &hist_samples {
+            h.observe(s);
+        }
+        let text = registry.encode();
+        prop_assert!(validate_text(&text).is_ok(), "invalid encoding:\n{}", text);
+    }
+
+    #[test]
+    fn tracer_never_exceeds_per_flow_cap(
+        cap in 1usize..50,
+        n in 0usize..200,
+    ) {
+        let tracer = FlowTracer::with_limits(0.0, cap);
+        let flow = tracer.open_flow("a-b");
+        for i in 0..n {
+            tracer.record(flow, FlowSample {
+                t_s: i as f64 * 0.001,
+                retx_count: i as u64, // always "interesting"
+                ..FlowSample::default()
+            });
+        }
+        prop_assert!(tracer.sample_count() <= cap);
+        prop_assert_eq!(tracer.sample_count() + tracer.dropped() as usize, n);
+    }
+}

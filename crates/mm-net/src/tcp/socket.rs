@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
+use mm_metrics::{FlowSample, MetricsHandle};
 use mm_sim::{SimDuration, Simulator, Timer, TimerMux, Timestamp};
 
 use crate::addr::SocketAddr;
@@ -116,6 +117,12 @@ pub struct TcpConfig {
     /// paces regardless of this flag — an unpaced BBR would burst the
     /// very queues its model exists to avoid.
     pub pacing: bool,
+    /// Observability sink. `None` (default) disables all metric and
+    /// flow-trace emission: the instrumented sites reduce to one
+    /// `Option` branch each, and the simulation is byte-identical to a
+    /// build without the hook. Sinks observe only — they must never
+    /// schedule timers or send packets (see `mm_metrics::MetricsSink`).
+    pub metrics: Option<MetricsHandle>,
 }
 
 impl Default for TcpConfig {
@@ -130,6 +137,7 @@ impl Default for TcpConfig {
             initial_cwnd_segments: None,
             recovery: RecoveryTier::default(),
             pacing: false,
+            metrics: None,
         }
     }
 }
@@ -222,6 +230,12 @@ impl TcpConfigBuilder {
     /// Initial congestion window in segments (None = IW10).
     pub fn initial_cwnd_segments(mut self, segments: u32) -> Self {
         self.config.initial_cwnd_segments = Some(segments);
+        self
+    }
+
+    /// Install an observability sink (see [`TcpConfig::metrics`]).
+    pub fn metrics(mut self, sink: MetricsHandle) -> Self {
+        self.config.metrics = Some(sink);
         self
     }
 
@@ -436,6 +450,11 @@ pub struct TcpInner {
     pending_events: Vec<SocketEvent>,
     /// Statistics.
     pub(crate) stats: TcpStats,
+    /// Flow id in the sink's tracer, when `config.metrics` carries one.
+    trace_flow: Option<u64>,
+    /// Last time [`TcpInner::metric_sample`] emitted, for throttling
+    /// the routine per-ack samples.
+    last_metric_sample: std::cell::Cell<Option<Timestamp>>,
 }
 
 /// Per-connection counters (exported for tests and diagnostics).
@@ -462,6 +481,13 @@ pub struct TcpStats {
     pub rate_samples: u64,
     /// Transmission opportunities deferred by the pacer (pacing only).
     pub pacing_waits: u64,
+    /// High-water mark of the retransmission queue (entries). Pure
+    /// bookkeeping for soak-mode memory assertions: a leak in queue
+    /// trimming shows up as this growing with connection lifetime.
+    pub max_retx_queue: u64,
+    /// High-water mark of the SACK scoreboard (ranges) — the other
+    /// per-connection structure whose growth soak tests bound.
+    pub max_scoreboard_ranges: u64,
 }
 
 /// Shared handle to a TCP connection.
@@ -495,6 +521,13 @@ impl TcpInner {
             Some(mux) => Timer::in_mux(mux),
             None => Timer::new(),
         };
+        // Register with the flow tracer (if the sink carries one) before
+        // any samples can fire; the id is `None` when tracing is off so
+        // the sample path short-circuits.
+        let trace_flow = config
+            .metrics
+            .as_ref()
+            .and_then(|m| m.flow_open(&format!("{local}-{remote}")));
         TcpInner {
             local,
             remote,
@@ -551,6 +584,75 @@ impl TcpInner {
             app: None,
             pending_events: Vec::new(),
             stats: TcpStats::default(),
+            trace_flow,
+            last_metric_sample: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Bump a sink counter by one. A single branch when metrics are off.
+    fn metric_count(&self, name: &'static str) {
+        if let Some(m) = &self.config.metrics {
+            m.counter_add(name, 1);
+        }
+    }
+
+    /// Emit the congestion-state observability signals: cwnd/srtt gauges
+    /// and (when tracing is on) a per-flow time-series sample. Called at
+    /// ack processing and retransmission events; sinks only observe, so
+    /// this can never perturb the simulation. Routine (ack-path) calls
+    /// are throttled to one per simulated millisecond per socket so a
+    /// live sink stays off the per-ack hot path; retransmission events
+    /// bypass the throttle (`force`) — they are exactly the samples the
+    /// flow tracer must never drop.
+    fn metric_sample(&self, now: Timestamp) {
+        self.metric_sample_inner(now, true)
+    }
+
+    fn metric_sample_routine(&self, now: Timestamp) {
+        self.metric_sample_inner(now, false)
+    }
+
+    fn metric_sample_inner(&self, now: Timestamp, force: bool) {
+        let Some(m) = &self.config.metrics else {
+            return;
+        };
+        const ROUTINE_INTERVAL: SimDuration = SimDuration::from_millis(1);
+        if let (false, Some(last)) = (force, self.last_metric_sample.get()) {
+            if now < last + ROUTINE_INTERVAL {
+                return;
+            }
+        }
+        self.last_metric_sample.set(Some(now));
+        m.gauge_set("tcp_cwnd_bytes", self.cc.cwnd() as f64);
+        let srtt_s = self
+            .rtt
+            .srtt()
+            .map(|srtt| srtt.as_secs_f64())
+            .unwrap_or(0.0);
+        if srtt_s > 0.0 {
+            m.gauge_set("tcp_srtt_seconds", srtt_s);
+        }
+        if let Some(flow) = self.trace_flow {
+            m.flow_sample(
+                flow,
+                &FlowSample {
+                    t_s: now.as_secs_f64(),
+                    cwnd: self.cc.cwnd(),
+                    ssthresh: self.cc.ssthresh(),
+                    srtt_s,
+                    pacing_rate: self.current_pacing_rate().unwrap_or(0) as f64,
+                    bytes_in_flight: self.flight_size(),
+                    delivered: self.rate.delivered(),
+                    retx_count: self.stats.retransmissions,
+                    state: if self.recovery_point.is_none() {
+                        "open"
+                    } else if self.consecutive_timeouts > 0 {
+                        "loss"
+                    } else {
+                        "recovery"
+                    },
+                },
+            );
         }
     }
 
@@ -768,6 +870,8 @@ impl TcpInner {
         let seg = entry.segment.clone();
         let seq_len = seg.seq_len();
         self.stats.retransmissions += 1;
+        self.metric_count("tcp_retransmits_total");
+        self.metric_sample(now);
         let mut flags = seg.flags;
         flags.ack = self.state != TcpState::SynSent;
         let pkt = Packet {
@@ -872,6 +976,7 @@ impl TcpInner {
                 tx,
             },
         );
+        self.stats.max_retx_queue = self.stats.max_retx_queue.max(self.retx.len() as u64);
     }
 
     /// Remove a retx entry, keeping the pipe counter in step.
@@ -1190,6 +1295,7 @@ impl TcpInner {
     /// progress), retract the §5.1 mass loss-marking, and leave recovery.
     fn declare_spurious_rto(&mut self) {
         self.stats.spurious_rtos += 1;
+        self.metric_count("tcp_spurious_rto_undo_total");
         self.frto = FrtoState::Inactive;
         self.recovery_point = None;
         self.dup_acks = 0;
@@ -1209,6 +1315,7 @@ impl TcpInner {
     fn enter_sack_recovery(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         self.stats.fast_retransmits += 1;
         self.stats.sack_recoveries += 1;
+        self.metric_count("tcp_fast_retransmits_total");
         self.recovery_point = Some(self.snd_nxt);
         let flight = self.flight_size();
         self.cc.on_sack_recovery(flight, now);
@@ -1431,6 +1538,10 @@ impl TcpInner {
             );
             self.apply_sack_delta(&delta, now);
             self.sack_delta = delta;
+            self.stats.max_scoreboard_ranges = self
+                .stats
+                .max_scoreboard_ranges
+                .max(self.scoreboard.ranges().len() as u64);
             newly
         } else {
             0
@@ -1705,6 +1816,7 @@ impl TcpInner {
                 None => {
                     if self.dup_acks == 3 {
                         self.stats.fast_retransmits += 1;
+                        self.metric_count("tcp_fast_retransmits_total");
                         self.recovery_point = Some(self.snd_nxt);
                         self.cc.on_fast_retransmit(self.flight_size(), now);
                         self.retransmit_head(now, out);
@@ -1717,6 +1829,7 @@ impl TcpInner {
                 Some(_) => {}
             }
         }
+        self.metric_sample_routine(now);
     }
 
     fn on_fin_acked(&mut self) {
@@ -2339,6 +2452,7 @@ impl TcpHandle {
             inner.tlp_fired = true;
             inner.tlp_deadline = None;
             inner.stats.tlp_probes += 1;
+            inner.metric_count("tcp_tlp_fires_total");
             let sent = if inner.send_queued_bytes > 0
                 && inner.flight_size() + MSS as u64 <= inner.snd_wnd
             {
@@ -2400,6 +2514,7 @@ impl TcpHandle {
             }
             inner.consecutive_timeouts += 1;
             inner.stats.timeouts += 1;
+            inner.metric_count("tcp_rto_total");
             if inner.consecutive_timeouts > inner.config.max_retries {
                 inner.teardown();
                 inner.pending_events.push(SocketEvent::Reset);

@@ -170,14 +170,37 @@ fn tail_loss_transfer_cfg(
     drop_from: u64,
     drop_to: u64,
 ) -> (Timestamp, mm_net::TcpStats) {
+    tail_loss_transfer_with(
+        TcpConfig::builder().recovery(tier).min_rto(min_rto).build(),
+        total,
+        one_way,
+        drop_from,
+        drop_to,
+    )
+}
+
+/// Same transfer with an explicit sender-side TCP config (the server
+/// runs the config minus any metrics sink, so exported counters are
+/// sender events only).
+fn tail_loss_transfer_with(
+    client_cfg: TcpConfig,
+    total: usize,
+    one_way: SimDuration,
+    drop_from: u64,
+    drop_to: u64,
+) -> (Timestamp, mm_net::TcpStats) {
     let mut sim = Simulator::new();
     let ns = Namespace::root("w");
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-    let config = TcpConfig::builder().recovery(tier).min_rto(min_rto).build();
-    client.set_tcp_config(config.clone());
-    server.set_tcp_config(config);
+    let server_cfg = {
+        let mut c = client_cfg.clone();
+        c.metrics = None;
+        c
+    };
+    client.set_tcp_config(client_cfg);
+    server.set_tcp_config(server_cfg);
     ns.add_host(
         client.ip(),
         Rc::new(DelayWire {
@@ -267,6 +290,56 @@ fn tail_burst_recovered_by_probe_plus_rack_marks() {
 }
 
 #[test]
+fn tlp_fire_counter_matches_exactly_one_probe() {
+    // The pure-tail-loss scenario fires exactly one Tail Loss Probe and
+    // no RTO; a registry sink on the sender must report exactly that —
+    // one `tcp_tlp_fires_total`, zero `tcp_rto_total` — in agreement
+    // with the socket's own stats.
+    use mm_metrics::{MetricsHandle, Registry, RegistrySink};
+    let registry = Registry::new();
+    let sink = MetricsHandle::new(RegistrySink::new(registry.clone()));
+    let one_way = SimDuration::from_millis(RTT_MS / 2);
+    let (_, stats) = tail_loss_transfer_with(
+        TcpConfig::builder()
+            .recovery(RecoveryTier::RackTlp)
+            .metrics(sink)
+            .build(),
+        60_000,
+        one_way,
+        SEGS_60K - 1,
+        SEGS_60K,
+    );
+    assert_eq!(stats.tlp_probes, 1, "{stats:?}");
+    assert_eq!(stats.timeouts, 0, "{stats:?}");
+    let counter = |name: &str| registry.counter(name, "").get();
+    assert_eq!(counter("tcp_tlp_fires_total"), 1);
+    assert_eq!(counter("tcp_rto_total"), 0);
+    assert_eq!(counter("tcp_retransmits_total"), stats.retransmissions);
+}
+
+#[test]
+fn spurious_undo_counter_matches_frto_verdict() {
+    // The delay-spike (no loss) scenario: the one RTO that fires is
+    // declared spurious by F-RTO exactly once, and the counters agree
+    // with the stats — `tcp_rto_total` counts the timeout,
+    // `tcp_spurious_rto_undo_total` counts the undo.
+    use mm_metrics::{MetricsHandle, Registry, RegistrySink};
+    let registry = Registry::new();
+    let sink = MetricsHandle::new(RegistrySink::new(registry.clone()));
+    let (_, stats, _) = stalled_transfer_with(
+        TcpConfig::builder()
+            .recovery(RecoveryTier::RackTlp)
+            .metrics(sink)
+            .build(),
+    );
+    assert!(stats.timeouts >= 1, "{stats:?}");
+    assert_eq!(stats.spurious_rtos, 1, "{stats:?}");
+    let counter = |name: &str| registry.counter(name, "").get();
+    assert_eq!(counter("tcp_rto_total"), stats.timeouts);
+    assert_eq!(counter("tcp_spurious_rto_undo_total"), 1);
+}
+
+#[test]
 fn tlp_defers_to_a_nearer_rto() {
     // With a tiny min_rto the steady-state RTO (srtt + min_rto) drops
     // below the probe timeout (2·srtt + slack), so the TLP must never be
@@ -289,6 +362,12 @@ fn tlp_defers_to_a_nearer_rto() {
 /// Transfer with a mid-flight stall (delay spike, no loss). Returns
 /// (completion time, stats, per-packet sender samples).
 fn stalled_transfer(tier: RecoveryTier) -> (Timestamp, mm_net::TcpStats, Vec<SenderSample>) {
+    stalled_transfer_with(TcpConfig::builder().recovery(tier).build())
+}
+
+fn stalled_transfer_with(
+    client_cfg: TcpConfig,
+) -> (Timestamp, mm_net::TcpStats, Vec<SenderSample>) {
     let one_way = SimDuration::from_millis(20);
     let total = 1_000_000usize;
     let mut sim = Simulator::new();
@@ -296,9 +375,13 @@ fn stalled_transfer(tier: RecoveryTier) -> (Timestamp, mm_net::TcpStats, Vec<Sen
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-    let config = TcpConfig::builder().recovery(tier).build();
-    client.set_tcp_config(config.clone());
-    server.set_tcp_config(config);
+    let server_cfg = {
+        let mut c = client_cfg.clone();
+        c.metrics = None;
+        c
+    };
+    client.set_tcp_config(client_cfg);
+    server.set_tcp_config(server_cfg);
     ns.add_host(
         client.ip(),
         Rc::new(DelayWire {

@@ -144,13 +144,31 @@ fn lossy_transfer_cfg(
             RecoveryTier::Reno
         }
     };
+    lossy_transfer_with(
+        TcpConfig::builder().recovery(tier(client_sack)).build(),
+        TcpConfig::builder().recovery(tier(server_sack)).build(),
+        total,
+        one_way,
+        drop_from,
+        drop_to,
+    )
+}
+
+fn lossy_transfer_with(
+    client_cfg: TcpConfig,
+    server_cfg: TcpConfig,
+    total: usize,
+    one_way: SimDuration,
+    drop_from: u64,
+    drop_to: u64,
+) -> (Timestamp, mm_net::TcpStats) {
     let mut sim = Simulator::new();
     let ns = Namespace::root("w");
     let ids = PacketIdGen::new();
     let client = Host::new(IpAddr::new(10, 0, 0, 1), ids.clone());
     let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids, &ns);
-    client.set_tcp_config(TcpConfig::builder().recovery(tier(client_sack)).build());
-    server.set_tcp_config(TcpConfig::builder().recovery(tier(server_sack)).build());
+    client.set_tcp_config(client_cfg);
+    server.set_tcp_config(server_cfg);
     // Client → (lossy delayed wire) → namespace; namespace → (delayed
     // wire) → client.
     ns.add_host(
@@ -237,6 +255,58 @@ fn single_loss_equivalent_under_both() {
         with_sack <= without + SimDuration::from_millis(5),
         "sack {with_sack} vs newreno {without}"
     );
+}
+
+#[test]
+fn metrics_counters_match_stats_ground_truth() {
+    // Attach a registry sink to the sender and rerun the burst-loss
+    // transfer: every exported counter must agree exactly with the
+    // socket's own `TcpStats` — the sink observes the same events, one
+    // increment per event, nothing double-counted. (The receiver runs
+    // unsinked, so the registry holds sender-side events only.)
+    use mm_metrics::{MetricsHandle, Registry, RegistrySink};
+    let registry = Registry::new();
+    let sink = MetricsHandle::new(RegistrySink::new(registry.clone()));
+    let one_way = SimDuration::from_millis(RTT_MS / 2);
+    let (_, stats) = lossy_transfer_with(
+        TcpConfig::builder()
+            .recovery(RecoveryTier::Sack)
+            .metrics(sink)
+            .build(),
+        TcpConfig::builder().recovery(RecoveryTier::Sack).build(),
+        60_000,
+        one_way,
+        12,
+        17,
+    );
+    assert!(stats.retransmissions >= 5, "{stats:?}");
+    let counter = |name: &str| registry.counter(name, "").get();
+    assert_eq!(counter("tcp_retransmits_total"), stats.retransmissions);
+    assert_eq!(counter("tcp_fast_retransmits_total"), stats.sack_recoveries);
+    assert_eq!(counter("tcp_rto_total"), stats.timeouts);
+    assert_eq!(counter("tcp_tlp_fires_total"), 0);
+    assert_eq!(counter("tcp_spurious_rto_undo_total"), 0);
+    // The sink also samples cwnd/srtt gauges on every ack.
+    let text = registry.encode();
+    assert!(text.contains("tcp_cwnd_bytes"), "{text}");
+    assert!(text.contains("tcp_srtt_seconds"), "{text}");
+}
+
+#[test]
+fn metrics_sink_does_not_change_timing() {
+    // The byte-identical-when-off guarantee, from the other side: a
+    // transfer with a sink attached completes at exactly the same
+    // virtual time as one without (sinks observe, never schedule).
+    use mm_metrics::{MetricsHandle, Registry, RegistrySink};
+    let one_way = SimDuration::from_millis(RTT_MS / 2);
+    let plain = TcpConfig::builder().recovery(RecoveryTier::Sack).build();
+    let sinked = plain
+        .to_builder()
+        .metrics(MetricsHandle::new(RegistrySink::new(Registry::new())))
+        .build();
+    let (without, _) = lossy_transfer_with(plain.clone(), plain.clone(), 60_000, one_way, 12, 17);
+    let (with, _) = lossy_transfer_with(sinked, plain, 60_000, one_way, 12, 17);
+    assert_eq!(with, without, "metrics sink altered the simulation");
 }
 
 #[test]

@@ -20,6 +20,6 @@ pub use link::{
 };
 pub use loss::{loss_shell, LossLink, LossShell, LossStats};
 pub use queue::{
-    factories, CoDel, DropHead, DropTail, EnqueueResult, Pie, Qdisc, QdiscFactory, QdiscStats,
-    QueueLimit,
+    factories, CoDel, DropHead, DropTail, EnqueueResult, InstrumentedQdisc, Pie, Qdisc,
+    QdiscFactory, QdiscStats, QueueLimit,
 };

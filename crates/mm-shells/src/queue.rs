@@ -28,6 +28,11 @@ pub struct QdiscStats {
     /// High-water mark of the backlog in packets — the standing-queue
     /// measurement the pacing/BBR experiments compare senders by.
     pub max_backlog_packets: usize,
+    /// High-water mark of the backlog in wire bytes. Tracks the same
+    /// peaks as the packet count but is the right denomination for
+    /// byte-limited buffers and for judging mixed small-ack/full-MTU
+    /// traffic, where packet counts flatter the queue.
+    pub max_backlog_bytes: usize,
 }
 
 impl QdiscStats {
@@ -119,6 +124,7 @@ impl Qdisc for DropTail {
             enqueued_at: now,
         });
         self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
+        self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(self.bytes);
         EnqueueResult::Accepted
     }
 
@@ -197,6 +203,7 @@ impl Qdisc for DropHead {
             }
         }
         self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
+        self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(self.bytes);
         EnqueueResult::Accepted
     }
 
@@ -298,6 +305,7 @@ impl Qdisc for CoDel {
             enqueued_at: now,
         });
         self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
+        self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(self.bytes);
         EnqueueResult::Accepted
     }
 
@@ -484,6 +492,7 @@ impl Qdisc for Pie {
             enqueued_at: now,
         });
         self.stats.max_backlog_packets = self.stats.max_backlog_packets.max(self.q.len());
+        self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(self.bytes);
         EnqueueResult::Accepted
     }
 
@@ -542,6 +551,109 @@ pub mod factories {
     /// PIE with RFC default target, given the link rate in Mbit/s.
     pub fn pie(link_mbps: f64) -> QdiscFactory {
         Box::new(move || Box::new(Pie::default_params(link_mbps * 1e6 / 8.0)))
+    }
+
+    /// Wrap a factory so every qdisc it builds reports into `sink`
+    /// under the given direction label (see [`super::InstrumentedQdisc`]).
+    pub fn instrumented(
+        inner: QdiscFactory,
+        sink: mm_metrics::MetricsHandle,
+        dir: &'static str,
+    ) -> QdiscFactory {
+        Box::new(move || Box::new(InstrumentedQdisc::new(inner(), sink.clone(), dir)))
+    }
+}
+
+/// A [`Qdisc`] decorator exporting queue behavior to a metrics sink:
+/// a backlog histogram observed at every enqueue, a sojourn-time
+/// histogram observed at every dequeue, and drop/enqueue counters.
+/// Opt-in via [`factories::instrumented`] — nothing in the default
+/// experiment paths constructs one, and the decorator never alters
+/// accept/drop decisions or packet order, so enabling it changes
+/// metrics output only.
+pub struct InstrumentedQdisc {
+    inner: Box<dyn Qdisc>,
+    sink: mm_metrics::MetricsHandle,
+    /// Direction label baked into the metric names (metric names must
+    /// be static, so we select between two fixed name sets).
+    dir: &'static str,
+}
+
+impl InstrumentedQdisc {
+    /// Wrap `inner`, labeling metrics for `dir` (`"up"` or `"down"`;
+    /// anything else reports under the `"down"` names).
+    pub fn new(inner: Box<dyn Qdisc>, sink: mm_metrics::MetricsHandle, dir: &'static str) -> Self {
+        InstrumentedQdisc { inner, sink, dir }
+    }
+
+    fn names(&self) -> (&'static str, &'static str, &'static str, &'static str) {
+        if self.dir == "up" {
+            (
+                "qdisc_up_backlog_packets",
+                "qdisc_up_sojourn_seconds",
+                "qdisc_up_drops_total",
+                "qdisc_up_enqueues_total",
+            )
+        } else {
+            (
+                "qdisc_down_backlog_packets",
+                "qdisc_down_sojourn_seconds",
+                "qdisc_down_drops_total",
+                "qdisc_down_enqueues_total",
+            )
+        }
+    }
+}
+
+impl Qdisc for InstrumentedQdisc {
+    fn enqueue(&mut self, now: Timestamp, pkt: Packet) -> EnqueueResult {
+        let drops_before = self.inner.stats().dropped;
+        let result = self.inner.enqueue(now, pkt);
+        let (backlog, _, drops, enqueues) = self.names();
+        self.sink.observe(backlog, self.inner.len_packets() as f64);
+        self.sink.counter_add(enqueues, 1);
+        // Count via the stats delta, not the enqueue result: AQMs can
+        // accept this packet while dropping another (DropHead evicts
+        // the oldest packet to admit the newest).
+        let dropped = self.inner.stats().dropped - drops_before;
+        if dropped > 0 {
+            self.sink.counter_add(drops, dropped);
+        }
+        result
+    }
+
+    fn dequeue(&mut self, now: Timestamp) -> Option<Packet> {
+        let (_, sojourn, drops, _) = self.names();
+        let before = self.inner.stats();
+        let pkt = self.inner.dequeue(now);
+        let after = self.inner.stats();
+        if pkt.is_some() {
+            // The per-packet sojourn is the total-sojourn delta — the
+            // trait exposes sums, not per-packet stamps.
+            let delta = after.total_sojourn.saturating_sub(before.total_sojourn);
+            self.sink.observe(sojourn, delta.as_secs_f64());
+        }
+        // CoDel drops at dequeue time.
+        if after.dropped > before.dropped {
+            self.sink.counter_add(drops, after.dropped - before.dropped);
+        }
+        pkt
+    }
+
+    fn peek_size(&self) -> Option<usize> {
+        self.inner.peek_size()
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.inner.len_bytes()
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.inner.stats()
     }
 }
 
@@ -627,6 +739,36 @@ mod tests {
         // Peak was 5; the current backlog of 4 must not lower it.
         assert_eq!(q.stats().max_backlog_packets, 5);
         assert_eq!(q.len_packets(), 4);
+        // The byte high-water tracked the same peak (5 packets of 100
+        // payload bytes plus headers) and holds it the same way.
+        let peak_bytes = 5 * pkt(0, 100).wire_size();
+        assert_eq!(q.stats().max_backlog_bytes, peak_bytes);
+        assert!(q.len_bytes() < peak_bytes);
+    }
+
+    #[test]
+    fn instrumented_qdisc_observes_without_meddling() {
+        use mm_metrics::{MetricsHandle, Registry, RegistrySink};
+        let registry = Registry::new();
+        let sink = MetricsHandle::new(RegistrySink::new(registry.clone()));
+        let mut q = InstrumentedQdisc::new(
+            Box::new(DropTail::new(QueueLimit::Packets(2))),
+            sink,
+            "down",
+        );
+        assert_eq!(q.enqueue(t(0), pkt(0, 100)), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(t(0), pkt(1, 100)), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(t(0), pkt(2, 100)), EnqueueResult::Dropped);
+        assert_eq!(q.dequeue(t(10)).unwrap().id, 0);
+        let text = registry.encode();
+        assert!(text.contains("qdisc_down_enqueues_total 3"));
+        assert!(text.contains("qdisc_down_drops_total 1"));
+        // One dequeue after 10 ms of sojourn.
+        assert!(text.contains("qdisc_down_sojourn_seconds_count 1"));
+        assert!(text.contains("qdisc_down_sojourn_seconds_sum 0.01"));
+        // The wrapper's own stats are the inner qdisc's.
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.len_packets(), 1);
     }
 
     #[test]
