@@ -140,6 +140,35 @@ mod transfer {
         }
     }
 
+    /// The shelled variant: the same transfer with a LinkShell between
+    /// client and server, optionally with a live packet tap attached —
+    /// the baseline and measurement arms of the capture-overhead gate.
+    pub fn run_shelled(config: &TcpConfig, tap: Option<mm_capture::TapHandle>, payload: &Bytes) {
+        let mut sim = mm_sim::Simulator::new();
+        let root = Namespace::root("w");
+        let ids = PacketIdGen::new();
+        let server = Host::new_in(IpAddr::new(10, 0, 0, 2), ids.clone(), &root);
+        server.set_tcp_config(config.clone());
+        let mut stack = mm_shells::ShellStack::new(&root);
+        if let Some(tap) = tap {
+            stack = stack.with_tap(tap);
+        }
+        let stack = stack.link(constant_rate(50.0, 2000), &|| {
+            Box::new(DropTail::infinite()) as Box<dyn Qdisc>
+        });
+        let client = Host::new_in(IpAddr::new(10, 0, 0, 1), ids, &stack.innermost());
+        client.set_tcp_config(config.clone());
+        server.listen(80, Rc::new(Echo));
+        client.connect(
+            &mut sim,
+            SocketAddr::new(server.ip(), 80),
+            Rc::new(SendOnce {
+                data: RefCell::new(Some(payload.clone())),
+            }),
+        );
+        sim.run();
+    }
+
     pub fn run(config: &TcpConfig, loss: f64, payload: &Bytes) {
         let mut sim = mm_sim::Simulator::new();
         let ns = Namespace::root("w");
@@ -199,6 +228,35 @@ fn bench_tcp_transfer_metrics(c: &mut Criterion) {
         .build();
     g.bench_function("transfer_1mb_metrics_enabled", |b| {
         b.iter(|| transfer::run(&cfg, 0.0, &payload))
+    });
+    g.finish();
+}
+
+fn bench_tcp_transfer_capture(c: &mut Criterion) {
+    use mm_capture::Capture;
+    use mm_net::TcpConfig;
+    // The packet-tap overhead gate: the same 1 MB transfer through a
+    // LinkShell, bare and with a live Capture tapped in (enqueue/
+    // dequeue events through the shadow queue, a Deliver record per
+    // forwarded packet). Target: `transfer_1mb_capture_enabled` within
+    // 10% of `transfer_1mb_shelled` — the tap is a branch, a VecDeque
+    // push/pop and a Vec push per packet event. The capture is reused
+    // across iterations (as a long-lived experiment reuses one store
+    // across loads); rebuilding it per transfer would measure the
+    // allocator faulting in a fresh event buffer, not the tap.
+    let mut g = c.benchmark_group("tcp");
+    let payload = Bytes::from(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    let cfg = TcpConfig::default();
+    g.bench_function("transfer_1mb_shelled", |b| {
+        b.iter(|| transfer::run_shelled(&cfg, None, &payload))
+    });
+    let capture = Capture::for_load(0);
+    g.bench_function("transfer_1mb_capture_enabled", |b| {
+        b.iter(|| {
+            capture.clear();
+            transfer::run_shelled(&cfg, Some(capture.handle()), &payload)
+        })
     });
     g.finish();
 }
@@ -294,6 +352,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_transfer_metrics, bench_tcp_lossy_transfer, bench_tcp_paced_transfer, bench_world_64_users
+    targets = bench_http, bench_trace, bench_qdisc, bench_matcher, bench_tcp_transfer, bench_tcp_transfer_metrics, bench_tcp_transfer_capture, bench_tcp_lossy_transfer, bench_tcp_paced_transfer, bench_world_64_users
 }
 criterion_main!(benches);

@@ -66,6 +66,25 @@ fn main() {
                 "  socket internals: retx queue ≤ {} entries, SACK scoreboard ≤ {} ranges",
                 r.max_retx_queue, r.max_scoreboard_ranges
             );
+            println!("\n  per-origin breakdown ({} origins):", r.per_origin.len());
+            println!(
+                "    {:<22} {:>7} {:>5} {:>11} {:>9} {:>9} {:>9}",
+                "origin", "reqs", "fail", "body bytes", "p50 ms", "p95 ms", "p99 ms"
+            );
+            let mut origins = r.per_origin.clone();
+            origins.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.origin.cmp(&b.origin)));
+            for o in &origins {
+                println!(
+                    "    {:<22} {:>7} {:>5} {:>11} {:>9.1} {:>9.1} {:>9.1}",
+                    o.origin,
+                    o.requests,
+                    o.failures,
+                    o.body_bytes,
+                    o.svc_p50_ms,
+                    o.svc_p95_ms,
+                    o.svc_p99_ms
+                );
+            }
             match std::fs::write("METRICS_figsoak.prom", &report.snapshot) {
                 Ok(()) => println!(
                     "\n  wrote METRICS_figsoak.prom ({} series)",
@@ -101,6 +120,7 @@ fn main() {
                     r.max_scoreboard_ranges as f64,
                 ),
                 ("completed_at_s".into(), r.completed_at.as_secs_f64()),
+                ("origins".into(), r.per_origin.len() as f64),
             ])
         },
     }

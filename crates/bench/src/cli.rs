@@ -37,6 +37,14 @@ impl ExperimentSpec {
     /// (cwnd, srtt, in-flight, delivered, state transitions), and the
     /// accumulated JSONL is written to `<path>` after the run. Tracing
     /// only observes — the BENCH output is unchanged.
+    ///
+    /// Likewise `--capture-out <dir>` turns on the process-global packet
+    /// tap for the first [`mahimahi::obs::DEFAULT_CAPTURE_LOADS`] page
+    /// loads (per-packet enqueue/dequeue/drop/deliver at every shell,
+    /// plus request/response events at the browser and replay
+    /// boundaries) and writes `<dir>/capture.jsonl` after the run —
+    /// render it with `mmgraph <dir>`. Taps only observe — the BENCH
+    /// output is byte-identical with capture on or off.
     pub fn main(&self) {
         let args: Vec<String> = std::env::args().collect();
         let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
@@ -50,6 +58,18 @@ impl ExperimentSpec {
         });
         if trace_out.is_some() {
             mahimahi::obs::enable_trace();
+        }
+        let capture_out = args.iter().position(|a| a == "--capture-out").map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("--capture-out requires a directory argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        });
+        if capture_out.is_some() {
+            mahimahi::obs::enable_capture(mahimahi::obs::DEFAULT_CAPTURE_LOADS);
         }
         let n = args
             .get(1)
@@ -66,6 +86,21 @@ impl ExperimentSpec {
                     jsonl.lines().count()
                 ),
                 Err(e) => eprintln!("\n  could not write trace {path}: {e}"),
+            }
+        }
+        if let Some(dir) = &capture_out {
+            let jsonl = mahimahi::obs::take_capture_jsonl();
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                let path = std::path::Path::new(dir).join("capture.jsonl");
+                std::fs::write(&path, &jsonl).map(|()| path)
+            });
+            match write {
+                Ok(path) => println!(
+                    "\n  wrote {} ({} capture events)",
+                    path.display(),
+                    jsonl.lines().count()
+                ),
+                Err(e) => eprintln!("\n  could not write capture into {dir}: {e}"),
             }
         }
         if let Some(metrics) = metrics {

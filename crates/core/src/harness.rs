@@ -113,6 +113,12 @@ pub struct LoadSpec<'a> {
     /// TCP configuration for every host in the world (None = defaults).
     /// Lets protocol studies A/B congestion control and socket knobs.
     pub tcp: Option<mm_net::TcpConfig>,
+    /// Explicit per-packet/per-request tap for this load, attached to
+    /// every shell layer plus the browser and replay boundaries. `None`
+    /// falls back to the process-global `--capture-out` capture (see
+    /// [`crate::obs::enable_capture`]). Taps only observe: results are
+    /// byte-identical with or without one.
+    pub capture: Option<mm_capture::TapHandle>,
     /// Seed for all stochastic elements of this load.
     pub seed: u64,
 }
@@ -128,6 +134,7 @@ impl<'a> LoadSpec<'a> {
             host_profile: None,
             live_web: None,
             tcp: None,
+            capture: None,
             seed: 0,
         }
     }
@@ -172,6 +179,21 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
         None => spec.tcp.clone(),
     };
 
+    // Per-packet capture (the experiment bins' `--capture-out`
+    // plumbing): an explicit tap on the spec wins; otherwise, when the
+    // process-global capture is on and its load budget allows, this
+    // load records into a private `Capture` merged on completion. Taps
+    // only observe, so the simulation is byte-identical either way.
+    let claimed = if spec.capture.is_none() {
+        crate::obs::claim_capture_load().map(mm_capture::Capture::for_load)
+    } else {
+        None
+    };
+    let tap = spec
+        .capture
+        .clone()
+        .or_else(|| claimed.as_ref().map(mm_capture::Capture::handle));
+
     // Outermost: ReplayShell's world. The browser's protocol choice is
     // passed through to the servers so both ends of the connection speak
     // the same wire format — one knob on the spec drives the whole stack.
@@ -184,6 +206,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     // same way; an explicit config on either side wins.
     if replay_config.tcp.is_none() {
         replay_config.tcp = spec_tcp.clone();
+    }
+    if replay_config.capture.is_none() {
+        replay_config.capture = tap.clone();
     }
     let shell = {
         let root_ns = Namespace::root("replayshell");
@@ -220,8 +245,12 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
         }
     }
 
-    // Nested emulation shells.
+    // Nested emulation shells. The tap must attach before any layer is
+    // added so every shell's direction reports under its point.
     let mut stack = ShellStack::new(&root_ns);
+    if let Some(tap) = &tap {
+        stack = stack.with_tap(tap.clone());
+    }
     if let Some(overhead) = spec.net.shell_overhead {
         stack = stack.with_shell_overhead(overhead);
     }
@@ -247,6 +276,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     let mut browser_config = spec.browser.clone();
     if browser_config.tcp.is_none() {
         browser_config.tcp = spec_tcp.clone();
+    }
+    if browser_config.capture.is_none() {
+        browser_config.capture = tap.clone();
     }
 
     let resolver: Resolver = {
@@ -277,6 +309,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     if let Some(tracer) = &trace {
         crate::obs::merge_tracer(tracer);
     }
+    if let Some(capture) = &claimed {
+        crate::obs::merge_capture(capture);
+    }
     let r = result
         .borrow_mut()
         .take()
@@ -297,6 +332,7 @@ pub fn run_loads(spec: &LoadSpec<'_>, n: usize) -> Vec<f64> {
                 host_profile: spec.host_profile.clone(),
                 live_web: spec.live_web.clone(),
                 tcp: spec.tcp.clone(),
+                capture: spec.capture.clone(),
                 seed: spec.seed.wrapping_mul(1_000_003).wrapping_add(i as u64),
             };
             run_page_load(&load_spec).plt.as_millis_f64()
@@ -406,6 +442,43 @@ mod tests {
         b.net = NetSpec::delay_ms(30);
         b.seed = 42;
         assert_eq!(run_page_load(&a).plt, run_page_load(&b).plt);
+    }
+
+    #[test]
+    fn capture_tap_is_byte_identical_and_nonempty() {
+        // The per-packet tap must only observe: the same spec with a
+        // capture attached produces the exact same simulation, while the
+        // capture itself fills with link/packet/http events.
+        let site = small_site();
+        let net = NetSpec {
+            delay: Some(SimDuration::from_millis(20)),
+            link: Some(LinkSpec::symmetric(constant_rate(8.0, 1000))),
+            loss: Some((0.01, 0.01)),
+            ..NetSpec::default()
+        };
+        let mut bare = LoadSpec::new(&site);
+        bare.net = net.clone();
+        bare.seed = 42;
+        let mut tapped = LoadSpec::new(&site);
+        tapped.net = net;
+        tapped.seed = 42;
+        let capture = mm_capture::Capture::for_load(7);
+        tapped.capture = Some(capture.handle());
+        let a = run_page_load(&bare);
+        let b = run_page_load(&tapped);
+        assert_eq!(a.plt, b.plt, "tap must not perturb the simulation");
+        assert_eq!(a.total_body_bytes, b.total_body_bytes);
+        let data = capture.data();
+        assert!(!data.links.is_empty(), "link meta recorded");
+        let has = |k| data.packets.iter().any(|p| p.kind == k);
+        assert!(has(mm_capture::PacketEventKind::Enqueue));
+        assert!(has(mm_capture::PacketEventKind::Dequeue));
+        assert!(has(mm_capture::PacketEventKind::Deliver));
+        assert!(!data.https.is_empty(), "http events recorded");
+        let jsonl = capture.take_jsonl();
+        assert!(jsonl.contains("\"ev\":\"link\""));
+        assert!(jsonl.contains("\"ev\":\"pkt\""));
+        assert!(jsonl.contains("\"ev\":\"http\""));
     }
 
     #[test]

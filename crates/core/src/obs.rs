@@ -11,7 +11,7 @@
 //! observe, so simulation results — and therefore BENCH outputs — are
 //! unchanged.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::fleet::FleetResult;
@@ -20,6 +20,18 @@ use mm_sim::SimDuration;
 
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 static TRACE_BUFFER: Mutex<String> = Mutex::new(String::new());
+
+static CAPTURE_ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPTURE_BUFFER: Mutex<String> = Mutex::new(String::new());
+static CAPTURE_BUDGET: AtomicU64 = AtomicU64::new(0);
+static CAPTURE_NEXT_LOAD: AtomicU64 = AtomicU64::new(0);
+
+/// Default number of page loads a `--capture-out` run captures. Packet
+/// captures are far denser than flow traces (every enqueue/dequeue/
+/// deliver at every shell), so the budget keeps a many-hundred-load
+/// sweep from writing gigabytes while still giving `mmgraph` several
+/// complete loads to draw.
+pub const DEFAULT_CAPTURE_LOADS: u64 = 8;
 
 /// Turn on process-global flow tracing: subsequent
 /// [`run_page_load`](crate::harness::run_page_load) calls whose spec
@@ -52,6 +64,65 @@ pub fn merge_tracer(tracer: &FlowTracer) {
 /// Take everything traced so far (the `--trace-out` writer).
 pub fn take_trace_jsonl() -> String {
     std::mem::take(&mut *TRACE_BUFFER.lock().expect("trace buffer poisoned"))
+}
+
+/// Turn on process-global packet capture for the first `max_loads`
+/// page loads: each captured load gets a private [`mm_capture::Capture`]
+/// tapped into its shells, browser and replay servers, whose JSONL is
+/// merged into the buffer behind [`take_capture_jsonl`] when the load
+/// completes. Taps only observe, so simulation results — and therefore
+/// BENCH outputs — are byte-identical with capture on or off.
+pub fn enable_capture(max_loads: u64) {
+    CAPTURE_BUDGET.store(max_loads, Ordering::SeqCst);
+    CAPTURE_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`enable_capture`] has been called.
+pub fn capture_enabled() -> bool {
+    CAPTURE_ENABLED.load(Ordering::SeqCst)
+}
+
+/// Claim a capture slot for one page load, returning its process-unique
+/// load id, or `None` when capture is off or the budget is spent.
+pub fn claim_capture_load() -> Option<u64> {
+    if !capture_enabled() {
+        return None;
+    }
+    let mut budget = CAPTURE_BUDGET.load(Ordering::SeqCst);
+    loop {
+        if budget == 0 {
+            return None;
+        }
+        match CAPTURE_BUDGET.compare_exchange(
+            budget,
+            budget - 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Some(CAPTURE_NEXT_LOAD.fetch_add(1, Ordering::SeqCst)),
+            Err(seen) => budget = seen,
+        }
+    }
+}
+
+/// Append one load's capture JSONL to the global buffer.
+pub fn append_capture_jsonl(jsonl: &str) {
+    if !jsonl.is_empty() {
+        CAPTURE_BUFFER
+            .lock()
+            .expect("capture buffer poisoned")
+            .push_str(jsonl);
+    }
+}
+
+/// Drain a per-load capture into the global buffer.
+pub fn merge_capture(capture: &mm_capture::Capture) {
+    append_capture_jsonl(&capture.take_jsonl());
+}
+
+/// Take everything captured so far (the `--capture-out` writer).
+pub fn take_capture_jsonl() -> String {
+    std::mem::take(&mut *CAPTURE_BUFFER.lock().expect("capture buffer poisoned"))
 }
 
 /// Record one page-load time into the `plt_seconds` histogram.
@@ -122,6 +193,18 @@ mod tests {
         let drained = take_trace_jsonl();
         assert!(drained.contains("{\"flow\":999999}"));
         assert!(!take_trace_jsonl().contains("999999"));
+    }
+
+    #[test]
+    fn capture_claim_requires_enable_and_buffer_roundtrips() {
+        // The capture flag is process-global, so unit tests leave it
+        // off (enabling here would leak capture work into every other
+        // concurrently-running harness test).
+        assert!(claim_capture_load().is_none());
+        append_capture_jsonl("{\"ev\":\"pkt\",\"load\":123456}\n");
+        let drained = take_capture_jsonl();
+        assert!(drained.contains("123456"));
+        assert!(!take_capture_jsonl().contains("123456"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`TcpStats`]: mm_net::TcpStats
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use mm_browser::{Browser, BrowserConfig, PageLoadResult, ProtocolMode, Resolver};
@@ -130,6 +131,45 @@ pub struct SoakResult {
     pub max_scoreboard_ranges: u64,
     /// Virtual time at which the last event ran.
     pub completed_at: SimDuration,
+    /// Per-origin request breakdown, sorted by origin. An origin is the
+    /// authority of a resource URL (`10.0.0.3:8080`), i.e. one replay
+    /// server — so a single hot or slow origin stands out instead of
+    /// hiding inside the world-wide aggregates.
+    pub per_origin: Vec<OriginBreakdown>,
+}
+
+/// One origin's share of a soak: request counts and the service-time
+/// distribution (queued→finished per resource) of its successful
+/// fetches.
+#[derive(Debug, Clone)]
+pub struct OriginBreakdown {
+    /// URL authority (`host[:port]`) of the origin.
+    pub origin: String,
+    /// Resources requested from this origin (including failures).
+    pub requests: u64,
+    /// Requests that failed.
+    pub failures: u64,
+    /// Body bytes served by this origin.
+    pub body_bytes: u64,
+    /// Service-time percentiles (ms) over successful requests.
+    pub svc_p50_ms: f64,
+    pub svc_p95_ms: f64,
+    pub svc_p99_ms: f64,
+}
+
+/// `http://10.0.0.3:8080/x/y` → `10.0.0.3:8080`.
+fn origin_of(url: &str) -> &str {
+    let rest = url.split_once("://").map_or(url, |(_, rest)| rest);
+    rest.split('/').next().unwrap_or(rest)
+}
+
+/// Per-origin accumulator folded across sessions.
+#[derive(Default)]
+struct OriginAcc {
+    requests: u64,
+    failures: u64,
+    body_bytes: u64,
+    svc_ms: Vec<f64>,
 }
 
 /// Client host address for pool slot `i` (100.66/16 — clear of the
@@ -173,6 +213,7 @@ struct SoakWorld {
     client_hosts: RefCell<Vec<Option<Host>>>,
     live: Cell<usize>,
     plts_ms: RefCell<Vec<f64>>,
+    per_origin: RefCell<BTreeMap<String, OriginAcc>>,
     server_conn_high: Cell<usize>,
     client_socket_high: Cell<usize>,
     max_retx_queue: Cell<u64>,
@@ -229,6 +270,28 @@ impl SoakWorld {
             )
             .observe(r.plt.as_secs_f64());
         self.plts_ms.borrow_mut().push(r.plt.as_millis_f64());
+
+        let mut per_origin = self.per_origin.borrow_mut();
+        for timing in &r.resources {
+            let origin = origin_of(&timing.url);
+            if !per_origin.contains_key(origin) {
+                per_origin.insert(origin.to_string(), OriginAcc::default());
+            }
+            let acc = per_origin.get_mut(origin).expect("just inserted");
+            acc.requests += 1;
+            if timing.failed {
+                acc.failures += 1;
+            } else {
+                acc.body_bytes += timing.body_bytes;
+                acc.svc_ms.push(
+                    timing
+                        .finished_at
+                        .saturating_duration_since(timing.queued_at)
+                        .as_millis_f64(),
+                );
+            }
+        }
+        drop(per_origin);
 
         let host = self.client_hosts.borrow()[slot]
             .clone()
@@ -356,6 +419,10 @@ pub fn run_soak(spec: &SoakSpec<'_>, registry: &Registry) -> SoakResult {
         "arrival mean must be positive"
     );
     let mut sim = Simulator::new();
+    // Event-loop profile: per-component dispatch counts and timer-heap
+    // high-water, exported into the registry after the run. Profiling
+    // only observes dispatch, so the soak is byte-identical either way.
+    sim.enable_profiler();
     let ids = PacketIdGen::new();
     let rng = RngStream::from_seed(spec.seed);
 
@@ -474,6 +541,7 @@ pub fn run_soak(spec: &SoakSpec<'_>, registry: &Registry) -> SoakResult {
         client_hosts: RefCell::new(vec![None; spec.max_live_sessions]),
         live: Cell::new(0),
         plts_ms: RefCell::new(Vec::new()),
+        per_origin: RefCell::new(BTreeMap::new()),
         server_conn_high: Cell::new(0),
         client_socket_high: Cell::new(0),
         max_retx_queue: Cell::new(0),
@@ -495,6 +563,51 @@ pub fn run_soak(spec: &SoakSpec<'_>, registry: &Registry) -> SoakResult {
 
     // Final sweep: catch anything that closed after the last pass.
     world.scan_and_reap();
+
+    if let Some(profile) = sim.profile() {
+        profile.export(&RegistrySink::new(registry.clone()));
+    }
+
+    let per_origin: Vec<OriginBreakdown> = world
+        .per_origin
+        .borrow()
+        .iter()
+        .map(|(origin, acc)| {
+            let mut svc = Summary::from_samples(acc.svc_ms.clone());
+            let pct = |s: &mut Summary, p: f64| {
+                if acc.svc_ms.is_empty() {
+                    0.0
+                } else {
+                    s.percentile_interpolated(p)
+                }
+            };
+            OriginBreakdown {
+                origin: origin.clone(),
+                requests: acc.requests,
+                failures: acc.failures,
+                body_bytes: acc.body_bytes,
+                svc_p50_ms: pct(&mut svc, 50.0),
+                svc_p95_ms: pct(&mut svc, 95.0),
+                svc_p99_ms: pct(&mut svc, 99.0),
+            }
+        })
+        .collect();
+    for o in &per_origin {
+        registry
+            .gauge_with(
+                "soak_origin_requests",
+                "Resources requested from one origin.",
+                &[("origin", &o.origin)],
+            )
+            .set(o.requests as f64);
+        registry
+            .gauge_with(
+                "soak_origin_svc_p95_ms",
+                "p95 service time (queued to finished) of one origin's requests.",
+                &[("origin", &o.origin)],
+            )
+            .set(o.svc_p95_ms);
+    }
 
     let mut plts = Summary::from_samples(world.plts_ms.borrow().clone());
     let pct = |s: &mut Summary, p: f64| {
@@ -527,6 +640,7 @@ pub fn run_soak(spec: &SoakSpec<'_>, registry: &Registry) -> SoakResult {
         max_retx_queue: world.max_retx_queue.get(),
         max_scoreboard_ranges: world.max_scoreboard_ranges.get(),
         completed_at,
+        per_origin,
     };
     registry
         .gauge(
@@ -585,11 +699,37 @@ mod tests {
         assert_eq!(r.client_sockets_final, 0, "client sockets leaked");
         // And the world must not have needed the drain grace.
         assert!(r.completed_at < SimDuration::from_secs(30) + DRAIN_GRACE);
+        // Per-origin breakdown: every request lands in exactly one
+        // origin bucket, each with a positive service-time tail.
+        assert!(!r.per_origin.is_empty());
+        let origin_requests: u64 = r.per_origin.iter().map(|o| o.requests).sum();
+        assert_eq!(origin_requests, r.resources_fetched);
+        for o in &r.per_origin {
+            assert!(o.origin.contains('.'), "authority-shaped: {}", o.origin);
+            assert!(o.svc_p95_ms >= o.svc_p50_ms);
+            assert!(o.svc_p50_ms > 0.0);
+        }
         let text = registry.encode();
         assert!(mm_metrics::validate_text(&text).is_ok());
         assert!(text.contains("soak_sessions_started_total"));
         assert!(text.contains("soak_plt_seconds_bucket"));
         assert!(text.contains("tcp_retransmits_total"));
+        // Event-loop profile: per-component dispatch counters plus the
+        // timer-heap high-water gauge.
+        // (TCP timers route through the mux here — enable_timer_mux —
+        // so the mux dispatcher tag is the one that fires.)
+        assert!(text.contains("sim_events_timer_mux_total"));
+        assert!(text.contains("sim_events_host_total"));
+        assert!(text.contains("sim_events_delay_total"));
+        assert!(text.contains("sim_heap_high_water_events"));
+        assert!(text.contains("soak_origin_requests"));
+    }
+
+    #[test]
+    fn origin_of_strips_scheme_and_path() {
+        assert_eq!(origin_of("http://10.0.0.3:8080/x/y"), "10.0.0.3:8080");
+        assert_eq!(origin_of("http://10.0.0.1/"), "10.0.0.1");
+        assert_eq!(origin_of("10.0.0.1/x"), "10.0.0.1");
     }
 
     #[test]

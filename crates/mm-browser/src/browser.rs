@@ -20,6 +20,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
+use mm_capture::{HttpEvent, HttpPhase, TapHandle};
 use mm_http::{write_request, Request, Response, ResponseParser, Url};
 use mm_mux::{MuxClient, MuxConfig, MuxError, PRIORITY_BULK, PRIORITY_ROOT, PRIORITY_SUBRESOURCE};
 use mm_net::{Host, SocketAddr, SocketApp, SocketEvent, TcpHandle};
@@ -73,6 +74,11 @@ pub struct BrowserConfig {
     /// host default) — the client half of the harness's per-load TCP
     /// knob, e.g. `TcpConfig::recovery`.
     pub tcp: Option<mm_net::TcpConfig>,
+    /// Per-request observability tap: reports `Queued`/`Sent`/`Done`/
+    /// `Failed` [`HttpEvent`]s at the browser boundary, keyed by the
+    /// resource's index in [`PageLoadResult::resources`]. `None` (the
+    /// default) costs one branch per transition; taps observe only.
+    pub capture: Option<TapHandle>,
 }
 
 impl Default for BrowserConfig {
@@ -83,7 +89,31 @@ impl Default for BrowserConfig {
             parse_delay_per_kb: SimDuration::from_micros(150),
             max_resources: 10_000,
             tcp: None,
+            capture: None,
         }
+    }
+}
+
+/// Emit an [`HttpEvent`] if a tap is attached (browser side: `resource`
+/// carries the timing index).
+fn tap_http(
+    tap: &Option<TapHandle>,
+    now: Timestamp,
+    phase: HttpPhase,
+    resource: usize,
+    url: &str,
+    status: u16,
+    bytes: u64,
+) {
+    if let Some(tap) = tap {
+        tap.on_http(&HttpEvent {
+            t_ns: now.as_nanos(),
+            phase,
+            resource: resource as u32,
+            url: url.to_string(),
+            status,
+            bytes,
+        });
     }
 }
 
@@ -251,6 +281,7 @@ impl Browser {
             let resolver = inner.resolver.clone();
             let max = inner.config.max_resources;
             let mux = matches!(inner.config.protocol, ProtocolMode::Mux(_));
+            let tap = inner.config.capture.clone();
             let Some(load) = inner.load.as_mut() else {
                 return;
             };
@@ -263,6 +294,7 @@ impl Browser {
             let authority = url.authority();
             let addr = resolver(&url);
             let timing_idx = load.timings.len();
+            tap_http(&tap, sim.now(), HttpPhase::Queued, timing_idx, &key, 0, 0);
             load.timings.push(ResourceTiming {
                 url: key,
                 queued_at: sim.now(),
@@ -304,6 +336,7 @@ impl Browser {
                     ProtocolMode::Http1 { pool_size } => *pool_size,
                     ProtocolMode::Mux(_) => unreachable!("pump_pool is HTTP/1.1-only"),
                 };
+                let tap = inner.config.capture.clone();
                 let Some(load) = inner.load.as_mut() else {
                     return;
                 };
@@ -325,6 +358,15 @@ impl Browser {
                     let job = pool.queue.pop_front().unwrap();
                     let req = Self::build_request(&job.url);
                     let wire = write_request(&req);
+                    tap_http(
+                        &tap,
+                        sim.now(),
+                        HttpPhase::Sent,
+                        job.timing_idx,
+                        &job.url.to_string(),
+                        0,
+                        0,
+                    );
                     let mut c = conn.borrow_mut();
                     c.active.push_back(job);
                     let handle = c.handle.clone().expect("connected conn has a handle");
@@ -400,6 +442,16 @@ impl Browser {
                         PRIORITY_BULK
                     };
                     let req = Self::build_request(&job.url);
+                    let tap = self.inner.borrow().config.capture.clone();
+                    tap_http(
+                        &tap,
+                        sim.now(),
+                        HttpPhase::Sent,
+                        job.timing_idx,
+                        &job.url.to_string(),
+                        0,
+                        0,
+                    );
                     let me = self.clone();
                     let auth = authority.to_string();
                     client.request(sim, req, priority, move |sim, result| {
@@ -435,12 +487,23 @@ impl Browser {
                 // matching the HTTP/1.1 path's policy.
                 let retry = {
                     let mut inner = self.inner.borrow_mut();
+                    let tap = inner.config.capture.clone();
                     let Some(load) = inner.load.as_mut() else {
                         return;
                     };
                     if load.timings[job.timing_idx].failed {
                         load.timings[job.timing_idx].finished_at = sim.now();
                         load.outstanding -= 1;
+                        let t = &load.timings[job.timing_idx];
+                        tap_http(
+                            &tap,
+                            sim.now(),
+                            HttpPhase::Failed,
+                            job.timing_idx,
+                            &t.url,
+                            0,
+                            0,
+                        );
                         false
                     } else {
                         load.timings[job.timing_idx].failed = true;
@@ -455,6 +518,16 @@ impl Browser {
                             None => {
                                 load.timings[job.timing_idx].finished_at = sim.now();
                                 load.outstanding -= 1;
+                                let t = &load.timings[job.timing_idx];
+                                tap_http(
+                                    &tap,
+                                    sim.now(),
+                                    HttpPhase::Failed,
+                                    job.timing_idx,
+                                    &t.url,
+                                    0,
+                                    0,
+                                );
                                 false
                             }
                         }
@@ -509,6 +582,7 @@ impl Browser {
         };
         {
             let mut inner = self.inner.borrow_mut();
+            let tap = inner.config.capture.clone();
             if let Some(load) = inner.load.as_mut() {
                 if let Some(pool) = load.pools.get_mut(authority) {
                     for job in jobs {
@@ -518,6 +592,16 @@ impl Browser {
                             // Second failure: give up below.
                             load.timings[job.timing_idx].finished_at = sim.now();
                             load.outstanding -= 1;
+                            let t = &load.timings[job.timing_idx];
+                            tap_http(
+                                &tap,
+                                sim.now(),
+                                HttpPhase::Failed,
+                                job.timing_idx,
+                                &t.url,
+                                0,
+                                0,
+                            );
                             continue;
                         }
                         load.timings[job.timing_idx].failed = true;
@@ -549,6 +633,7 @@ impl Browser {
             let mut inner = self.inner.borrow_mut();
             let cfg_base = inner.config.parse_delay_base;
             let cfg_kb = inner.config.parse_delay_per_kb;
+            let tap = inner.config.capture.clone();
             let Some(load) = inner.load.as_mut() else {
                 return;
             };
@@ -557,6 +642,15 @@ impl Browser {
             t.status = resp.status;
             t.body_bytes = resp.body.len() as u64;
             t.failed = false;
+            tap_http(
+                &tap,
+                sim.now(),
+                HttpPhase::Done,
+                timing_idx,
+                &t.url,
+                resp.status,
+                resp.body.len() as u64,
+            );
             let mut cost = cfg_base + cfg_kb.saturating_mul(resp.body.len() as u64 / 1024);
             if let Some((rng, sigma)) = inner.cpu_jitter.as_mut() {
                 if *sigma > 0.0 {

@@ -1,0 +1,722 @@
+//! The standard bounded capture sink and its two serializations.
+//!
+//! [`Capture`] implements [`PacketTap`] by appending events to in-memory
+//! vectors with hard caps (the `FlowTracer` policy from `mm-metrics`):
+//! once a stream hits its cap, further events increment a `dropped`
+//! counter instead of allocating, so a pathological run cannot consume
+//! unbounded memory. Captures serialize to JSONL (one self-describing
+//! object per line — what `--capture-out` writes and `mm-graph` parses)
+//! or to a compact length-prefixed binary form with an exact
+//! round-trip, for workloads where the text encoding dominates.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::{
+    Dir, HttpEvent, HttpPhase, LinkMeta, PacketEvent, PacketEventKind, PacketTap, PointKind,
+    TapHandle, TapPoint,
+};
+
+/// Default cap on stored packet events (~9.4 MB of JSONL).
+pub const DEFAULT_MAX_PACKET_EVENTS: usize = 1 << 18;
+/// Default cap on stored HTTP events.
+pub const DEFAULT_MAX_HTTP_EVENTS: usize = 1 << 14;
+
+/// Everything one capture holds, as plain data: what binary decoding
+/// and the `mm-graph` JSONL parser both produce.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CaptureData {
+    /// Which page load (or experiment unit) the events belong to.
+    /// Loads run in separate simulations with separate clocks, so
+    /// analyzers must never mix timestamps across loads.
+    pub load: u64,
+    pub links: Vec<LinkMeta>,
+    pub packets: Vec<PacketEvent>,
+    pub https: Vec<HttpEvent>,
+    /// Events discarded because a cap was hit.
+    pub dropped: u64,
+}
+
+struct Limits {
+    max_packet_events: usize,
+    max_http_events: usize,
+}
+
+struct Inner {
+    data: CaptureData,
+    limits: Limits,
+}
+
+/// Bounded in-memory [`PacketTap`]. Cloning shares the underlying
+/// store, so the same capture can be attached to several shells and to
+/// the browser/replay boundary at once.
+#[derive(Clone)]
+pub struct Capture {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Capture {
+    fn default() -> Self {
+        Capture::new()
+    }
+}
+
+impl Capture {
+    /// A capture for load 0 with the default caps.
+    pub fn new() -> Capture {
+        Capture::with_limits(0, DEFAULT_MAX_PACKET_EVENTS, DEFAULT_MAX_HTTP_EVENTS)
+    }
+
+    /// A capture tagged with a load id, default caps.
+    pub fn for_load(load: u64) -> Capture {
+        Capture::with_limits(load, DEFAULT_MAX_PACKET_EVENTS, DEFAULT_MAX_HTTP_EVENTS)
+    }
+
+    /// A capture with explicit stream caps.
+    pub fn with_limits(load: u64, max_packet_events: usize, max_http_events: usize) -> Capture {
+        Capture {
+            inner: Rc::new(RefCell::new(Inner {
+                data: CaptureData {
+                    load,
+                    // Reserve a modest slab up front so the live tap
+                    // path never pays repeated growth-reallocations of a
+                    // hot Vec (the cap itself would be ~8 MB — too much
+                    // to commit eagerly).
+                    packets: Vec::with_capacity(max_packet_events.min(4096)),
+                    https: Vec::with_capacity(max_http_events.min(256)),
+                    ..CaptureData::default()
+                },
+                limits: Limits {
+                    max_packet_events,
+                    max_http_events,
+                },
+            })),
+        }
+    }
+
+    /// A [`TapHandle`] sharing this capture's store.
+    pub fn handle(&self) -> TapHandle {
+        TapHandle::new(self.clone())
+    }
+
+    /// Stored packet events.
+    pub fn packet_count(&self) -> usize {
+        self.inner.borrow().data.packets.len()
+    }
+
+    /// Stored HTTP events.
+    pub fn http_count(&self) -> usize {
+        self.inner.borrow().data.https.len()
+    }
+
+    /// Events discarded because a cap was hit.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().data.dropped
+    }
+
+    /// Snapshot of everything stored.
+    pub fn data(&self) -> CaptureData {
+        self.inner.borrow().data.clone()
+    }
+
+    /// Encode every stored event as one JSON object per line. Link
+    /// descriptions come first so a streaming reader sees topology
+    /// before events.
+    pub fn to_jsonl(&self) -> String {
+        data_to_jsonl(&self.inner.borrow().data)
+    }
+
+    /// Drain the store, returning its JSONL (used to merge per-load
+    /// captures into a process-wide capture file).
+    pub fn take_jsonl(&self) -> String {
+        let out = self.to_jsonl();
+        let mut inner = self.inner.borrow_mut();
+        let load = inner.data.load;
+        inner.data = CaptureData {
+            load,
+            ..CaptureData::default()
+        };
+        out
+    }
+
+    /// Compact binary encoding of the store (see module docs).
+    pub fn to_binary(&self) -> Vec<u8> {
+        encode_binary(&self.inner.borrow().data)
+    }
+
+    /// Drop all stored events and link metas, keeping the load tag and
+    /// the allocated buffers. Reusing one capture across runs this way
+    /// keeps its pages mapped and warm, where rebuilding a capture per
+    /// run pays allocator and page-fault cost proportional to the
+    /// event volume.
+    pub fn clear(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.data.links.clear();
+        inner.data.packets.clear();
+        inner.data.https.clear();
+        inner.data.dropped = 0;
+    }
+}
+
+impl PacketTap for Capture {
+    fn on_packet(&self, ev: &PacketEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.data.packets.len() >= inner.limits.max_packet_events {
+            inner.data.dropped += 1;
+        } else {
+            inner.data.packets.push(*ev);
+        }
+    }
+
+    fn on_http(&self, ev: &HttpEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.data.https.len() >= inner.limits.max_http_events {
+            inner.data.dropped += 1;
+        } else {
+            inner.data.https.push(ev.clone());
+        }
+    }
+
+    fn on_link_meta(&self, meta: &LinkMeta) {
+        // Link descriptions are tiny and bounded by topology, not by
+        // traffic, so they bypass the event caps. Re-attaching the same
+        // point twice keeps the first description.
+        let mut inner = self.inner.borrow_mut();
+        if !inner.data.links.iter().any(|m| m.point == meta.point) {
+            inner.data.links.push(meta.clone());
+        }
+    }
+}
+
+/// JSONL encoding of a [`CaptureData`] (also used by [`Capture`]).
+pub fn data_to_jsonl(data: &CaptureData) -> String {
+    let mut out = String::new();
+    let load = data.load;
+    for m in &data.links {
+        out.push_str(&format!(
+            "{{\"ev\":\"link\",\"load\":{},\"at\":\"{}\",\"i\":{},\"dir\":\"{}\",\
+             \"period_ms\":{},\"mtu\":{},\"deliveries_ms\":[",
+            load,
+            m.point.kind.as_str(),
+            m.point.index,
+            m.point.dir.as_str(),
+            m.period_ms,
+            m.mtu_bytes,
+        ));
+        for (i, ms) in m.deliveries_ms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ms.to_string());
+        }
+        out.push_str("]}\n");
+    }
+    for p in &data.packets {
+        out.push_str(&format!(
+            "{{\"ev\":\"pkt\",\"load\":{},\"t_ns\":{},\"kind\":\"{}\",\"at\":\"{}\",\
+             \"i\":{},\"dir\":\"{}\",\"pkt\":{},\"size\":{},\"sojourn_ns\":{}}}\n",
+            load,
+            p.t_ns,
+            p.kind.as_str(),
+            p.point.kind.as_str(),
+            p.point.index,
+            p.point.dir.as_str(),
+            p.pkt_id,
+            p.size_bytes,
+            p.sojourn_ns,
+        ));
+    }
+    for h in &data.https {
+        out.push_str(&format!(
+            "{{\"ev\":\"http\",\"load\":{},\"t_ns\":{},\"phase\":\"{}\",\"res\":{},\
+             \"url\":\"{}\",\"status\":{},\"bytes\":{}}}\n",
+            load,
+            h.t_ns,
+            h.phase.as_str(),
+            h.resource,
+            escape_json(&h.url),
+            h.status,
+            h.bytes,
+        ));
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding: magic, header, then fixed-width little-endian records.
+// ---------------------------------------------------------------------------
+
+/// File magic for the binary capture format (versioned in the last byte).
+pub const BINARY_MAGIC: &[u8; 6] = b"MMCAP\x01";
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn dir_code(d: Dir) -> u8 {
+    match d {
+        Dir::Up => 0,
+        Dir::Down => 1,
+    }
+}
+
+fn point_kind_code(k: PointKind) -> u8 {
+    match k {
+        PointKind::Link => 0,
+        PointKind::Delay => 1,
+        PointKind::Loss => 2,
+    }
+}
+
+fn event_kind_code(k: PacketEventKind) -> u8 {
+    match k {
+        PacketEventKind::Enqueue => 0,
+        PacketEventKind::Dequeue => 1,
+        PacketEventKind::Drop => 2,
+        PacketEventKind::Deliver => 3,
+    }
+}
+
+fn phase_code(p: HttpPhase) -> u8 {
+    match p {
+        HttpPhase::Queued => 0,
+        HttpPhase::Sent => 1,
+        HttpPhase::Done => 2,
+        HttpPhase::Failed => 3,
+        HttpPhase::ServerRecv => 4,
+        HttpPhase::ServerSent => 5,
+    }
+}
+
+fn put_point(out: &mut Vec<u8>, p: &TapPoint) {
+    out.push(point_kind_code(p.kind));
+    out.push(dir_code(p.dir));
+    put_u32(out, p.index);
+}
+
+/// Encode a capture to the binary format.
+pub fn encode_binary(data: &CaptureData) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(BINARY_MAGIC);
+    put_u64(&mut out, data.load);
+    put_u64(&mut out, data.dropped);
+    put_u32(&mut out, data.links.len() as u32);
+    put_u32(&mut out, data.packets.len() as u32);
+    put_u32(&mut out, data.https.len() as u32);
+    for m in &data.links {
+        put_point(&mut out, &m.point);
+        put_u64(&mut out, m.period_ms);
+        put_u32(&mut out, m.mtu_bytes);
+        put_u32(&mut out, m.deliveries_ms.len() as u32);
+        for ms in m.deliveries_ms.iter() {
+            put_u64(&mut out, *ms);
+        }
+    }
+    for p in &data.packets {
+        put_u64(&mut out, p.t_ns);
+        out.push(event_kind_code(p.kind));
+        put_point(&mut out, &p.point);
+        put_u64(&mut out, p.pkt_id);
+        put_u32(&mut out, p.size_bytes);
+        put_u64(&mut out, p.sojourn_ns);
+    }
+    for h in &data.https {
+        put_u64(&mut out, h.t_ns);
+        out.push(phase_code(h.phase));
+        put_u32(&mut out, h.resource);
+        put_u16(&mut out, h.status);
+        put_u64(&mut out, h.bytes);
+        put_u32(&mut out, h.url.len() as u32);
+        out.extend_from_slice(h.url.as_bytes());
+    }
+    out
+}
+
+/// Cursor over the binary format; every read is bounds-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated capture: need {} bytes at offset {}, have {}",
+                n,
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn point(&mut self) -> Result<TapPoint, String> {
+        let kind = match self.u8()? {
+            0 => PointKind::Link,
+            1 => PointKind::Delay,
+            2 => PointKind::Loss,
+            k => return Err(format!("bad point kind {k}")),
+        };
+        let dir = match self.u8()? {
+            0 => Dir::Up,
+            1 => Dir::Down,
+            d => return Err(format!("bad direction {d}")),
+        };
+        let index = self.u32()?;
+        Ok(TapPoint { kind, index, dir })
+    }
+}
+
+/// Decode the binary format back into a [`CaptureData`]. Exact inverse
+/// of [`encode_binary`].
+pub fn decode_binary(buf: &[u8]) -> Result<CaptureData, String> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(BINARY_MAGIC.len())? != BINARY_MAGIC {
+        return Err("not a binary capture (bad magic)".to_string());
+    }
+    let load = r.u64()?;
+    let dropped = r.u64()?;
+    let n_links = r.u32()? as usize;
+    let n_packets = r.u32()? as usize;
+    let n_https = r.u32()? as usize;
+    let mut data = CaptureData {
+        load,
+        dropped,
+        ..CaptureData::default()
+    };
+    for _ in 0..n_links {
+        let point = r.point()?;
+        let period_ms = r.u64()?;
+        let mtu_bytes = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut deliveries_ms = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            deliveries_ms.push(r.u64()?);
+        }
+        data.links.push(LinkMeta {
+            point,
+            deliveries_ms: deliveries_ms.into(),
+            period_ms,
+            mtu_bytes,
+        });
+    }
+    for _ in 0..n_packets {
+        let t_ns = r.u64()?;
+        let kind = match r.u8()? {
+            0 => PacketEventKind::Enqueue,
+            1 => PacketEventKind::Dequeue,
+            2 => PacketEventKind::Drop,
+            3 => PacketEventKind::Deliver,
+            k => return Err(format!("bad packet event kind {k}")),
+        };
+        let point = r.point()?;
+        let pkt_id = r.u64()?;
+        let size_bytes = r.u32()?;
+        let sojourn_ns = r.u64()?;
+        data.packets.push(PacketEvent {
+            t_ns,
+            kind,
+            point,
+            pkt_id,
+            size_bytes,
+            sojourn_ns,
+        });
+    }
+    for _ in 0..n_https {
+        let t_ns = r.u64()?;
+        let phase = match r.u8()? {
+            0 => HttpPhase::Queued,
+            1 => HttpPhase::Sent,
+            2 => HttpPhase::Done,
+            3 => HttpPhase::Failed,
+            4 => HttpPhase::ServerRecv,
+            5 => HttpPhase::ServerSent,
+            p => return Err(format!("bad http phase {p}")),
+        };
+        let resource = r.u32()?;
+        let status = r.u16()?;
+        let bytes = r.u64()?;
+        let url_len = r.u32()? as usize;
+        let url = String::from_utf8(r.take(url_len)?.to_vec())
+            .map_err(|e| format!("bad url utf-8: {e}"))?;
+        data.https.push(HttpEvent {
+            t_ns,
+            phase,
+            resource,
+            url,
+            status,
+            bytes,
+        });
+    }
+    if r.pos != buf.len() {
+        return Err(format!(
+            "{} trailing bytes after capture",
+            buf.len() - r.pos
+        ));
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(kind: PointKind, index: u32, dir: Dir) -> TapPoint {
+        TapPoint { kind, index, dir }
+    }
+
+    fn pkt_event(t_ns: u64, kind: PacketEventKind, id: u64) -> PacketEvent {
+        PacketEvent {
+            t_ns,
+            kind,
+            point: point(PointKind::Link, 1, Dir::Down),
+            pkt_id: id,
+            size_bytes: 1500,
+            sojourn_ns: if kind == PacketEventKind::Dequeue {
+                250_000
+            } else {
+                0
+            },
+        }
+    }
+
+    #[test]
+    fn capture_stores_and_serializes() {
+        let cap = Capture::for_load(3);
+        let tap = cap.handle();
+        tap.on_link_meta(&LinkMeta {
+            point: point(PointKind::Link, 1, Dir::Down),
+            deliveries_ms: vec![0, 1, 2].into(),
+            period_ms: 3,
+            mtu_bytes: 1500,
+        });
+        tap.on_packet(&pkt_event(1_000_000, PacketEventKind::Enqueue, 7));
+        tap.on_packet(&pkt_event(2_000_000, PacketEventKind::Dequeue, 7));
+        tap.on_http(&HttpEvent {
+            t_ns: 5,
+            phase: HttpPhase::Queued,
+            resource: 0,
+            url: "http://10.0.0.1/a\"b".to_string(),
+            status: 0,
+            bytes: 0,
+        });
+        assert_eq!(cap.packet_count(), 2);
+        assert_eq!(cap.http_count(), 1);
+        let jsonl = cap.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"ev\":\"link\""));
+        assert!(lines[0].contains("\"deliveries_ms\":[0,1,2]"));
+        assert!(lines[1].contains("\"kind\":\"enq\""));
+        assert!(lines[2].contains("\"sojourn_ns\":250000"));
+        assert!(lines[3].contains("\\\"b\""));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"load\":3"));
+        }
+        // Drain empties the store but keeps the load tag.
+        assert!(!cap.take_jsonl().is_empty());
+        assert_eq!(cap.packet_count(), 0);
+        assert_eq!(cap.data().load, 3);
+    }
+
+    #[test]
+    fn clear_keeps_load_and_drops_events() {
+        let cap = Capture::for_load(5);
+        cap.on_link_meta(&LinkMeta {
+            point: point(PointKind::Link, 1, Dir::Up),
+            deliveries_ms: vec![0].into(),
+            period_ms: 1,
+            mtu_bytes: 1500,
+        });
+        cap.on_packet(&pkt_event(1, PacketEventKind::Enqueue, 1));
+        cap.clear();
+        let data = cap.data();
+        assert_eq!(data.load, 5);
+        assert!(data.links.is_empty());
+        assert!(data.packets.is_empty());
+        assert_eq!(data.dropped, 0);
+        // The store keeps accepting events after a clear.
+        cap.on_packet(&pkt_event(2, PacketEventKind::Enqueue, 2));
+        assert_eq!(cap.packet_count(), 1);
+    }
+
+    #[test]
+    fn caps_bound_memory() {
+        let cap = Capture::with_limits(0, 2, 1);
+        for i in 0..5 {
+            cap.on_packet(&pkt_event(i, PacketEventKind::Enqueue, i));
+        }
+        for _ in 0..3 {
+            cap.on_http(&HttpEvent {
+                t_ns: 0,
+                phase: HttpPhase::Queued,
+                resource: 0,
+                url: String::new(),
+                status: 0,
+                bytes: 0,
+            });
+        }
+        assert_eq!(cap.packet_count(), 2);
+        assert_eq!(cap.http_count(), 1);
+        assert_eq!(cap.dropped(), 5);
+    }
+
+    #[test]
+    fn duplicate_link_meta_is_ignored() {
+        let cap = Capture::new();
+        let meta = LinkMeta {
+            point: point(PointKind::Link, 1, Dir::Up),
+            deliveries_ms: vec![0].into(),
+            period_ms: 1,
+            mtu_bytes: 1500,
+        };
+        cap.on_link_meta(&meta);
+        cap.on_link_meta(&meta);
+        assert_eq!(cap.data().links.len(), 1);
+    }
+
+    #[test]
+    fn binary_roundtrip_exact() {
+        let cap = Capture::for_load(9);
+        cap.on_link_meta(&LinkMeta {
+            point: point(PointKind::Link, 2, Dir::Up),
+            deliveries_ms: vec![0, 5, 5, 9].into(),
+            period_ms: 10,
+            mtu_bytes: 1500,
+        });
+        cap.on_packet(&pkt_event(42, PacketEventKind::Drop, 11));
+        cap.on_http(&HttpEvent {
+            t_ns: 77,
+            phase: HttpPhase::ServerSent,
+            resource: NO_RESOURCE,
+            url: "http://10.0.0.1/π".to_string(),
+            status: 200,
+            bytes: 12345,
+        });
+        let data = cap.data();
+        let decoded = decode_binary(&cap.to_binary()).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        assert!(decode_binary(b"not a capture").is_err());
+        let mut good = encode_binary(&CaptureData::default());
+        good.push(0);
+        assert!(decode_binary(&good).is_err(), "trailing bytes accepted");
+    }
+
+    use crate::NO_RESOURCE;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = TapPoint> {
+        (0u8..3, any::<u32>(), any::<bool>()).prop_map(|(k, index, up)| TapPoint {
+            kind: match k {
+                0 => PointKind::Link,
+                1 => PointKind::Delay,
+                _ => PointKind::Loss,
+            },
+            index,
+            dir: if up { Dir::Up } else { Dir::Down },
+        })
+    }
+
+    fn arb_packet() -> impl Strategy<Value = PacketEvent> {
+        // The vendored proptest implements Strategy for tuples up to
+        // arity 4, so nest the fields.
+        (
+            (any::<u64>(), 0u8..4),
+            (arb_point(), any::<u64>()),
+            (any::<u32>(), any::<u64>()),
+        )
+            .prop_map(|((t_ns, k), (point, pkt_id), (size_bytes, sojourn_ns))| {
+                PacketEvent {
+                    t_ns,
+                    kind: match k {
+                        0 => PacketEventKind::Enqueue,
+                        1 => PacketEventKind::Dequeue,
+                        2 => PacketEventKind::Drop,
+                        _ => PacketEventKind::Deliver,
+                    },
+                    point,
+                    pkt_id,
+                    size_bytes,
+                    sojourn_ns,
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn binary_roundtrip_arbitrary(
+            load in any::<u64>(),
+            dropped in any::<u64>(),
+            packets in proptest::collection::vec(arb_packet(), 0..64),
+            deliveries in proptest::collection::vec(any::<u64>(), 0..32),
+            url in "[a-z0-9/:.]{0,40}",
+        ) {
+            let data = CaptureData {
+                load,
+                dropped,
+                links: vec![LinkMeta {
+                    point: TapPoint { kind: PointKind::Link, index: 1, dir: Dir::Down },
+                    deliveries_ms: deliveries.into(),
+                    period_ms: 1000,
+                    mtu_bytes: 1500,
+                }],
+                packets,
+                https: vec![HttpEvent {
+                    t_ns: 1,
+                    phase: HttpPhase::Done,
+                    resource: 0,
+                    url,
+                    status: 200,
+                    bytes: 10,
+                }],
+            };
+            let decoded = decode_binary(&encode_binary(&data)).unwrap();
+            prop_assert_eq!(decoded, data);
+        }
+    }
+}

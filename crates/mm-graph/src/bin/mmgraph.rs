@@ -1,0 +1,146 @@
+//! `mmgraph` — render capture files into SVG graphs and CSV tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! mmgraph <capture.jsonl | capture.bin | dir> [--out <dir>] [--bin-ms <n>]
+//! ```
+//!
+//! Given a directory (e.g. an experiment's `--capture-out` dir), looks
+//! for `capture.jsonl` then `capture.bin` inside it. Artifacts are
+//! written next to the input unless `--out` says otherwise.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mm_graph::{parse_capture_bytes, render_capture, DEFAULT_BIN_MS};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mmgraph <capture.jsonl|capture.bin|dir> [--out <dir>] [--bin-ms <n>]");
+    ExitCode::from(2)
+}
+
+fn resolve_input(path: &Path) -> Result<PathBuf, String> {
+    if path.is_dir() {
+        for name in ["capture.jsonl", "capture.bin"] {
+            let candidate = path.join(name);
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+        return Err(format!(
+            "no capture.jsonl or capture.bin in {}",
+            path.display()
+        ));
+    }
+    if path.is_file() {
+        return Ok(path.to_path_buf());
+    }
+    Err(format!("no such file or directory: {}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut bin_ms = DEFAULT_BIN_MS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                out_dir = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--bin-ms" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => bin_ms = n,
+                    _ => {
+                        eprintln!("mmgraph: --bin-ms wants a positive integer, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            a if a.starts_with("--") => return usage(),
+            a => {
+                if input.is_some() {
+                    return usage();
+                }
+                input = Some(PathBuf::from(a));
+                i += 1;
+            }
+        }
+    }
+    let Some(input) = input else {
+        return usage();
+    };
+
+    let file = match resolve_input(&input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mmgraph: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = match std::fs::read(&file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mmgraph: read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let captures = match parse_capture_bytes(&bytes) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mmgraph: parse {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if captures.is_empty() {
+        eprintln!("mmgraph: {} holds no events", file.display());
+        return ExitCode::FAILURE;
+    }
+
+    let out_dir = out_dir.unwrap_or_else(|| {
+        file.parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("mmgraph: create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut written = 0usize;
+    for data in &captures {
+        if data.dropped > 0 {
+            eprintln!(
+                "mmgraph: load {}: {} events were dropped at capture time (caps hit); \
+                 graphs undercount",
+                data.load, data.dropped
+            );
+        }
+        for artifact in render_capture(data, bin_ms) {
+            let path = out_dir.join(&artifact.name);
+            if let Err(e) = std::fs::write(&path, artifact.content.as_bytes()) {
+                eprintln!("mmgraph: write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+            written += 1;
+        }
+    }
+    println!(
+        "mmgraph: {} loads, {} artifacts, bin {} ms",
+        captures.len(),
+        written,
+        bin_ms
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,291 @@
+//! Parse capture files back into [`CaptureData`].
+//!
+//! The JSONL parser is a hand-rolled scanner over the flat, fixed-shape
+//! objects `mm_capture::data_to_jsonl` emits — not a general JSON
+//! parser. Every line carries a `load` tag; lines are grouped into one
+//! [`CaptureData`] per load (loads run in separate simulations with
+//! separate clocks, so they must never be mixed). Binary captures are
+//! recognized by magic and delegated to [`mm_capture::decode_binary`].
+
+use std::collections::BTreeMap;
+
+use mm_capture::{
+    decode_binary, CaptureData, Dir, HttpEvent, HttpPhase, LinkMeta, PacketEvent, PacketEventKind,
+    PointKind, TapPoint, BINARY_MAGIC,
+};
+
+/// Find the value start of `"key":` in a flat JSON object, skipping
+/// occurrences embedded in string values (their quote is escaped, so
+/// the preceding byte is a backslash).
+fn find_key(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(rel) = line[start..].find(&pat) {
+        let pos = start + rel;
+        if pos == 0 || bytes[pos - 1] != b'\\' {
+            return Some(pos + pat.len());
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+fn get_u64(line: &str, key: &str) -> Result<u64, String> {
+    let at = find_key(line, key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let digits: &str = &line[at..];
+    let end = digits
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return Err(format!("field {key:?} is not a number"));
+    }
+    digits[..end]
+        .parse()
+        .map_err(|e| format!("field {key:?}: {e}"))
+}
+
+fn get_str(line: &str, key: &str) -> Result<String, String> {
+    let at = find_key(line, key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let rest = &line[at..];
+    if !rest.starts_with('"') {
+        return Err(format!("field {key:?} is not a string"));
+    }
+    let mut out = String::new();
+    let mut chars = rest[1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("field {key:?}: bad \\u escape: {e}"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("field {key:?}: bad codepoint {code}"))?,
+                    );
+                }
+                other => return Err(format!("field {key:?}: bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("field {key:?}: unterminated string"))
+}
+
+fn get_u64_array(line: &str, key: &str) -> Result<Vec<u64>, String> {
+    let at = find_key(line, key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let rest = &line[at..];
+    if !rest.starts_with('[') {
+        return Err(format!("field {key:?} is not an array"));
+    }
+    let close = rest
+        .find(']')
+        .ok_or_else(|| format!("field {key:?}: unterminated array"))?;
+    let body = &rest[1..close];
+    if body.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("field {key:?}: {e}")))
+        .collect()
+}
+
+fn get_point(line: &str) -> Result<TapPoint, String> {
+    let kind = match get_str(line, "at")?.as_str() {
+        "link" => PointKind::Link,
+        "delay" => PointKind::Delay,
+        "loss" => PointKind::Loss,
+        other => return Err(format!("unknown tap point kind {other:?}")),
+    };
+    let dir = match get_str(line, "dir")?.as_str() {
+        "up" => Dir::Up,
+        "down" => Dir::Down,
+        other => return Err(format!("unknown direction {other:?}")),
+    };
+    Ok(TapPoint {
+        kind,
+        index: get_u64(line, "i")? as u32,
+        dir,
+    })
+}
+
+fn parse_line(line: &str, by_load: &mut BTreeMap<u64, CaptureData>) -> Result<(), String> {
+    let ev = get_str(line, "ev")?;
+    let load = get_u64(line, "load")?;
+    let data = by_load.entry(load).or_insert_with(|| CaptureData {
+        load,
+        ..CaptureData::default()
+    });
+    match ev.as_str() {
+        "link" => data.links.push(LinkMeta {
+            point: get_point(line)?,
+            deliveries_ms: get_u64_array(line, "deliveries_ms")?.into(),
+            period_ms: get_u64(line, "period_ms")?,
+            mtu_bytes: get_u64(line, "mtu")? as u32,
+        }),
+        "pkt" => data.packets.push(PacketEvent {
+            t_ns: get_u64(line, "t_ns")?,
+            kind: match get_str(line, "kind")?.as_str() {
+                "enq" => PacketEventKind::Enqueue,
+                "deq" => PacketEventKind::Dequeue,
+                "drop" => PacketEventKind::Drop,
+                "del" => PacketEventKind::Deliver,
+                other => return Err(format!("unknown packet event kind {other:?}")),
+            },
+            point: get_point(line)?,
+            pkt_id: get_u64(line, "pkt")?,
+            size_bytes: get_u64(line, "size")? as u32,
+            sojourn_ns: get_u64(line, "sojourn_ns")?,
+        }),
+        "http" => data.https.push(HttpEvent {
+            t_ns: get_u64(line, "t_ns")?,
+            phase: match get_str(line, "phase")?.as_str() {
+                "queued" => HttpPhase::Queued,
+                "sent" => HttpPhase::Sent,
+                "done" => HttpPhase::Done,
+                "failed" => HttpPhase::Failed,
+                "srv_recv" => HttpPhase::ServerRecv,
+                "srv_sent" => HttpPhase::ServerSent,
+                other => return Err(format!("unknown http phase {other:?}")),
+            },
+            resource: get_u64(line, "res")? as u32,
+            url: get_str(line, "url")?,
+            status: get_u64(line, "status")? as u16,
+            bytes: get_u64(line, "bytes")?,
+        }),
+        other => return Err(format!("unknown event type {other:?}")),
+    }
+    Ok(())
+}
+
+/// Parse a JSONL capture, grouping events into one [`CaptureData`] per
+/// load, ordered by load id.
+pub fn parse_jsonl(text: &str) -> Result<Vec<CaptureData>, String> {
+    let mut by_load = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(line, &mut by_load).map_err(|e| format!("line {}: {e}", idx + 1))?;
+    }
+    Ok(by_load.into_values().collect())
+}
+
+/// Parse either capture serialization: binary (by magic) or JSONL.
+pub fn parse_capture_bytes(bytes: &[u8]) -> Result<Vec<CaptureData>, String> {
+    if bytes.starts_with(BINARY_MAGIC) {
+        return Ok(vec![decode_binary(bytes)?]);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("capture is not UTF-8: {e}"))?;
+    parse_jsonl(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_capture::{data_to_jsonl, encode_binary, Capture, PacketTap, NO_RESOURCE};
+
+    fn sample_data(load: u64) -> CaptureData {
+        let cap = Capture::for_load(load);
+        cap.on_link_meta(&LinkMeta {
+            point: TapPoint {
+                kind: PointKind::Link,
+                index: 2,
+                dir: Dir::Down,
+            },
+            deliveries_ms: vec![0, 1, 1, 3].into(),
+            period_ms: 4,
+            mtu_bytes: 1500,
+        });
+        cap.on_packet(&PacketEvent {
+            t_ns: 1_500_000,
+            kind: PacketEventKind::Dequeue,
+            point: TapPoint {
+                kind: PointKind::Link,
+                index: 2,
+                dir: Dir::Down,
+            },
+            pkt_id: 42,
+            size_bytes: 1460,
+            sojourn_ns: 320_000,
+        });
+        cap.on_http(&HttpEvent {
+            t_ns: 9,
+            phase: HttpPhase::Done,
+            resource: 0,
+            url: "http://10.0.0.1/a\"b\\c".to_string(),
+            status: 200,
+            bytes: 1234,
+        });
+        cap.on_http(&HttpEvent {
+            t_ns: 10,
+            phase: HttpPhase::ServerSent,
+            resource: NO_RESOURCE,
+            url: "/a".to_string(),
+            status: 200,
+            bytes: 1234,
+        });
+        cap.data()
+    }
+
+    #[test]
+    fn jsonl_roundtrip_exact() {
+        let data = sample_data(7);
+        let parsed = parse_jsonl(&data_to_jsonl(&data)).unwrap();
+        assert_eq!(parsed, vec![data]);
+    }
+
+    #[test]
+    fn multiple_loads_grouped_and_ordered() {
+        let a = sample_data(5);
+        let b = sample_data(2);
+        let merged = format!("{}{}", data_to_jsonl(&a), data_to_jsonl(&b));
+        let parsed = parse_jsonl(&merged).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].load, 2);
+        assert_eq!(parsed[1].load, 5);
+        assert_eq!(parsed[1], a);
+    }
+
+    #[test]
+    fn binary_bytes_detected_by_magic() {
+        let data = sample_data(3);
+        let parsed = parse_capture_bytes(&encode_binary(&data)).unwrap();
+        assert_eq!(parsed, vec![data]);
+    }
+
+    #[test]
+    fn url_containing_key_pattern_does_not_confuse_scanner() {
+        // A URL whose text contains `","t_ns":` style fragments: the
+        // embedded quotes are escaped on write, so the scanner must skip
+        // them when locating real keys.
+        let data = {
+            let cap = Capture::for_load(0);
+            cap.on_http(&HttpEvent {
+                t_ns: 4,
+                phase: HttpPhase::Queued,
+                resource: 1,
+                url: "http://x/?q=\",\"t_ns\":999,\"".to_string(),
+                status: 0,
+                bytes: 0,
+            });
+            cap.data()
+        };
+        let parsed = parse_jsonl(&data_to_jsonl(&data)).unwrap();
+        assert_eq!(parsed, vec![data]);
+        assert_eq!(parsed[0].https[0].t_ns, 4);
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_line_numbers() {
+        let err = parse_jsonl("{\"ev\":\"pkt\",\"load\":1}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_jsonl("{\"ev\":\"nope\",\"load\":1}").unwrap_err();
+        assert!(err.contains("unknown event type"), "{err}");
+    }
+}

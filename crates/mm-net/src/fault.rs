@@ -147,7 +147,9 @@ impl PacketSink for Reorder {
         }
         if hold {
             let next = self.next.clone();
-            sim.schedule_in(self.extra_delay, move |sim| next.deliver(sim, pkt));
+            sim.schedule_in_tagged("sim_events_fault_total", self.extra_delay, move |sim| {
+                next.deliver(sim, pkt)
+            });
         } else {
             self.next.deliver(sim, pkt);
         }

@@ -418,7 +418,9 @@ impl PacketSink for HostSink {
             inner.last_dispatch_at = at;
             at
         };
-        sim.schedule_at(at, move |sim| host.dispatch(sim, pkt));
+        sim.schedule_at_tagged("sim_events_host_total", at, move |sim| {
+            host.dispatch(sim, pkt)
+        });
     }
 }
 

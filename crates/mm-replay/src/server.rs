@@ -16,6 +16,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use mm_capture::{HttpEvent, HttpPhase, TapHandle, NO_RESOURCE};
 use mm_http::{write_response, Request, RequestParser, Response};
 use mm_mux::{MuxConfig, MuxHandler, MuxResponder, MuxServerConn};
 use mm_net::{
@@ -67,6 +68,12 @@ pub struct ReplayConfig {
     /// through here so a replay world built outside the harness gets
     /// the same wiring.
     pub tcp: Option<mm_net::TcpConfig>,
+    /// Per-request observability tap: every server reports `ServerRecv`
+    /// when a request parses and `ServerSent` when its response goes on
+    /// the wire (after think time). `resource` is [`NO_RESOURCE`] — the
+    /// server has no notion of the browser's resource indices; analyzers
+    /// join on URL. Taps observe only.
+    pub capture: Option<TapHandle>,
 }
 
 impl Default for ReplayConfig {
@@ -76,7 +83,30 @@ impl Default for ReplayConfig {
             think_time: SimDuration::from_millis(25),
             protocol: ServerProtocol::Http1,
             tcp: None,
+            capture: None,
         }
+    }
+}
+
+/// Emit an [`HttpEvent`] if a tap is attached (server side: no resource
+/// index, the URL target is the join key).
+fn tap_http(
+    tap: &Option<TapHandle>,
+    now: Timestamp,
+    phase: HttpPhase,
+    url: &str,
+    status: u16,
+    bytes: u64,
+) {
+    if let Some(tap) = tap {
+        tap.on_http(&HttpEvent {
+            t_ns: now.as_nanos(),
+            phase,
+            resource: NO_RESOURCE,
+            url: url.to_string(),
+            status,
+            bytes,
+        });
     }
 }
 
@@ -132,6 +162,7 @@ impl ReplayShell {
                             matcher: matcher.clone(),
                             think_time: config.think_time,
                             protocol: config.protocol.clone(),
+                            tap: config.capture.clone(),
                             cpu,
                         }),
                     );
@@ -158,6 +189,7 @@ impl ReplayShell {
                                 matcher: matcher.clone(),
                                 think_time: config.think_time,
                                 protocol: config.protocol.clone(),
+                                tap: config.capture.clone(),
                                 cpu: cpu.clone(),
                             }),
                         );
@@ -199,6 +231,7 @@ struct ReplayListener {
     matcher: Rc<Matcher>,
     think_time: SimDuration,
     protocol: ServerProtocol,
+    tap: Option<TapHandle>,
     /// The server machine's CPU: request matching (Apache + CGI in the
     /// real system) serializes per host. Under the single-server ablation
     /// every connection shares one CPU — the contention this models is a
@@ -213,6 +246,7 @@ impl Listener for ReplayListener {
                 matcher: self.matcher.clone(),
                 think_time: self.think_time,
                 cpu: self.cpu.clone(),
+                tap: self.tap.clone(),
                 parser: RefCell::new(RequestParser::new()),
             }),
             ServerProtocol::Mux(config) => Rc::new(MuxServerConn::new(
@@ -222,6 +256,7 @@ impl Listener for ReplayListener {
                     matcher: self.matcher.clone(),
                     think_time: self.think_time,
                     cpu: self.cpu.clone(),
+                    tap: self.tap.clone(),
                 }),
             )),
         }
@@ -235,15 +270,32 @@ struct MuxReplayHandler {
     matcher: Rc<Matcher>,
     think_time: SimDuration,
     cpu: Rc<Cell<Timestamp>>,
+    tap: Option<TapHandle>,
 }
 
 impl MuxHandler for MuxReplayHandler {
     fn handle(&self, sim: &mut Simulator, req: Request, responder: MuxResponder) {
+        tap_http(
+            &self.tap,
+            sim.now(),
+            HttpPhase::ServerRecv,
+            &req.target,
+            0,
+            0,
+        );
         let resp = self
             .matcher
             .lookup(&req)
             .unwrap_or_else(Response::not_found);
         if self.think_time.is_zero() {
+            tap_http(
+                &self.tap,
+                sim.now(),
+                HttpPhase::ServerSent,
+                &req.target,
+                resp.status,
+                resp.body.len() as u64,
+            );
             responder.respond(sim, resp);
         } else {
             // Serialize the matching work on this server's CPU, exactly
@@ -251,7 +303,16 @@ impl MuxHandler for MuxReplayHandler {
             let start = self.cpu.get().max(sim.now());
             let done = start + self.think_time;
             self.cpu.set(done);
+            let tap = self.tap.clone();
             sim.schedule_at(done, move |sim| {
+                tap_http(
+                    &tap,
+                    sim.now(),
+                    HttpPhase::ServerSent,
+                    &req.target,
+                    resp.status,
+                    resp.body.len() as u64,
+                );
                 responder.respond(sim, resp);
             });
         }
@@ -262,6 +323,7 @@ struct ReplayConn {
     matcher: Rc<Matcher>,
     think_time: SimDuration,
     cpu: Rc<Cell<Timestamp>>,
+    tap: Option<TapHandle>,
     parser: RefCell<RequestParser>,
 }
 
@@ -279,12 +341,30 @@ impl SocketApp for ReplayConn {
                     }
                 };
                 for req in reqs {
+                    tap_http(
+                        &self.tap,
+                        sim.now(),
+                        HttpPhase::ServerRecv,
+                        &req.target,
+                        0,
+                        0,
+                    );
                     let resp = self
                         .matcher
                         .lookup(&req)
                         .unwrap_or_else(Response::not_found);
+                    let status = resp.status;
+                    let body_len = resp.body.len() as u64;
                     let wire = write_response(&resp);
                     if self.think_time.is_zero() {
+                        tap_http(
+                            &self.tap,
+                            sim.now(),
+                            HttpPhase::ServerSent,
+                            &req.target,
+                            status,
+                            body_len,
+                        );
                         h.send(sim, wire);
                     } else {
                         // Serialize the matching work on this server's CPU.
@@ -292,7 +372,16 @@ impl SocketApp for ReplayConn {
                         let done = start + self.think_time;
                         self.cpu.set(done);
                         let h2 = h.clone();
+                        let tap = self.tap.clone();
                         sim.schedule_at(done, move |sim| {
+                            tap_http(
+                                &tap,
+                                sim.now(),
+                                HttpPhase::ServerSent,
+                                &req.target,
+                                status,
+                                body_len,
+                            );
                             h2.send(sim, wire);
                         });
                     }

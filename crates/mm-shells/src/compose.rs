@@ -5,6 +5,7 @@
 //! the previous one and returns the stack; `innermost()` yields the
 //! namespace applications (the browser) run in.
 
+use mm_capture::{Dir, PointKind, TapHandle, TapPoint};
 use mm_net::Namespace;
 use mm_sim::{RngStream, SimDuration};
 use mm_trace::Trace;
@@ -39,6 +40,8 @@ pub struct ShellStack {
     /// Per-packet forwarding overhead applied by delay shells.
     overhead: SimDuration,
     counter: usize,
+    /// Per-packet tap attached to subsequently added shells.
+    tap: Option<TapHandle>,
 }
 
 impl ShellStack {
@@ -49,6 +52,7 @@ impl ShellStack {
             current: outer.clone(),
             overhead: DEFAULT_SHELL_OVERHEAD,
             counter: 0,
+            tap: None,
         }
     }
 
@@ -57,6 +61,24 @@ impl ShellStack {
     pub fn with_shell_overhead(mut self, overhead: SimDuration) -> Self {
         self.overhead = overhead;
         self
+    }
+
+    /// Attach a per-packet tap to every shell added *after* this call
+    /// (so call it first). Each direction of each layer reports under a
+    /// [`TapPoint`] whose index matches the layer's namespace suffix
+    /// (`link-2` ⇒ index 2). Taps observe only: a stack built with a
+    /// tap produces the byte-identical simulation of one built without.
+    pub fn with_tap(mut self, tap: TapHandle) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    fn point(&self, kind: PointKind, dir: Dir) -> TapPoint {
+        TapPoint {
+            kind,
+            index: self.counter as u32,
+            dir,
+        }
     }
 
     fn next_name(&mut self, kind: &str) -> String {
@@ -68,6 +90,14 @@ impl ShellStack {
     pub fn delay(mut self, delay: SimDuration) -> Self {
         let name = self.next_name("delay");
         let shell = delay_shell_with_overhead(&self.current, &name, delay, self.overhead);
+        if let Some(tap) = &self.tap {
+            shell
+                .uplink
+                .set_tap(tap.clone(), self.point(PointKind::Delay, Dir::Up));
+            shell
+                .downlink
+                .set_tap(tap.clone(), self.point(PointKind::Delay, Dir::Down));
+        }
         self.current = shell.inner_ns.clone();
         self.layers.push(ShellLayer::Delay(shell));
         self
@@ -96,6 +126,14 @@ impl ShellStack {
             },
             make_qdisc,
         );
+        if let Some(tap) = &self.tap {
+            shell
+                .uplink
+                .set_tap(tap.clone(), self.point(PointKind::Link, Dir::Up));
+            shell
+                .downlink
+                .set_tap(tap.clone(), self.point(PointKind::Link, Dir::Down));
+        }
         self.current = shell.inner_ns.clone();
         self.layers.push(ShellLayer::Link(shell));
         self
@@ -105,6 +143,14 @@ impl ShellStack {
     pub fn loss(mut self, uplink_loss: f64, downlink_loss: f64, rng: &RngStream) -> Self {
         let name = self.next_name("loss");
         let shell = loss_shell(&self.current, &name, uplink_loss, downlink_loss, rng);
+        if let Some(tap) = &self.tap {
+            shell
+                .uplink
+                .set_tap(tap.clone(), self.point(PointKind::Loss, Dir::Up));
+            shell
+                .downlink
+                .set_tap(tap.clone(), self.point(PointKind::Loss, Dir::Down));
+        }
         self.current = shell.inner_ns.clone();
         self.layers.push(ShellLayer::Loss(shell));
         self

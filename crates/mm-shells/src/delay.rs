@@ -11,6 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use mm_capture::{PacketEvent, PacketEventKind, TapHandle, TapPoint};
 use mm_net::{Namespace, Packet, PacketSink, SinkRef};
 use mm_sim::{SimDuration, Simulator};
 
@@ -24,6 +25,9 @@ pub struct DelayLink {
     overhead: SimDuration,
     next: SinkRef,
     stats: RefCell<DelayStats>,
+    /// Per-packet observability hook ([`DelayLink::set_tap`]); `None`
+    /// (the default) costs one branch per packet.
+    tap: RefCell<Option<(TapHandle, TapPoint)>>,
 }
 
 /// Counters for one delay-link direction.
@@ -46,7 +50,15 @@ impl DelayLink {
             overhead,
             next,
             stats: RefCell::new(DelayStats::default()),
+            tap: RefCell::new(None),
         })
+    }
+
+    /// Attach a per-packet tap: every packet reports a
+    /// [`PacketEventKind::Deliver`] event at the moment it exits the
+    /// delay leg toward the next hop. Taps observe only.
+    pub fn set_tap(&self, tap: TapHandle, point: TapPoint) {
+        *self.tap.borrow_mut() = Some((tap, point));
     }
 
     /// Counters snapshot.
@@ -71,11 +83,33 @@ impl PacketSink for DelayLink {
         }
         let next = self.next.clone();
         let total = self.delay + self.overhead;
+        let tap = self.tap.borrow().clone();
         if total.is_zero() {
+            if let Some((tap, point)) = &tap {
+                Self::tap_deliver(tap, *point, sim.now(), &pkt);
+            }
             next.deliver(sim, pkt);
         } else {
-            sim.schedule_in(total, move |sim| next.deliver(sim, pkt));
+            sim.schedule_in_tagged("sim_events_delay_total", total, move |sim| {
+                if let Some((tap, point)) = &tap {
+                    DelayLink::tap_deliver(tap, *point, sim.now(), &pkt);
+                }
+                next.deliver(sim, pkt);
+            });
         }
+    }
+}
+
+impl DelayLink {
+    fn tap_deliver(tap: &TapHandle, point: TapPoint, now: mm_sim::Timestamp, pkt: &Packet) {
+        tap.on_packet(&PacketEvent {
+            t_ns: now.as_nanos(),
+            kind: PacketEventKind::Deliver,
+            point,
+            pkt_id: pkt.id,
+            size_bytes: pkt.wire_size() as u32,
+            sojourn_ns: 0,
+        });
     }
 }
 

@@ -10,6 +10,7 @@ pub mod delay;
 pub mod link;
 pub mod loss;
 pub mod queue;
+pub mod tap;
 
 pub use compose::{ShellLayer, ShellStack};
 pub use delay::{
@@ -23,3 +24,4 @@ pub use queue::{
     factories, CoDel, DropHead, DropTail, EnqueueResult, InstrumentedQdisc, Pie, Qdisc,
     QdiscFactory, QdiscStats, QueueLimit,
 };
+pub use tap::TappedQdisc;

@@ -13,11 +13,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use mm_capture::{LinkMeta, PacketEvent, PacketEventKind, TapHandle, TapPoint};
 use mm_net::{Namespace, Packet, PacketSink, SinkRef, MTU};
 use mm_sim::{Simulator, Timer, Timestamp};
 use mm_trace::Trace;
 
-use crate::queue::{EnqueueResult, Qdisc, QdiscStats};
+use crate::queue::{DropTail, EnqueueResult, Qdisc, QdiscStats};
+use crate::tap::TappedQdisc;
 
 /// How much a single delivery opportunity can carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +53,9 @@ struct LinkInner {
     timer: Timer,
     wakeup_armed: bool,
     stats: LinkStats,
+    /// Per-packet observability hook ([`TraceLink::set_tap`]); `None`
+    /// (the default) costs one branch per delivery.
+    tap: Option<(TapHandle, TapPoint)>,
 }
 
 /// One direction of a LinkShell.
@@ -73,11 +78,31 @@ impl TraceLink {
                 qdisc,
                 policy,
                 next,
-                timer: Timer::new(),
+                timer: Timer::tagged("sim_events_link_total"),
                 wakeup_armed: false,
                 stats: LinkStats::default(),
+                tap: None,
             })),
         })
+    }
+
+    /// Attach a per-packet tap at `point`: the qdisc is wrapped in a
+    /// [`TappedQdisc`] (enqueue/dequeue/drop events), deliveries to the
+    /// next hop report as [`PacketEventKind::Deliver`], and the trace's
+    /// opportunity schedule is reported once as [`LinkMeta`] so offline
+    /// analyzers can reconstruct the capacity series. Call before any
+    /// traffic flows; taps observe only and never change behavior.
+    pub fn set_tap(&self, tap: TapHandle, point: TapPoint) {
+        let mut inner = self.inner.borrow_mut();
+        tap.on_link_meta(&LinkMeta {
+            point,
+            deliveries_ms: inner.trace.deliveries_ms().into(),
+            period_ms: inner.trace.period_ms(),
+            mtu_bytes: MTU as u32,
+        });
+        let old = std::mem::replace(&mut inner.qdisc, Box::new(DropTail::infinite()));
+        inner.qdisc = Box::new(TappedQdisc::new(old, tap.clone(), point));
+        inner.tap = Some((tap, point));
     }
 
     /// Counters snapshot.
@@ -97,6 +122,20 @@ impl TraceLink {
 
     fn opportunity_time(trace: &Trace, i: u64) -> Timestamp {
         Timestamp::from_millis(trace.opportunity_ms(i))
+    }
+
+    /// Report one delivery to the tap, if attached.
+    fn tap_deliver(tap: &Option<(TapHandle, TapPoint)>, now: Timestamp, pkt: &Packet) {
+        if let Some((tap, point)) = tap {
+            tap.on_packet(&PacketEvent {
+                t_ns: now.as_nanos(),
+                kind: PacketEventKind::Deliver,
+                point: *point,
+                pkt_id: pkt.id,
+                size_bytes: pkt.wire_size() as u32,
+                sojourn_ns: 0,
+            });
+        }
     }
 
     /// Arm the wakeup timer for opportunity `cursor` (must not already be
@@ -127,6 +166,7 @@ impl TraceLink {
                     if let Some(pkt) = inner.qdisc.dequeue(now) {
                         inner.stats.delivered += 1;
                         inner.stats.delivered_bytes += pkt.wire_size() as u64;
+                        Self::tap_deliver(&inner.tap, now, &pkt);
                         to_deliver.push(pkt);
                     }
                     break;
@@ -146,6 +186,7 @@ impl TraceLink {
                     budget = budget.saturating_sub(sz);
                     inner.stats.delivered += 1;
                     inner.stats.delivered_bytes += sz as u64;
+                    Self::tap_deliver(&inner.tap, now, &pkt);
                     to_deliver.push(pkt);
                     if budget == 0 {
                         break;

@@ -4,6 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use mm_capture::{PacketEvent, PacketEventKind, TapHandle, TapPoint};
 use mm_net::{Namespace, Packet, PacketSink, SinkRef};
 use mm_sim::{RngStream, Simulator};
 
@@ -20,6 +21,9 @@ pub struct LossLink {
     rng: RefCell<RngStream>,
     next: SinkRef,
     stats: RefCell<LossStats>,
+    /// Per-packet observability hook ([`LossLink::set_tap`]); reports
+    /// drops only (pass-through is synchronous and uneventful).
+    tap: RefCell<Option<(TapHandle, TapPoint)>>,
 }
 
 impl LossLink {
@@ -31,7 +35,15 @@ impl LossLink {
             rng: RefCell::new(rng),
             next,
             stats: RefCell::new(LossStats::default()),
+            tap: RefCell::new(None),
         })
+    }
+
+    /// Attach a per-packet tap: each Bernoulli loss reports a
+    /// [`PacketEventKind::Drop`] event. Taps observe only — the RNG
+    /// stream and drop decisions are untouched.
+    pub fn set_tap(&self, tap: TapHandle, point: TapPoint) {
+        *self.tap.borrow_mut() = Some((tap, point));
     }
 
     /// Counters snapshot.
@@ -50,7 +62,18 @@ impl PacketSink for LossLink {
                 s.dropped += 1;
             }
         }
-        if !drop {
+        if drop {
+            if let Some((tap, point)) = &*self.tap.borrow() {
+                tap.on_packet(&PacketEvent {
+                    t_ns: sim.now().as_nanos(),
+                    kind: PacketEventKind::Drop,
+                    point: *point,
+                    pkt_id: pkt.id,
+                    size_bytes: pkt.wire_size() as u32,
+                    sojourn_ns: 0,
+                });
+            }
+        } else {
             self.next.deliver(sim, pkt);
         }
     }

@@ -32,7 +32,7 @@ use crate::time::{SimDuration, Timestamp};
 /// sim.run();
 /// assert!(!fired.get());
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Timer {
     generation: Rc<Cell<u64>>,
     deadline: Rc<Cell<Timestamp>>,
@@ -42,16 +42,39 @@ pub struct Timer {
     mux: Option<Rc<MuxInner>>,
     /// The mux map key of the currently pending entry, if any.
     mux_key: Rc<Cell<Option<(Timestamp, u64)>>>,
+    /// Dispatch tag for the event-loop profiler (doubles as the metric
+    /// name the firing count exports under).
+    tag: &'static str,
 }
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::new()
+    }
+}
+
+/// Default dispatch tag of [`Timer`] firings.
+pub const TIMER_EVENT: &str = "sim_events_timer_total";
+
+/// Dispatch tag of the shared [`TimerMux`] dispatcher slot.
+pub const TIMER_MUX_EVENT: &str = "sim_events_timer_mux_total";
 
 impl Timer {
     /// Create an unarmed timer.
     pub fn new() -> Self {
+        Timer::tagged(TIMER_EVENT)
+    }
+
+    /// Create an unarmed timer whose firings are dispatched under `tag`
+    /// in the event-loop profiler (see
+    /// [`Simulator::schedule_at_tagged`]).
+    pub fn tagged(tag: &'static str) -> Self {
         Timer {
             generation: Rc::new(Cell::new(0)),
             deadline: Rc::new(Cell::new(Timestamp::NEVER)),
             mux: None,
             mux_key: Rc::new(Cell::new(None)),
+            tag,
         }
     }
 
@@ -105,7 +128,7 @@ impl Timer {
         }
         let generation = self.generation.clone();
         let deadline = self.deadline.clone();
-        sim.schedule_at(at, move |sim| {
+        sim.schedule_at_tagged(self.tag, at, move |sim| {
             if generation.get() == gen {
                 deadline.set(Timestamp::NEVER);
                 f(sim);
@@ -156,11 +179,20 @@ pub struct TimerMux {
     inner: Rc<MuxInner>,
 }
 
-#[derive(Default)]
 struct MuxInner {
     pending: RefCell<BTreeMap<(Timestamp, u64), EventFn>>,
     next_seq: Cell<u64>,
     dispatcher: Timer,
+}
+
+impl Default for MuxInner {
+    fn default() -> Self {
+        MuxInner {
+            pending: RefCell::new(BTreeMap::new()),
+            next_seq: Cell::new(0),
+            dispatcher: Timer::tagged(TIMER_MUX_EVENT),
+        }
+    }
 }
 
 impl TimerMux {

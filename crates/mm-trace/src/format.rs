@@ -116,6 +116,13 @@ impl Trace {
         self.period_ms
     }
 
+    /// The opportunity timestamps of one period, milliseconds,
+    /// non-decreasing (what capture metadata embeds so offline analyzers
+    /// can reconstruct the capacity series).
+    pub fn deliveries_ms(&self) -> &[u64] {
+        &self.deliveries_ms
+    }
+
     /// Timestamp (ms) of the `i`-th delivery opportunity, wrapping the
     /// trace indefinitely: `t(i) = (i / n) * period + deliveries[i % n]`.
     pub fn opportunity_ms(&self, i: u64) -> u64 {
