@@ -45,6 +45,14 @@ impl ExperimentSpec {
     /// boundaries) and writes `<dir>/capture.jsonl` after the run —
     /// render it with `mmgraph <dir>`. Taps only observe — the BENCH
     /// output is byte-identical with capture on or off.
+    ///
+    /// And `--span-out <dir>` turns on the process-global causal-span
+    /// channel for the first [`mahimahi::obs::DEFAULT_SPAN_LOADS`] page
+    /// loads (page/resource/phase spans from the browser, `ServerThink`
+    /// from the replay servers, `ConnSetup`/`HolWait`/`Conn` from the
+    /// TCP layer) and writes `<dir>/spans.jsonl` after the run —
+    /// analyze it with `mmpath <dir>/spans.jsonl`. Sinks only observe —
+    /// the BENCH output is byte-identical with spans on or off.
     pub fn main(&self) {
         let args: Vec<String> = std::env::args().collect();
         let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
@@ -70,6 +78,18 @@ impl ExperimentSpec {
         });
         if capture_out.is_some() {
             mahimahi::obs::enable_capture(mahimahi::obs::DEFAULT_CAPTURE_LOADS);
+        }
+        let span_out = args.iter().position(|a| a == "--span-out").map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("--span-out requires a directory argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        });
+        if span_out.is_some() {
+            mahimahi::obs::enable_spans(mahimahi::obs::DEFAULT_SPAN_LOADS);
         }
         let n = args
             .get(1)
@@ -101,6 +121,21 @@ impl ExperimentSpec {
                     jsonl.lines().count()
                 ),
                 Err(e) => eprintln!("\n  could not write capture into {dir}: {e}"),
+            }
+        }
+        if let Some(dir) = &span_out {
+            let jsonl = mahimahi::obs::take_span_jsonl();
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                let path = std::path::Path::new(dir).join("spans.jsonl");
+                std::fs::write(&path, &jsonl).map(|()| path)
+            });
+            match write {
+                Ok(path) => println!(
+                    "\n  wrote {} ({} spans)",
+                    path.display(),
+                    jsonl.lines().count()
+                ),
+                Err(e) => eprintln!("\n  could not write spans into {dir}: {e}"),
             }
         }
         if let Some(metrics) = metrics {

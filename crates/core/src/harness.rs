@@ -119,6 +119,13 @@ pub struct LoadSpec<'a> {
     /// [`crate::obs::enable_capture`]). Taps only observe: results are
     /// byte-identical with or without one.
     pub capture: Option<mm_capture::TapHandle>,
+    /// Explicit causal-span sink for this load, attached to the browser
+    /// (page/resource/phase spans), the replay servers (`ServerThink`)
+    /// and every host's TCP layer (`ConnSetup`/`HolWait`/`Conn`). `None`
+    /// falls back to the process-global `--span-out` channel (see
+    /// [`crate::obs::enable_spans`]). Sinks only observe: results are
+    /// byte-identical with or without one.
+    pub span: Option<mm_trace::SpanHandle>,
     /// Seed for all stochastic elements of this load.
     pub seed: u64,
 }
@@ -135,6 +142,7 @@ impl<'a> LoadSpec<'a> {
             live_web: None,
             tcp: None,
             capture: None,
+            span: None,
             seed: 0,
         }
     }
@@ -194,6 +202,35 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
         .clone()
         .or_else(|| claimed.as_ref().map(mm_capture::Capture::handle));
 
+    // Causal spans (the experiment bins' `--span-out` plumbing): an
+    // explicit sink on the spec wins; otherwise, when the process-global
+    // span channel is on and its load budget allows, this load records
+    // into a private `TraceBuffer` merged on completion. Sinks only
+    // observe, so the simulation is byte-identical either way.
+    let span_claimed = if spec.span.is_none() {
+        crate::obs::claim_span_load().map(mm_trace::TraceBuffer::for_load)
+    } else {
+        None
+    };
+    let span = spec
+        .span
+        .clone()
+        .or_else(|| span_claimed.as_ref().map(mm_trace::TraceBuffer::handle));
+    // The TCP-layer spans ride the same per-load TCP config as flow
+    // tracing; like the tracer substitution above, the sink field is the
+    // only difference from the unspanned config.
+    let spec_tcp = match &span {
+        Some(sp) if spec_tcp.as_ref().is_none_or(|t| t.span.is_none()) => Some(
+            spec_tcp
+                .clone()
+                .unwrap_or_default()
+                .to_builder()
+                .span(sp.clone())
+                .build(),
+        ),
+        _ => spec_tcp,
+    };
+
     // Outermost: ReplayShell's world. The browser's protocol choice is
     // passed through to the servers so both ends of the connection speak
     // the same wire format — one knob on the spec drives the whole stack.
@@ -209,6 +246,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     }
     if replay_config.capture.is_none() {
         replay_config.capture = tap.clone();
+    }
+    if replay_config.span.is_none() {
+        replay_config.span = span.clone();
     }
     let shell = {
         let root_ns = Namespace::root("replayshell");
@@ -280,6 +320,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     if browser_config.capture.is_none() {
         browser_config.capture = tap.clone();
     }
+    if browser_config.span.is_none() {
+        browser_config.span = span.clone();
+    }
 
     let resolver: Resolver = {
         let shell = shell.clone();
@@ -312,6 +355,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     if let Some(capture) = &claimed {
         crate::obs::merge_capture(capture);
     }
+    if let Some(buf) = &span_claimed {
+        crate::obs::merge_spans(buf);
+    }
     let r = result
         .borrow_mut()
         .take()
@@ -333,6 +379,7 @@ pub fn run_loads(spec: &LoadSpec<'_>, n: usize) -> Vec<f64> {
                 live_web: spec.live_web.clone(),
                 tcp: spec.tcp.clone(),
                 capture: spec.capture.clone(),
+                span: spec.span.clone(),
                 seed: spec.seed.wrapping_mul(1_000_003).wrapping_add(i as u64),
             };
             run_page_load(&load_spec).plt.as_millis_f64()

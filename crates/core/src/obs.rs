@@ -1,15 +1,19 @@
 //! Observability glue for the harness layers: registry export helpers
-//! for page-load and fleet results, and the process-global flow-trace
-//! collector behind the experiment binaries' `--trace-out` flag.
+//! for page-load and fleet results, and the process-global collectors
+//! behind the experiment binaries' `--trace-out`, `--capture-out` and
+//! `--span-out` flags.
 //!
-//! The collector is process-global because experiment bodies shard
+//! The collectors are process-global because experiment bodies shard
 //! site loops across threads (`bench::parallel_map`) and each load
-//! builds its own world: every load gets a private [`FlowTracer`]
-//! (single-threaded, like the world), and drains its JSONL into the
-//! shared buffer when the load completes. Enabling the trace installs
-//! a metrics sink into otherwise-unconfigured loads; sinks only
-//! observe, so simulation results — and therefore BENCH outputs — are
-//! unchanged.
+//! builds its own world: every instrumented load gets a private
+//! single-threaded recorder ([`FlowTracer`], [`mm_capture::Capture`],
+//! [`mm_trace::TraceBuffer`]) and drains its JSONL into the shared
+//! buffer when the load completes. All three channels share one
+//! [`ObsChannel`] shape — an enable flag, a CAS-claimed load budget
+//! handing out process-unique load ids, and the merge buffer — so
+//! adding a consumer is a static and three thin wrappers. Recorders
+//! only observe; simulation results (and therefore BENCH outputs) are
+//! byte-identical with them on or off.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -17,14 +21,79 @@ use std::sync::Mutex;
 use crate::fleet::FleetResult;
 use mm_metrics::{FlowTracer, Registry, LATENCY_BUCKETS_S};
 use mm_sim::SimDuration;
+use mm_trace::{Span, SpanKind, SpanSink};
 
-static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
-static TRACE_BUFFER: Mutex<String> = Mutex::new(String::new());
+/// One process-global observability channel: an on/off flag, a budget
+/// of page loads still to record (claimed by CAS so threaded site
+/// loops never over-record), a process-unique load-id allocator, and
+/// the buffer completed loads merge their JSONL into.
+struct ObsChannel {
+    enabled: AtomicBool,
+    budget: AtomicU64,
+    next_load: AtomicU64,
+    buffer: Mutex<String>,
+}
 
-static CAPTURE_ENABLED: AtomicBool = AtomicBool::new(false);
-static CAPTURE_BUFFER: Mutex<String> = Mutex::new(String::new());
-static CAPTURE_BUDGET: AtomicU64 = AtomicU64::new(0);
-static CAPTURE_NEXT_LOAD: AtomicU64 = AtomicU64::new(0);
+impl ObsChannel {
+    const fn new() -> ObsChannel {
+        ObsChannel {
+            enabled: AtomicBool::new(false),
+            budget: AtomicU64::new(0),
+            next_load: AtomicU64::new(0),
+            buffer: Mutex::new(String::new()),
+        }
+    }
+
+    fn enable(&self, max_loads: u64) {
+        self.budget.store(max_loads, Ordering::SeqCst);
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Claim a recording slot for one page load, returning its
+    /// process-unique load id, or `None` when the channel is off or
+    /// the budget is spent.
+    fn claim_load(&self) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut budget = self.budget.load(Ordering::SeqCst);
+        loop {
+            if budget == 0 {
+                return None;
+            }
+            match self.budget.compare_exchange(
+                budget,
+                budget - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(self.next_load.fetch_add(1, Ordering::SeqCst)),
+                Err(seen) => budget = seen,
+            }
+        }
+    }
+
+    fn append(&self, jsonl: &str) {
+        if !jsonl.is_empty() {
+            self.buffer
+                .lock()
+                .expect("obs buffer poisoned")
+                .push_str(jsonl);
+        }
+    }
+
+    fn take(&self) -> String {
+        std::mem::take(&mut *self.buffer.lock().expect("obs buffer poisoned"))
+    }
+}
+
+static TRACE: ObsChannel = ObsChannel::new();
+static CAPTURE: ObsChannel = ObsChannel::new();
+static SPAN: ObsChannel = ObsChannel::new();
 
 /// Default number of page loads a `--capture-out` run captures. Packet
 /// captures are far denser than flow traces (every enqueue/dequeue/
@@ -33,37 +102,46 @@ static CAPTURE_NEXT_LOAD: AtomicU64 = AtomicU64::new(0);
 /// complete loads to draw.
 pub const DEFAULT_CAPTURE_LOADS: u64 = 8;
 
+/// Default number of page loads a `--span-out` run records. Spans are
+/// per-resource rather than per-packet (a few hundred per load), so
+/// the budget can afford more loads than packet capture — enough for
+/// `mmpath --diff` to pair both arms of a protocol comparison across
+/// several sites.
+pub const DEFAULT_SPAN_LOADS: u64 = 64;
+
 /// Turn on process-global flow tracing: subsequent
 /// [`run_page_load`](crate::harness::run_page_load) calls whose spec
 /// carries no explicit metrics sink get a private tracer whose samples
-/// accumulate for [`take_trace_jsonl`].
+/// accumulate for [`take_trace_jsonl`]. Flow traces are cheap (a few
+/// samples per ack), so the budget is effectively unbounded — the
+/// claim exists so all channels share one idiom.
 pub fn enable_trace() {
-    TRACE_ENABLED.store(true, Ordering::SeqCst);
+    TRACE.enable(u64::MAX);
 }
 
 /// Whether [`enable_trace`] has been called.
 pub fn trace_enabled() -> bool {
-    TRACE_ENABLED.load(Ordering::SeqCst)
+    TRACE.enabled()
+}
+
+/// Claim a flow-trace slot for one page load (see [`ObsChannel::claim_load`]).
+pub fn claim_trace_load() -> Option<u64> {
+    TRACE.claim_load()
 }
 
 /// Append one world's drained trace to the global buffer.
 pub fn append_trace_jsonl(jsonl: &str) {
-    if !jsonl.is_empty() {
-        TRACE_BUFFER
-            .lock()
-            .expect("trace buffer poisoned")
-            .push_str(jsonl);
-    }
+    TRACE.append(jsonl);
 }
 
 /// Drain a per-world tracer into the global buffer.
 pub fn merge_tracer(tracer: &FlowTracer) {
-    append_trace_jsonl(&tracer.take_jsonl());
+    TRACE.append(&tracer.take_jsonl());
 }
 
 /// Take everything traced so far (the `--trace-out` writer).
 pub fn take_trace_jsonl() -> String {
-    std::mem::take(&mut *TRACE_BUFFER.lock().expect("trace buffer poisoned"))
+    TRACE.take()
 }
 
 /// Turn on process-global packet capture for the first `max_loads`
@@ -73,56 +151,108 @@ pub fn take_trace_jsonl() -> String {
 /// completes. Taps only observe, so simulation results — and therefore
 /// BENCH outputs — are byte-identical with capture on or off.
 pub fn enable_capture(max_loads: u64) {
-    CAPTURE_BUDGET.store(max_loads, Ordering::SeqCst);
-    CAPTURE_ENABLED.store(true, Ordering::SeqCst);
+    CAPTURE.enable(max_loads);
 }
 
 /// Whether [`enable_capture`] has been called.
 pub fn capture_enabled() -> bool {
-    CAPTURE_ENABLED.load(Ordering::SeqCst)
+    CAPTURE.enabled()
 }
 
 /// Claim a capture slot for one page load, returning its process-unique
 /// load id, or `None` when capture is off or the budget is spent.
 pub fn claim_capture_load() -> Option<u64> {
-    if !capture_enabled() {
-        return None;
-    }
-    let mut budget = CAPTURE_BUDGET.load(Ordering::SeqCst);
-    loop {
-        if budget == 0 {
-            return None;
-        }
-        match CAPTURE_BUDGET.compare_exchange(
-            budget,
-            budget - 1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
-            Ok(_) => return Some(CAPTURE_NEXT_LOAD.fetch_add(1, Ordering::SeqCst)),
-            Err(seen) => budget = seen,
-        }
-    }
+    CAPTURE.claim_load()
 }
 
 /// Append one load's capture JSONL to the global buffer.
 pub fn append_capture_jsonl(jsonl: &str) {
-    if !jsonl.is_empty() {
-        CAPTURE_BUFFER
-            .lock()
-            .expect("capture buffer poisoned")
-            .push_str(jsonl);
-    }
+    CAPTURE.append(jsonl);
 }
 
 /// Drain a per-load capture into the global buffer.
 pub fn merge_capture(capture: &mm_capture::Capture) {
-    append_capture_jsonl(&capture.take_jsonl());
+    CAPTURE.append(&capture.take_jsonl());
 }
 
 /// Take everything captured so far (the `--capture-out` writer).
 pub fn take_capture_jsonl() -> String {
-    std::mem::take(&mut *CAPTURE_BUFFER.lock().expect("capture buffer poisoned"))
+    CAPTURE.take()
+}
+
+/// Turn on process-global span recording for the first `max_loads`
+/// page loads: each recorded load gets a private
+/// [`mm_trace::TraceBuffer`] wired through the browser, sockets, mux
+/// client and replay servers, whose JSONL is merged into the buffer
+/// behind [`take_span_jsonl`] when the load completes. Sinks only
+/// observe, so BENCH outputs are byte-identical with spans on or off.
+pub fn enable_spans(max_loads: u64) {
+    SPAN.enable(max_loads);
+}
+
+/// Whether [`enable_spans`] has been called.
+pub fn spans_enabled() -> bool {
+    SPAN.enabled()
+}
+
+/// Claim a span slot for one page load, returning its process-unique
+/// load id, or `None` when recording is off or the budget is spent.
+pub fn claim_span_load() -> Option<u64> {
+    SPAN.claim_load()
+}
+
+/// Append one load's span JSONL to the global buffer.
+pub fn append_span_jsonl(jsonl: &str) {
+    SPAN.append(jsonl);
+}
+
+/// Drain a per-load span buffer into the global buffer.
+pub fn merge_spans(buffer: &mm_trace::TraceBuffer) {
+    SPAN.append(&buffer.to_jsonl());
+}
+
+/// Take everything recorded so far (the `--span-out` writer).
+pub fn take_span_jsonl() -> String {
+    SPAN.take()
+}
+
+/// A [`SpanSink`] that turns per-resource phase spans into labeled
+/// duration histograms in a [`Registry`] — the soak harness's view of
+/// the span layer: no buffering, no ids, just which phase's tail grows
+/// as the offered load approaches the knee. Histogram names follow
+/// `<prefix>_phase_<kind>_seconds` so the `_seconds` suffix picks up
+/// the latency bucket ladder downstream.
+pub struct PhaseSink {
+    registry: Registry,
+    prefix: &'static str,
+}
+
+impl PhaseSink {
+    pub fn new(registry: Registry, prefix: &'static str) -> PhaseSink {
+        PhaseSink { registry, prefix }
+    }
+
+    fn name_for(&self, kind: SpanKind) -> Option<String> {
+        if !kind.is_phase() || kind == SpanKind::Failed {
+            return None;
+        }
+        Some(format!("{}_phase_{}_seconds", self.prefix, kind.as_str()))
+    }
+}
+
+impl SpanSink for PhaseSink {
+    fn record(&self, span: Span) {
+        let Some(name) = self.name_for(span.kind) else {
+            return;
+        };
+        self.registry
+            .histogram(
+                &name,
+                "Per-resource phase duration from the span layer.",
+                &LATENCY_BUCKETS_S,
+            )
+            .observe(span.dur_ns() as f64 / 1e9);
+    }
 }
 
 /// Record one page-load time into the `plt_seconds` histogram.
@@ -205,6 +335,44 @@ mod tests {
         let drained = take_capture_jsonl();
         assert!(drained.contains("123456"));
         assert!(!take_capture_jsonl().contains("123456"));
+    }
+
+    #[test]
+    fn span_claim_requires_enable_and_buffer_roundtrips() {
+        // Like capture, the span flag is process-global; unit tests
+        // leave it off and only exercise the buffer round trip.
+        assert!(claim_span_load().is_none());
+        append_span_jsonl("{\"ev\":\"span\",\"load\":654321}\n");
+        let drained = take_span_jsonl();
+        assert!(drained.contains("654321"));
+        assert!(!take_span_jsonl().contains("654321"));
+    }
+
+    #[test]
+    fn phase_sink_observes_phase_kinds_only() {
+        let registry = Registry::new();
+        let sink = PhaseSink::new(registry.clone(), "soak");
+        let span = |kind| Span {
+            load: 0,
+            id: 0,
+            parent: 0,
+            kind,
+            t0_ns: 0,
+            t1_ns: 250_000_000,
+            res: 0,
+            conn: 0,
+            url: String::new(),
+            detail: String::new(),
+        };
+        sink.record(span(SpanKind::Queued));
+        sink.record(span(SpanKind::Transfer));
+        sink.record(span(SpanKind::Page)); // not a phase: ignored
+        sink.record(span(SpanKind::Conn)); // not a phase: ignored
+        let text = registry.encode();
+        assert!(text.contains("soak_phase_queued_seconds_count 1"));
+        assert!(text.contains("soak_phase_transfer_seconds_count 1"));
+        assert!(!text.contains("soak_phase_page"));
+        assert!(!text.contains("soak_phase_conn"));
     }
 
     #[test]

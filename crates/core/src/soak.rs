@@ -494,6 +494,15 @@ pub fn run_soak(spec: &SoakSpec<'_>, registry: &Registry) -> SoakResult {
     if browser_cfg.tcp.is_none() {
         browser_cfg.tcp = Some(tcp);
     }
+    // Per-phase duration histograms (`soak_phase_*_seconds`): every
+    // session's span stream feeds the registry instead of a buffer, so
+    // the soak's Prometheus snapshot shows which phase's tail grows as
+    // offered load approaches the knee.
+    if browser_cfg.span.is_none() {
+        browser_cfg.span = Some(mm_trace::SpanHandle::new(Rc::new(
+            crate::obs::PhaseSink::new(registry.clone(), "soak"),
+        )));
+    }
 
     // Pre-register the TCP counter families the sockets report into,
     // so the exported snapshot carries every series at zero instead of
@@ -723,6 +732,12 @@ mod tests {
         assert!(text.contains("sim_events_delay_total"));
         assert!(text.contains("sim_heap_high_water_events"));
         assert!(text.contains("soak_origin_requests"));
+        // Span layer → PhaseSink: per-phase duration histograms land in
+        // the same registry, so the snapshot attributes where session
+        // time goes (transfer vs queueing vs parse).
+        assert!(text.contains("soak_phase_transfer_seconds_bucket"));
+        assert!(text.contains("soak_phase_conn_setup_seconds_bucket"));
+        assert!(text.contains("soak_phase_parse_seconds_bucket"));
     }
 
     #[test]

@@ -22,9 +22,12 @@ use std::rc::Rc;
 use bytes::Bytes;
 use mm_capture::{HttpEvent, HttpPhase, TapHandle};
 use mm_http::{write_request, Request, Response, ResponseParser, Url};
-use mm_mux::{MuxClient, MuxConfig, MuxError, PRIORITY_BULK, PRIORITY_ROOT, PRIORITY_SUBRESOURCE};
+use mm_mux::{
+    MuxClient, MuxConfig, MuxError, StreamEvent, PRIORITY_BULK, PRIORITY_ROOT, PRIORITY_SUBRESOURCE,
+};
 use mm_net::{Host, SocketAddr, SocketApp, SocketEvent, TcpHandle};
 use mm_sim::{SimDuration, Simulator, Timestamp};
+use mm_trace::{Span, SpanHandle, SpanKind};
 
 use crate::scan::{extract_urls, is_scannable};
 
@@ -79,6 +82,15 @@ pub struct BrowserConfig {
     /// resource's index in [`PageLoadResult::resources`]. `None` (the
     /// default) costs one branch per transition; taps observe only.
     pub capture: Option<TapHandle>,
+    /// Causal-span sink: emits a `Page` span per load, a `Resource`
+    /// span per fetch parented to the resource whose parse discovered
+    /// it, and the contiguous per-resource phase chain (`Queued` →
+    /// [`ConnSetup`] → [`MuxWait`] → `RequestTx` → `Transfer` →
+    /// `RenderQueue` → `Parse`) that tiles queued → parse-complete —
+    /// the exact-tiling property `mmpath`'s critical-path walk sums to
+    /// PLT. `None` (the default) costs one branch per transition;
+    /// sinks observe only.
+    pub span: Option<SpanHandle>,
 }
 
 impl Default for BrowserConfig {
@@ -90,8 +102,16 @@ impl Default for BrowserConfig {
             max_resources: 10_000,
             tcp: None,
             capture: None,
+            span: None,
         }
     }
+}
+
+/// The span layer's connection id: the browser-side (initiator) local
+/// address packed as `ip << 16 | port` — the same id the socket layer
+/// and the replay servers stamp.
+fn span_conn_id(addr: SocketAddr) -> u64 {
+    ((addr.ip.0 as u64) << 16) | addr.port as u64
 }
 
 /// Emit an [`HttpEvent`] if a tap is attached (browser side: `resource`
@@ -168,6 +188,27 @@ struct FetchJob {
     timing_idx: usize,
 }
 
+/// Per-resource span bookkeeping: ids allocated at fetch time plus the
+/// phase-boundary stamps the emitters fill in along the way. Index-
+/// parallel with `LoadState::timings`; inert (all zero) when no sink is
+/// attached.
+#[derive(Clone, Copy, Default)]
+struct ResSpanRec {
+    span_id: u64,
+    /// Span id of the resource whose parse discovered this one (the
+    /// `Page` span for the root document).
+    parent_span: u64,
+    conn: u64,
+    /// HTTP/1.1: request written to the socket. Mux: stream submitted.
+    sent_at: Option<Timestamp>,
+    /// Connection-setup wait interval, when this resource paid one.
+    setup_t0: Option<Timestamp>,
+    setup_t1: Option<Timestamp>,
+    /// Mux only: HEADERS actually sent (stream left the client's queue).
+    opened_at: Option<Timestamp>,
+    first_byte_at: Option<Timestamp>,
+}
+
 struct Conn {
     /// None only during the instant between allocation and `connect`.
     handle: Option<TcpHandle>,
@@ -175,6 +216,11 @@ struct Conn {
     active: VecDeque<FetchJob>,
     connected: bool,
     dead: bool,
+    /// When `connect` was issued (span layer: ConnSetup start).
+    connect_started: Timestamp,
+    /// When the handshake completed; a request written at exactly this
+    /// instant waited on the handshake (span layer: ConnSetup end).
+    connected_at: Option<Timestamp>,
 }
 
 type ConnRef = Rc<RefCell<Conn>>;
@@ -186,6 +232,9 @@ struct Pool {
     conns: Vec<ConnRef>,
     /// The origin's single multiplexed connection (mux mode only).
     mux: Option<MuxClient>,
+    /// When the mux connection's handshake completed (span layer: a
+    /// stream whose HEADERS left at exactly this instant waited on it).
+    mux_ready_at: Option<Timestamp>,
     /// Jobs not yet handed to a connection.
     queue: VecDeque<FetchJob>,
 }
@@ -200,6 +249,10 @@ struct LoadState {
     /// Pools keyed by URL authority (`host:port`).
     pools: HashMap<String, Pool>,
     timings: Vec<ResourceTiming>,
+    /// Span id of this load's `Page` span (0 when no sink).
+    page_span: u64,
+    /// Index-parallel with `timings`.
+    spans: Vec<ResSpanRec>,
     finished_at: Timestamp,
     /// The renderer main thread is busy until this instant; parse jobs
     /// serialize behind it.
@@ -257,31 +310,39 @@ impl Browser {
         done: impl FnOnce(&mut Simulator, PageLoadResult) + 'static,
     ) {
         let url = Url::parse(root_url).expect("valid root URL");
-        {
+        let page_span = {
             let mut inner = self.inner.borrow_mut();
             assert!(inner.load.is_none(), "navigation already in progress");
+            let page_span = inner.config.span.as_ref().map_or(0, |s| s.next_id());
             inner.load = Some(LoadState {
                 started: sim.now(),
                 seen: HashSet::new(),
                 outstanding: 0,
                 pools: HashMap::new(),
                 timings: Vec::new(),
+                page_span,
+                spans: Vec::new(),
                 finished_at: sim.now(),
                 cpu_busy_until: sim.now(),
                 done: Some(Box::new(done)),
             });
-        }
-        self.fetch(sim, url);
+            page_span
+        };
+        self.fetch(sim, url, page_span);
     }
 
     /// Queue a fetch for `url` (no-op if already seen this load).
-    fn fetch(&self, sim: &mut Simulator, url: Url) {
+    /// `parent_span` is the span id of whatever discovered this URL: the
+    /// `Page` span for the root document, the discovering resource's
+    /// span for everything else (0 when no sink is attached).
+    fn fetch(&self, sim: &mut Simulator, url: Url, parent_span: u64) {
         let (authority, mux) = {
             let mut inner = self.inner.borrow_mut();
             let resolver = inner.resolver.clone();
             let max = inner.config.max_resources;
             let mux = matches!(inner.config.protocol, ProtocolMode::Mux(_));
             let tap = inner.config.capture.clone();
+            let span_id = inner.config.span.as_ref().map_or(0, |s| s.next_id());
             let Some(load) = inner.load.as_mut() else {
                 return;
             };
@@ -303,10 +364,16 @@ impl Browser {
                 body_bytes: 0,
                 failed: false,
             });
+            load.spans.push(ResSpanRec {
+                span_id,
+                parent_span,
+                ..ResSpanRec::default()
+            });
             let pool = load.pools.entry(authority.clone()).or_insert_with(|| Pool {
                 addr,
                 conns: Vec::new(),
                 mux: None,
+                mux_ready_at: None,
                 queue: VecDeque::new(),
             });
             pool.queue.push_back(FetchJob { url, timing_idx });
@@ -337,6 +404,7 @@ impl Browser {
                     ProtocolMode::Mux(_) => unreachable!("pump_pool is HTTP/1.1-only"),
                 };
                 let tap = inner.config.capture.clone();
+                let span_on = inner.config.span.is_some();
                 let Some(load) = inner.load.as_mut() else {
                     return;
                 };
@@ -368,6 +436,21 @@ impl Browser {
                         0,
                     );
                     let mut c = conn.borrow_mut();
+                    if span_on {
+                        let now = sim.now();
+                        let queued = load.timings[job.timing_idx].queued_at;
+                        let rec = &mut load.spans[job.timing_idx];
+                        rec.sent_at = Some(now);
+                        if let Some(h) = &c.handle {
+                            rec.conn = span_conn_id(h.local_addr());
+                        }
+                        // A request written at the very instant the
+                        // handshake completed waited on that handshake.
+                        if c.connected_at == Some(now) {
+                            rec.setup_t0 = Some(c.connect_started.max(queued));
+                            rec.setup_t1 = Some(now);
+                        }
+                    }
                     c.active.push_back(job);
                     let handle = c.handle.clone().expect("connected conn has a handle");
                     Step::Send(handle, wire)
@@ -452,9 +535,11 @@ impl Browser {
                         0,
                         0,
                     );
+                    self.stamp_mux_submit(sim.now(), job.timing_idx, &client);
                     let me = self.clone();
                     let auth = authority.to_string();
-                    client.request(sim, req, priority, move |sim, result| {
+                    let tag = job.timing_idx as u32;
+                    client.request_tagged(sim, req, priority, tag, move |sim, result| {
                         me.on_mux_result(sim, &auth, job, result);
                     });
                 }
@@ -462,9 +547,17 @@ impl Browser {
                     let host = self.inner.borrow().host.clone();
                     let client = MuxClient::connect(sim, &host, addr, config);
                     let mut inner = self.inner.borrow_mut();
+                    if inner.config.span.is_some() {
+                        let me = self.clone();
+                        let auth = authority.to_string();
+                        client.set_observer(Rc::new(move |tag, ev, t| {
+                            me.on_mux_stream_event(&auth, tag, ev, t);
+                        }));
+                    }
                     if let Some(load) = inner.load.as_mut() {
                         if let Some(pool) = load.pools.get_mut(authority) {
                             pool.mux = Some(client);
+                            pool.mux_ready_at = None;
                         }
                     }
                 }
@@ -488,6 +581,7 @@ impl Browser {
                 let retry = {
                     let mut inner = self.inner.borrow_mut();
                     let tap = inner.config.capture.clone();
+                    let span = inner.config.span.clone();
                     let Some(load) = inner.load.as_mut() else {
                         return;
                     };
@@ -504,9 +598,25 @@ impl Browser {
                             0,
                             0,
                         );
+                        Self::span_failed(
+                            &span,
+                            &load.spans[job.timing_idx],
+                            job.timing_idx,
+                            t.queued_at,
+                            &t.url,
+                            sim.now(),
+                        );
                         false
                     } else {
                         load.timings[job.timing_idx].failed = true;
+                        // Reset the span stamps so the retry re-times its
+                        // phases from a clean slate.
+                        let rec = &mut load.spans[job.timing_idx];
+                        *rec = ResSpanRec {
+                            span_id: rec.span_id,
+                            parent_span: rec.parent_span,
+                            ..ResSpanRec::default()
+                        };
                         match load.pools.get_mut(authority) {
                             Some(pool) => {
                                 if pool.mux.as_ref().is_some_and(|c| c.is_dead()) {
@@ -528,6 +638,14 @@ impl Browser {
                                     0,
                                     0,
                                 );
+                                Self::span_failed(
+                                    &span,
+                                    &load.spans[job.timing_idx],
+                                    job.timing_idx,
+                                    t.queued_at,
+                                    &t.url,
+                                    sim.now(),
+                                );
                                 false
                             }
                         }
@@ -548,6 +666,8 @@ impl Browser {
             active: VecDeque::new(),
             connected: false,
             dead: false,
+            connect_started: sim.now(),
+            connected_at: None,
         }));
         let app = Rc::new(ConnApp {
             browser: self.clone(),
@@ -566,7 +686,11 @@ impl Browser {
 
     /// A connection finished its handshake.
     fn on_conn_ready(&self, sim: &mut Simulator, authority: &str, conn: &ConnRef) {
-        conn.borrow_mut().connected = true;
+        {
+            let mut c = conn.borrow_mut();
+            c.connected = true;
+            c.connected_at = Some(sim.now());
+        }
         self.pump_pool(sim, authority);
     }
 
@@ -583,6 +707,7 @@ impl Browser {
         {
             let mut inner = self.inner.borrow_mut();
             let tap = inner.config.capture.clone();
+            let span = inner.config.span.clone();
             if let Some(load) = inner.load.as_mut() {
                 if let Some(pool) = load.pools.get_mut(authority) {
                     for job in jobs {
@@ -602,9 +727,23 @@ impl Browser {
                                 0,
                                 0,
                             );
+                            Self::span_failed(
+                                &span,
+                                &load.spans[job.timing_idx],
+                                job.timing_idx,
+                                t.queued_at,
+                                &t.url,
+                                sim.now(),
+                            );
                             continue;
                         }
                         load.timings[job.timing_idx].failed = true;
+                        let rec = &mut load.spans[job.timing_idx];
+                        *rec = ResSpanRec {
+                            span_id: rec.span_id,
+                            parent_span: rec.parent_span,
+                            ..ResSpanRec::default()
+                        };
                         pool.queue.push_back(job);
                     }
                 }
@@ -629,7 +768,8 @@ impl Browser {
     /// main thread, and scan it for subresources once parsed. Shared by
     /// the HTTP/1.1 and mux paths.
     fn complete_resource(&self, sim: &mut Simulator, timing_idx: usize, resp: Response) {
-        let parse_done_at = {
+        let span_sink = self.inner.borrow().config.span.clone();
+        let (parse_done_at, parse_start, span_rec) = {
             let mut inner = self.inner.borrow_mut();
             let cfg_base = inner.config.parse_delay_base;
             let cfg_kb = inner.config.parse_delay_per_kb;
@@ -666,7 +806,26 @@ impl Browser {
             // Serialize on the renderer main thread.
             let start = load.cpu_busy_until.max(sim.now());
             load.cpu_busy_until = start + cost;
-            load.cpu_busy_until
+            let span_rec = span_sink.as_ref().map(|_| {
+                let t = &load.timings[timing_idx];
+                (load.spans[timing_idx], t.queued_at, t.url.clone())
+            });
+            (load.cpu_busy_until, start, span_rec)
+        };
+        let parent_span = if let (Some(sp), Some((rec, queued_at, url))) = (&span_sink, span_rec) {
+            Self::emit_resource_chain(
+                sp,
+                &rec,
+                timing_idx,
+                queued_at,
+                sim.now(),
+                parse_start,
+                parse_done_at,
+                &url,
+            );
+            rec.span_id
+        } else {
+            0
         };
         // Parse for subresources once the main thread has processed this
         // resource, then retire it.
@@ -676,7 +835,7 @@ impl Browser {
         sim.schedule_at(parse_done_at, move |sim| {
             if scannable {
                 for url in extract_urls(&body) {
-                    me.fetch(sim, url);
+                    me.fetch(sim, url, parent_span);
                 }
             }
             {
@@ -688,6 +847,197 @@ impl Browser {
             }
             me.maybe_finish(sim);
         });
+    }
+
+    /// Stamp a mux stream submission (span layer; no-op without a sink).
+    fn stamp_mux_submit(&self, now: Timestamp, timing_idx: usize, client: &MuxClient) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.config.span.is_none() {
+            return;
+        }
+        let conn = client.local_addr().map_or(0, span_conn_id);
+        let Some(load) = inner.load.as_mut() else {
+            return;
+        };
+        let rec = &mut load.spans[timing_idx];
+        rec.sent_at = Some(now);
+        rec.conn = conn;
+    }
+
+    /// Mux stream milestone from the client's observer hook (span layer).
+    ///
+    /// `Opened` at the very instant the connection became ready means the
+    /// stream waited on the handshake: that wait is `ConnSetup`, and the
+    /// residual `MuxWait` collapses to zero. `Opened` later than both
+    /// submit and ready is time spent queued behind the concurrent-stream
+    /// cap — the HoL-style wait `mmpath` attributes to `MuxWait`.
+    fn on_mux_stream_event(&self, authority: &str, tag: u32, ev: StreamEvent, t: Timestamp) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(load) = inner.load.as_mut() else {
+            return;
+        };
+        match ev {
+            StreamEvent::ConnReady => {
+                if let Some(pool) = load.pools.get_mut(authority) {
+                    pool.mux_ready_at = Some(t);
+                }
+            }
+            StreamEvent::Opened => {
+                let ready = load.pools.get(authority).and_then(|p| p.mux_ready_at);
+                if let Some(rec) = load.spans.get_mut(tag as usize) {
+                    rec.opened_at = Some(t);
+                    if ready == Some(t) {
+                        if let Some(sent) = rec.sent_at {
+                            if t > sent {
+                                rec.setup_t0 = Some(sent);
+                                rec.setup_t1 = Some(t);
+                            }
+                        }
+                    }
+                }
+            }
+            StreamEvent::FirstByte => {
+                if let Some(rec) = load.spans.get_mut(tag as usize) {
+                    if rec.first_byte_at.is_none() {
+                        rec.first_byte_at = Some(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// First response bytes on an HTTP/1.1 connection: stamp the front
+    /// in-flight job's first-byte instant (span layer; no-op without a
+    /// sink). Safe to call per Data event: without pipelining the next
+    /// request is only written after the previous response completes, so
+    /// every Data event's bytes belong to the front job.
+    fn on_first_bytes(&self, now: Timestamp, conn: &ConnRef) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.config.span.is_none() {
+            return;
+        }
+        let idx = match conn.borrow().active.front() {
+            Some(job) => job.timing_idx,
+            None => return,
+        };
+        let Some(load) = inner.load.as_mut() else {
+            return;
+        };
+        let rec = &mut load.spans[idx];
+        if rec.first_byte_at.is_none() && rec.sent_at.is_some() {
+            rec.first_byte_at = Some(now);
+        }
+    }
+
+    /// Record the span pair for a permanently failed resource: its
+    /// `Resource` span plus one `Failed` phase covering queued → give-up.
+    fn span_failed(
+        span: &Option<SpanHandle>,
+        rec: &ResSpanRec,
+        timing_idx: usize,
+        queued_at: Timestamp,
+        url: &str,
+        now: Timestamp,
+    ) {
+        let Some(sp) = span else { return };
+        sp.record(Span {
+            load: 0,
+            id: rec.span_id,
+            parent: rec.parent_span,
+            kind: SpanKind::Resource,
+            t0_ns: queued_at.as_nanos(),
+            t1_ns: now.as_nanos(),
+            res: timing_idx as u32,
+            conn: rec.conn,
+            url: url.to_string(),
+            detail: "failed".to_string(),
+        });
+        sp.record(Span {
+            load: 0,
+            id: sp.next_id(),
+            parent: rec.span_id,
+            kind: SpanKind::Failed,
+            t0_ns: queued_at.as_nanos(),
+            t1_ns: now.as_nanos(),
+            res: timing_idx as u32,
+            conn: rec.conn,
+            url: String::new(),
+            detail: String::new(),
+        });
+    }
+
+    /// Record a completed resource's `Resource` span and its phase chain.
+    ///
+    /// The phases tile `[queued_at, parse_end]` contiguously: each starts
+    /// where the previous ended and zero-width phases are elided, so the
+    /// phase durations of any one resource sum *exactly* to its span —
+    /// the invariant `mmpath`'s critical-path walk relies on to
+    /// reconstruct PLT without residue.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_resource_chain(
+        sp: &SpanHandle,
+        rec: &ResSpanRec,
+        timing_idx: usize,
+        queued_at: Timestamp,
+        done_at: Timestamp,
+        parse_start: Timestamp,
+        parse_end: Timestamp,
+        url: &str,
+    ) {
+        let res = timing_idx as u32;
+        sp.record(Span {
+            load: 0,
+            id: rec.span_id,
+            parent: rec.parent_span,
+            kind: SpanKind::Resource,
+            t0_ns: queued_at.as_nanos(),
+            t1_ns: parse_end.as_nanos(),
+            res,
+            conn: rec.conn,
+            url: url.to_string(),
+            detail: String::new(),
+        });
+        let mut phases: Vec<(SpanKind, Timestamp, Timestamp)> = Vec::with_capacity(7);
+        let sent = rec.sent_at.unwrap_or(done_at).min(done_at).max(queued_at);
+        let mut t = queued_at;
+        match (rec.setup_t0, rec.setup_t1) {
+            (Some(a), Some(b)) if b > a => {
+                let a = a.max(queued_at);
+                phases.push((SpanKind::Queued, t, a));
+                phases.push((SpanKind::ConnSetup, a, b));
+                t = b;
+            }
+            _ => {
+                phases.push((SpanKind::Queued, t, sent));
+                t = sent;
+            }
+        }
+        if let Some(opened) = rec.opened_at {
+            let opened = opened.max(t).min(done_at);
+            phases.push((SpanKind::MuxWait, t, opened));
+            t = opened;
+        }
+        let fb = rec.first_byte_at.unwrap_or(done_at).max(t).min(done_at);
+        phases.push((SpanKind::RequestTx, t, fb));
+        phases.push((SpanKind::Transfer, fb, done_at));
+        phases.push((SpanKind::RenderQueue, done_at, parse_start));
+        phases.push((SpanKind::Parse, parse_start, parse_end));
+        for (kind, a, b) in phases {
+            if b > a {
+                sp.record(Span {
+                    load: 0,
+                    id: sp.next_id(),
+                    parent: rec.span_id,
+                    kind,
+                    t0_ns: a.as_nanos(),
+                    t1_ns: b.as_nanos(),
+                    res,
+                    conn: rec.conn,
+                    url: String::new(),
+                    detail: String::new(),
+                });
+            }
+        }
     }
 
     fn maybe_finish(&self, sim: &mut Simulator) {
@@ -702,6 +1052,31 @@ impl Browser {
             }
         };
         if let Some(load) = finished {
+            {
+                let inner = self.inner.borrow();
+                if let Some(sp) = &inner.config.span {
+                    let arm = match inner.config.protocol {
+                        ProtocolMode::Http1 { .. } => "http1",
+                        ProtocolMode::Mux(_) => "mux",
+                    };
+                    sp.record(Span {
+                        load: 0,
+                        id: load.page_span,
+                        parent: 0,
+                        kind: SpanKind::Page,
+                        t0_ns: load.started.as_nanos(),
+                        t1_ns: load.finished_at.as_nanos(),
+                        res: mm_trace::NO_RESOURCE,
+                        conn: 0,
+                        url: load
+                            .timings
+                            .first()
+                            .map(|t| t.url.clone())
+                            .unwrap_or_default(),
+                        detail: arm.to_string(),
+                    });
+                }
+            }
             let total: u64 = load.timings.iter().map(|t| t.body_bytes).sum();
             let failures = load
                 .timings
@@ -736,6 +1111,7 @@ impl SocketApp for ConnApp {
                 self.browser.on_conn_ready(sim, &self.authority, &self.conn);
             }
             SocketEvent::Data(bytes) => {
+                self.browser.on_first_bytes(sim.now(), &self.conn);
                 // The browser only issues GETs, and the parser defaults to
                 // "not a HEAD response" when its queue is empty, so no
                 // expect_head bookkeeping is required.

@@ -16,7 +16,7 @@ use std::rc::Rc;
 use bytes::{Bytes, BytesMut};
 use mm_http::{Request, Response};
 use mm_net::{Host, SocketAddr, SocketApp, SocketEvent, TcpHandle};
-use mm_sim::Simulator;
+use mm_sim::{Simulator, Timestamp};
 
 use crate::flow::WindowRefill;
 use crate::frame::{request_fields, response_from_fields, Frame, FrameDecoder};
@@ -46,9 +46,31 @@ impl std::error::Error for MuxError {}
 /// Completion callback for one request.
 pub type DoneFn = Box<dyn FnOnce(&mut Simulator, Result<Response, MuxError>)>;
 
+/// Caller tag meaning "untagged" (observer notifications suppressed).
+pub const NO_TAG: u32 = u32::MAX;
+
+/// Stream-scheduler milestones surfaced to a [`StreamObserver`]: the
+/// edges a span layer needs to split "waiting for a stream slot" from
+/// "request on the wire" without reaching into the client's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// The connection finished its handshake (tag is [`NO_TAG`]).
+    ConnReady,
+    /// A queued request left the scheduler: its HEADERS hit the socket.
+    Opened,
+    /// The first response byte (the response HEADERS frame) arrived.
+    FirstByte,
+}
+
+/// Observer of per-stream scheduling milestones, keyed by the caller's
+/// request tag. Purely observational: called after the client releases
+/// its borrow, must not touch the client.
+pub type StreamObserver = Rc<dyn Fn(u32, StreamEvent, Timestamp)>;
+
 struct PendingRequest {
     req: Request,
     priority: u8,
+    tag: u32,
     done: DoneFn,
 }
 
@@ -57,6 +79,7 @@ struct ActiveStream {
     head: Option<Response>,
     body: BytesMut,
     refill: WindowRefill,
+    tag: u32,
     done: Option<DoneFn>,
 }
 
@@ -75,6 +98,7 @@ struct ClientInner {
     pending: BTreeMap<u8, VecDeque<PendingRequest>>,
     active: BTreeMap<u32, ActiveStream>,
     conn_refill: WindowRefill,
+    observer: Option<StreamObserver>,
 }
 
 impl ClientInner {
@@ -122,6 +146,7 @@ impl MuxClient {
                 pending: BTreeMap::new(),
                 active: BTreeMap::new(),
                 conn_refill: WindowRefill::new(connection_window),
+                observer: None,
             })),
         };
         let app = Rc::new(ClientApp {
@@ -142,6 +167,20 @@ impl MuxClient {
         priority: u8,
         done: impl FnOnce(&mut Simulator, Result<Response, MuxError>) + 'static,
     ) {
+        self.request_tagged(sim, req, priority, NO_TAG, done);
+    }
+
+    /// [`MuxClient::request`] with a caller tag the installed
+    /// [`StreamObserver`] receives on each milestone, so callers can
+    /// attribute scheduler waits to their own request identities.
+    pub fn request_tagged(
+        &self,
+        sim: &mut Simulator,
+        req: Request,
+        priority: u8,
+        tag: u32,
+        done: impl FnOnce(&mut Simulator, Result<Response, MuxError>) + 'static,
+    ) {
         let done: DoneFn = Box::new(done);
         let dead = self.inner.borrow().dead;
         if dead {
@@ -156,9 +195,22 @@ impl MuxClient {
             .push_back(PendingRequest {
                 req,
                 priority,
+                tag,
                 done,
             });
         self.pump(sim);
+    }
+
+    /// Install the milestone observer (replacing any previous one).
+    pub fn set_observer(&self, observer: StreamObserver) {
+        self.inner.borrow_mut().observer = Some(observer);
+    }
+
+    /// Local address of the underlying socket — the span layer's
+    /// connection identity.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        let inner = self.inner.borrow();
+        inner.handle.as_ref().map(|h| h.local_addr())
     }
 
     /// True once the connection has failed; outstanding and future
@@ -216,21 +268,27 @@ impl MuxClient {
                                     head: None,
                                     body: BytesMut::new(),
                                     refill: WindowRefill::new(window),
+                                    tag: p.tag,
                                     done: Some(p.done),
                                 },
                             );
                             let handle = inner.handle.clone().expect("connected client has handle");
-                            Some((handle, headers, body))
+                            let observer =
+                                (p.tag != NO_TAG).then(|| inner.observer.clone()).flatten();
+                            Some((handle, headers, body, p.tag, observer))
                         }
                     }
                 }
             };
             match step {
                 None => return,
-                Some((handle, headers, body)) => {
+                Some((handle, headers, body, tag, observer)) => {
                     handle.send(sim, headers);
                     if let Some(body) = body {
                         handle.send(sim, body);
+                    }
+                    if let Some(obs) = observer {
+                        obs(tag, StreamEvent::Opened, sim.now());
                     }
                 }
             }
@@ -242,8 +300,9 @@ impl MuxClient {
         type Completion = (DoneFn, Result<Response, MuxError>);
         let mut outgoing: Vec<Bytes> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
+        let mut first_bytes: Vec<u32> = Vec::new();
         let mut protocol_error = false;
-        let handle = {
+        let (handle, observer) = {
             let mut inner = self.inner.borrow_mut();
             let frames = match inner.decoder.feed(bytes) {
                 Ok(frames) => frames,
@@ -273,6 +332,9 @@ impl MuxClient {
                         let Some(active) = inner.active.get_mut(&stream) else {
                             continue; // stale stream; ignore
                         };
+                        if active.head.is_none() && active.tag != NO_TAG {
+                            first_bytes.push(active.tag);
+                        }
                         active.head = Some(head);
                         if end_stream {
                             if let Some(c) = inner.complete_stream(stream) {
@@ -321,8 +383,14 @@ impl MuxClient {
                     Frame::WindowUpdate { .. } => {}
                 }
             }
-            inner.handle.clone()
+            (inner.handle.clone(), inner.observer.clone())
         };
+        if let Some(obs) = &observer {
+            let now = sim.now();
+            for tag in first_bytes {
+                obs(tag, StreamEvent::FirstByte, now);
+            }
+        }
         if protocol_error {
             if let Some(h) = &handle {
                 h.abort(sim);
@@ -396,18 +464,22 @@ impl SocketApp for ClientApp {
     fn on_event(&self, sim: &mut Simulator, handle: &TcpHandle, ev: SocketEvent) {
         match ev {
             SocketEvent::Connected => {
-                let wire = {
+                let (wire, observer) = {
                     let mut inner = self.client.inner.borrow_mut();
                     inner.connected = true;
-                    Frame::Settings {
+                    let wire = Frame::Settings {
                         max_concurrent_streams: inner.config.max_concurrent_streams,
                         initial_window: inner.config.initial_stream_window.min(u32::MAX as u64)
                             as u32,
                         connection_window: inner.config.connection_window.min(u32::MAX as u64)
                             as u32,
                     }
-                    .encode()
+                    .encode();
+                    (wire, inner.observer.clone())
                 };
+                if let Some(obs) = observer {
+                    obs(NO_TAG, StreamEvent::ConnReady, sim.now());
+                }
                 handle.send(sim, wire);
                 self.client.pump(sim);
             }

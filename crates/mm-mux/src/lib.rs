@@ -32,7 +32,7 @@ pub mod flow;
 pub mod frame;
 pub mod server;
 
-pub use client::{MuxClient, MuxError};
+pub use client::{MuxClient, MuxError, StreamEvent, StreamObserver, NO_TAG};
 pub use frame::{DecodeError, Frame, FrameDecoder};
 pub use server::{MuxHandler, MuxResponder, MuxServerConn};
 

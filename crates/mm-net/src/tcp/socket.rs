@@ -34,6 +34,7 @@ use std::rc::Rc;
 use bytes::{Bytes, BytesMut};
 use mm_metrics::{FlowSample, MetricsHandle};
 use mm_sim::{SimDuration, Simulator, Timer, TimerMux, Timestamp};
+use mm_trace::{Span, SpanHandle, SpanKind, NO_RESOURCE};
 
 use crate::addr::SocketAddr;
 use crate::packet::{Packet, SackBlock, SackOption, TcpFlags, TcpSegment, MSS};
@@ -123,6 +124,14 @@ pub struct TcpConfig {
     /// build without the hook. Sinks observe only — they must never
     /// schedule timers or send packets (see `mm_metrics::MetricsSink`).
     pub metrics: Option<MetricsHandle>,
+    /// Causal-span sink. `None` (default) disables span emission. The
+    /// *initiator* side of a connection emits its lifecycle spans —
+    /// handshake (`ConnSetup`), lifetime (`Conn`), and reassembly-gap
+    /// waits (`HolWait`, the transport-level head-of-line signal:
+    /// structurally absent on an in-order link, present under loss).
+    /// Like `metrics`, sinks observe only; the simulation is
+    /// byte-identical with the hook off.
+    pub span: Option<SpanHandle>,
 }
 
 impl Default for TcpConfig {
@@ -138,6 +147,7 @@ impl Default for TcpConfig {
             recovery: RecoveryTier::default(),
             pacing: false,
             metrics: None,
+            span: None,
         }
     }
 }
@@ -236,6 +246,12 @@ impl TcpConfigBuilder {
     /// Install an observability sink (see [`TcpConfig::metrics`]).
     pub fn metrics(mut self, sink: MetricsHandle) -> Self {
         self.config.metrics = Some(sink);
+        self
+    }
+
+    /// Install a causal-span sink (see [`TcpConfig::span`]).
+    pub fn span(mut self, sink: SpanHandle) -> Self {
+        self.config.span = Some(sink);
         self
     }
 
@@ -452,6 +468,17 @@ pub struct TcpInner {
     pub(crate) stats: TcpStats,
     /// Flow id in the sink's tracer, when `config.metrics` carries one.
     trace_flow: Option<u64>,
+    /// Connect-call time on the *initiator* side; `Some` until the
+    /// `Conn` lifetime span is emitted at teardown. Accept-side sockets
+    /// keep `None` so only one endpoint describes each connection.
+    conn_t0: Option<Timestamp>,
+    /// Start of the current receive-side reassembly gap: set when data
+    /// first parks in `ooo`, cleared (emitting a `HolWait` span) when
+    /// the hole fills and the queue drains.
+    hole_since: Option<Timestamp>,
+    /// Most recent segment-arrival time — the close timestamp teardown
+    /// stamps on the `Conn` span (teardown sites have no clock).
+    last_seen: Option<Timestamp>,
     /// Last time [`TcpInner::metric_sample`] emitted, for throttling
     /// the routine per-ack samples.
     last_metric_sample: std::cell::Cell<Option<Timestamp>>,
@@ -585,7 +612,37 @@ impl TcpInner {
             pending_events: Vec::new(),
             stats: TcpStats::default(),
             trace_flow,
+            conn_t0: None,
+            hole_since: None,
+            last_seen: None,
             last_metric_sample: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Span-layer connection id: the initiator's local address packed
+    /// as `ip << 16 | port`. The same id is computable from the remote
+    /// address on the server side, which is how `mmpath` joins server
+    /// think-time spans to browser-side connections without URL tricks.
+    fn span_conn_id(&self) -> u64 {
+        ((self.local.ip.0 as u64) << 16) | self.local.port as u64
+    }
+
+    /// Emit one connection-scoped span. A single branch when off.
+    fn span_emit(&self, kind: SpanKind, t0: Timestamp, t1: Timestamp, detail: &str) {
+        if let Some(sp) = &self.config.span {
+            let id = sp.next_id();
+            sp.record(Span {
+                load: 0, // stamped by the recording buffer
+                id,
+                parent: 0,
+                kind,
+                t0_ns: t0.as_nanos(),
+                t1_ns: t1.as_nanos(),
+                res: NO_RESOURCE,
+                conn: self.span_conn_id(),
+                url: String::new(),
+                detail: detail.to_string(),
+            });
         }
     }
 
@@ -1454,6 +1511,7 @@ impl TcpInner {
     /// app events on `self.pending_events`.
     fn on_segment(&mut self, now: Timestamp, seg: TcpSegment, out: &mut Vec<Packet>) {
         self.stats.segments_received += 1;
+        self.last_seen = Some(now);
         if seg.flags.rst {
             self.teardown();
             self.pending_events.push(SocketEvent::Reset);
@@ -1507,6 +1565,9 @@ impl TcpInner {
             self.state = TcpState::Established;
             self.consecutive_timeouts = 0;
             self.rto_timer.cancel();
+            if let Some(t0) = self.conn_t0 {
+                self.span_emit(SpanKind::ConnSetup, t0, now, "handshake");
+            }
             // Completing ACK (may carry data below via transmit_new).
             let ack = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
             out.push(ack);
@@ -1882,6 +1943,17 @@ impl TcpInner {
                     self.pending_events.push(SocketEvent::Data(chunk));
                 }
             }
+            // Reassembly gap closed: the parked bytes waited this long
+            // for the hole to fill (initiator side only — the response
+            // direction is where head-of-line blocking costs PLT).
+            if let Some(hole_t0) = self.hole_since {
+                if self.ooo.is_empty() {
+                    self.hole_since = None;
+                    if self.conn_t0.is_some() {
+                        self.span_emit(SpanKind::HolWait, hole_t0, now, "reassembly");
+                    }
+                }
+            }
             if self.sack_enabled {
                 self.rcv_sack.on_advance(self.rcv_nxt);
             }
@@ -1906,6 +1978,9 @@ impl TcpInner {
             if !payload.is_empty() {
                 if self.sack_enabled {
                     self.rcv_sack.on_arrival(seq, seq + payload.len() as u64);
+                }
+                if self.ooo.is_empty() && self.hole_since.is_none() {
+                    self.hole_since = Some(now);
                 }
                 self.ooo.entry(seq).or_insert(payload);
             }
@@ -1949,6 +2024,14 @@ impl TcpInner {
     }
 
     fn teardown(&mut self) {
+        // Close out the initiator's lifetime span exactly once. The
+        // teardown sites carry no clock, so the close edge is the last
+        // segment-arrival time (every close path is segment-driven).
+        if let Some(t0) = self.conn_t0.take() {
+            let t1 = self.last_seen.unwrap_or(t0);
+            self.span_emit(SpanKind::Conn, t0, t1.max(t0), "");
+        }
+        self.hole_since = None;
         self.state = TcpState::Closed;
         self.rto_timer.cancel();
         self.ack_timer.cancel();
@@ -2006,6 +2089,7 @@ impl TcpHandle {
         );
         inner.app = Some(app);
         let now = sim.now();
+        inner.conn_t0 = Some(now);
         let syn = inner.make_packet(TcpFlags::SYN, 0, Bytes::new());
         inner.snd_nxt = 1;
         inner.insert_retx(0, syn.segment.clone(), now);

@@ -1,0 +1,163 @@
+//! `mmpath` — critical-path PLT attribution from a span JSONL file.
+//!
+//! ```text
+//! mmpath <spans.jsonl> [--out <dir>]
+//!     Per page load: validate the span tree, extract the critical
+//!     path, print the per-phase attribution table. With --out, also
+//!     write waterfall-load<N>.svg per load and attribution.txt.
+//!
+//! mmpath --diff <a.jsonl> [<b.jsonl>] [--out <dir>]
+//!     Pair page loads by root URL and print per-phase critical-path
+//!     medians side by side. With one file, the two arms are split by
+//!     the page spans' `detail` labels (e.g. figmux records "http1"
+//!     and "mux" pages into one file). With --out, write diff.txt.
+//! ```
+//!
+//! Exits nonzero on parse errors, malformed trees, or a critical path
+//! that fails to sum exactly to its page's PLT — so CI can assert the
+//! attribution identity, not just produce artifacts.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use mm_path::{build_pages, critical_path, render_attribution, render_diff, waterfall_svg};
+
+fn load_pages(path: &str) -> Result<Vec<mm_path::PageTree>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spans = mm_trace::parse_spans_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(build_pages(&spans))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let diff = args.iter().any(|a| a == "--diff");
+    let files: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && !matches!(args.get(i.wrapping_sub(1)), Some(p) if p == "--out")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    if files.is_empty() {
+        eprintln!("usage: mmpath <spans.jsonl> [--out <dir>]");
+        eprintln!("       mmpath --diff <a.jsonl> [<b.jsonl>] [--out <dir>]");
+        return ExitCode::from(2);
+    }
+
+    let write_out = |name: &str, content: &str| -> bool {
+        let Some(dir) = &out_dir else { return true };
+        let res = std::fs::create_dir_all(dir).and_then(|()| {
+            let p = std::path::Path::new(dir).join(name);
+            std::fs::write(&p, content)?;
+            println!("wrote {}", p.display());
+            Ok(())
+        });
+        if let Err(e) = res {
+            eprintln!("could not write {name} into {dir}: {e}");
+            return false;
+        }
+        true
+    };
+
+    if diff {
+        let (a, b, la, lb) = if files.len() >= 2 {
+            let a = match load_pages(files[0]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let b = match load_pages(files[1]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (a, b, files[0].clone(), files[1].clone())
+        } else {
+            // One file: split arms by the page spans' detail labels.
+            let pages = match load_pages(files[0]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let labels: BTreeSet<String> = pages.iter().map(|t| t.page.detail.clone()).collect();
+            if labels.len() != 2 {
+                eprintln!(
+                    "--diff with one file needs exactly two arm labels, found {:?}",
+                    labels
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut it = labels.into_iter();
+            let (la, lb) = (it.next().unwrap(), it.next().unwrap());
+            let (a, b): (Vec<_>, Vec<_>) = pages.into_iter().partition(|t| t.page.detail == la);
+            (a, b, la, lb)
+        };
+        let table = render_diff(&a, &b, &la, &lb);
+        print!("{table}");
+        if !write_out("diff.txt", &table) {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let pages = match load_pages(files[0]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if pages.is_empty() {
+        eprintln!("{}: no page spans found", files[0]);
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    let mut report = String::new();
+    for tree in &pages {
+        for err in mm_path::validate(tree) {
+            eprintln!("load {}: malformed tree: {err}", tree.page.load);
+            ok = false;
+        }
+        let path = critical_path(tree);
+        let sum: u64 = path.iter().map(|s| s.dur_ns()).sum();
+        if sum != tree.plt_ns() {
+            eprintln!(
+                "load {}: critical path sums to {} ns, PLT is {} ns",
+                tree.page.load,
+                sum,
+                tree.plt_ns()
+            );
+            ok = false;
+        }
+        let table = render_attribution(tree, &path);
+        println!("{table}");
+        report.push_str(&table);
+        report.push('\n');
+        if !write_out(
+            &format!("waterfall-load{}.svg", tree.page.load),
+            &waterfall_svg(tree),
+        ) {
+            ok = false;
+        }
+    }
+    if !write_out("attribution.txt", &report) {
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

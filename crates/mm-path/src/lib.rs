@@ -1,0 +1,646 @@
+//! # mm-path — critical-path PLT attribution over causal spans
+//!
+//! `mm-trace`'s span layer records *which component made a resource
+//! wait, when, and on whose behalf*. This crate is the offline half:
+//! it rebuilds the span tree of each page load ([`build_pages`]),
+//! checks the structural invariants the emitters promise
+//! ([`validate`]), extracts the **critical path** — the chain of
+//! blocking spans whose durations sum *exactly* to the page's PLT
+//! ([`critical_path`]) — renders per-phase attribution tables
+//! ([`render_attribution`]), diffs two trace sets to answer "where did
+//! the +11% come from" ([`render_diff`]), and draws a waterfall SVG
+//! through `mm-graph`'s deterministic SVG writer ([`waterfall_svg`]).
+//!
+//! ## The critical-path identity
+//!
+//! The browser emits, for every resource, a contiguous phase chain
+//! tiling `[queued, parse_end]`, and it queues a discovered resource at
+//! the *exact* instant its discoverer's parse completes (the fetch call
+//! runs synchronously in the parse callback). The root resource is
+//! queued at navigation start, and PLT is the last parse completion.
+//! So walking from the last-finishing resource up the discovery chain
+//! to the root and concatenating each resource's phases yields a
+//! gapless tiling of `[navigation, PLT]` — the segment durations sum
+//! exactly to PLT, with no residue to hide mis-attribution in. The
+//! proptest in `tests/` pins this under arbitrary loss.
+//!
+//! ## The mux subtlety
+//!
+//! Under HTTP/1.1 two in-flight resources never share a connection, so
+//! sibling `Transfer` spans on one connection may not overlap (and
+//! [`validate`] rejects them). Under mux they *legitimately* overlap —
+//! that interleaving is the whole point of multiplexing — so the
+//! non-overlap check is http1-only, and what mux pays instead shows up
+//! as explicit `MuxWait` (stream-scheduler slot wait) and transport
+//! `HolWait` (TCP reassembly-gap) spans.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mm_trace::{Span, SpanKind};
+
+pub mod waterfall;
+
+pub use waterfall::waterfall_svg;
+
+/// One page load's reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct PageTree {
+    /// The `Page` span (PLT = its duration; `detail` = experiment arm).
+    pub page: Span,
+    /// `Resource` spans, in id order.
+    pub resources: Vec<Span>,
+    /// Phase spans per resource span id, sorted by start time.
+    pub phases: HashMap<u64, Vec<Span>>,
+    /// Connection lifecycle spans (initiator side).
+    pub conns: Vec<Span>,
+    /// TCP reassembly-gap waits, joined to resources by `conn`.
+    pub hol_waits: Vec<Span>,
+    /// Replay-server service windows, joined by `conn` + `url`.
+    pub thinks: Vec<Span>,
+}
+
+impl PageTree {
+    /// Page load time in nanoseconds.
+    pub fn plt_ns(&self) -> u64 {
+        self.page.dur_ns()
+    }
+}
+
+/// One segment of a page's critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSeg {
+    /// Browser resource index the segment belongs to.
+    pub res: u32,
+    pub url: String,
+    pub kind: SpanKind,
+    pub t0_ns: u64,
+    pub t1_ns: u64,
+}
+
+impl PathSeg {
+    pub fn dur_ns(&self) -> u64 {
+        self.t1_ns.saturating_sub(self.t0_ns)
+    }
+}
+
+/// Group a span set into per-load page trees, ordered by load id.
+///
+/// Loads without a `Page` span (e.g. truncated by a buffer bound) are
+/// skipped. Spans of unknown parentage still land in the tree's side
+/// tables (`conns`/`hol_waits`/`thinks`) — [`validate`] reports orphans.
+pub fn build_pages(spans: &[Span]) -> Vec<PageTree> {
+    let mut by_load: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for s in spans {
+        by_load.entry(s.load).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (_, load_spans) in by_load {
+        let Some(page) = load_spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Page)
+            .map(|s| (*s).clone())
+        else {
+            continue;
+        };
+        let mut resources: Vec<Span> = load_spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Resource)
+            .map(|s| (*s).clone())
+            .collect();
+        resources.sort_by_key(|s| s.id);
+        let mut phases: HashMap<u64, Vec<Span>> = HashMap::new();
+        let mut conns = Vec::new();
+        let mut hol_waits = Vec::new();
+        let mut thinks = Vec::new();
+        for s in &load_spans {
+            match s.kind {
+                SpanKind::Page | SpanKind::Resource => {}
+                SpanKind::Conn => conns.push((*s).clone()),
+                SpanKind::HolWait => hol_waits.push((*s).clone()),
+                SpanKind::ServerThink => thinks.push((*s).clone()),
+                // Transport-level spans (the socket's own handshake
+                // `ConnSetup`, parent 0) are connection lifecycle, not
+                // part of any resource's phase chain.
+                _ if s.parent == 0 => conns.push((*s).clone()),
+                _ => phases.entry(s.parent).or_default().push((*s).clone()),
+            }
+        }
+        for v in phases.values_mut() {
+            v.sort_by_key(|s| (s.t0_ns, s.t1_ns, s.id));
+        }
+        conns.sort_by_key(|s| (s.t0_ns, s.conn));
+        hol_waits.sort_by_key(|s| (s.t0_ns, s.conn));
+        thinks.sort_by_key(|s| (s.t0_ns, s.conn));
+        out.push(PageTree {
+            page,
+            resources,
+            phases,
+            conns,
+            hol_waits,
+            thinks,
+        });
+    }
+    out
+}
+
+/// Check a tree's structural invariants; returns human-readable
+/// violations (empty = well-formed).
+///
+/// Checked: every parent id resolves inside the load; each completed
+/// resource's phases tile its interval contiguously (start at the
+/// resource's start, each phase starting where the previous ended,
+/// ending at the resource's end); on http1 pages, sibling `Transfer`
+/// spans sharing one connection do not overlap. The overlap check is
+/// skipped for mux pages — interleaved transfers on the one connection
+/// are mux working as designed, not a malformed tree.
+pub fn validate(tree: &PageTree) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut ids: HashSet<u64> = HashSet::new();
+    ids.insert(tree.page.id);
+    for r in &tree.resources {
+        ids.insert(r.id);
+    }
+    for r in &tree.resources {
+        if r.parent != 0 && !ids.contains(&r.parent) {
+            errs.push(format!(
+                "resource {} ({}) has orphan parent {}",
+                r.res, r.url, r.parent
+            ));
+        }
+    }
+    for (parent, phases) in &tree.phases {
+        if !ids.contains(parent) {
+            errs.push(format!(
+                "{} phase span(s) have orphan parent {parent}",
+                phases.len()
+            ));
+        }
+    }
+    for r in &tree.resources {
+        let Some(phases) = tree.phases.get(&r.id) else {
+            continue;
+        };
+        if phases.iter().any(|p| p.kind == SpanKind::Failed) {
+            continue; // failed chains end at give-up time, not parse end
+        }
+        let mut t = r.t0_ns;
+        for p in phases {
+            if p.t0_ns != t {
+                errs.push(format!(
+                    "resource {} ({}): {} starts at {} but previous phase ended at {t}",
+                    r.res,
+                    r.url,
+                    p.kind.as_str(),
+                    p.t0_ns
+                ));
+            }
+            t = p.t1_ns;
+        }
+        if t != r.t1_ns {
+            errs.push(format!(
+                "resource {} ({}): phases end at {t}, resource ends at {}",
+                r.res, r.url, r.t1_ns
+            ));
+        }
+    }
+    if tree.page.detail == "http1" {
+        let mut by_conn: BTreeMap<u64, Vec<(u64, u64, u32)>> = BTreeMap::new();
+        for phases in tree.phases.values() {
+            for p in phases {
+                if p.kind == SpanKind::Transfer && p.conn != 0 {
+                    by_conn
+                        .entry(p.conn)
+                        .or_default()
+                        .push((p.t0_ns, p.t1_ns, p.res));
+                }
+            }
+        }
+        for (conn, mut spans) in by_conn {
+            spans.sort();
+            for w in spans.windows(2) {
+                if w[1].0 < w[0].1 {
+                    errs.push(format!(
+                        "http1 conn {conn:#x}: transfers of resources {} and {} overlap",
+                        w[0].2, w[1].2
+                    ));
+                }
+            }
+        }
+    }
+    errs
+}
+
+/// Extract the page's critical path: the gapless chain of phase
+/// segments from navigation start to the last parse completion.
+///
+/// Walks discovery parents up from the last-finishing resource, then
+/// concatenates each chain member's phases in time order, splitting a
+/// `RequestTx` segment at a matched `ServerThink` window (same
+/// connection and URL, window contained in the segment) so server
+/// service time is attributed to the server rather than the network.
+/// The split is sum-preserving, so the identity
+/// `sum(seg durations) == PLT` survives it.
+pub fn critical_path(tree: &PageTree) -> Vec<PathSeg> {
+    let by_id: HashMap<u64, &Span> = tree.resources.iter().map(|r| (r.id, r)).collect();
+    // The resource whose parse completion *is* the PLT instant.
+    let Some(last) = tree
+        .resources
+        .iter()
+        .filter(|r| r.t1_ns <= tree.page.t1_ns)
+        .max_by_key(|r| (r.t1_ns, r.id))
+    else {
+        return Vec::new();
+    };
+    // Discovery chain, last → root (cycle-guarded).
+    let mut chain = vec![last];
+    let mut seen: HashSet<u64> = [last.id].into();
+    let mut cur = last;
+    while cur.parent != 0 && cur.parent != tree.page.id {
+        match by_id.get(&cur.parent) {
+            Some(parent) if seen.insert(parent.id) => {
+                chain.push(parent);
+                cur = parent;
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+    let mut path = Vec::new();
+    for r in chain {
+        let Some(phases) = tree.phases.get(&r.id) else {
+            continue;
+        };
+        for p in phases {
+            if p.kind == SpanKind::RequestTx {
+                if let Some(think) = tree
+                    .thinks
+                    .iter()
+                    .filter(|t| {
+                        t.conn == p.conn
+                            && t.url == r.url
+                            && t.t0_ns >= p.t0_ns
+                            && t.t1_ns <= p.t1_ns
+                    })
+                    .max_by_key(|t| t.t0_ns)
+                {
+                    for (kind, a, b) in [
+                        (SpanKind::RequestTx, p.t0_ns, think.t0_ns),
+                        (SpanKind::ServerThink, think.t0_ns, think.t1_ns),
+                        (SpanKind::RequestTx, think.t1_ns, p.t1_ns),
+                    ] {
+                        if b > a {
+                            path.push(PathSeg {
+                                res: r.res,
+                                url: r.url.clone(),
+                                kind,
+                                t0_ns: a,
+                                t1_ns: b,
+                            });
+                        }
+                    }
+                    continue;
+                }
+            }
+            path.push(PathSeg {
+                res: r.res,
+                url: r.url.clone(),
+                kind: p.kind,
+                t0_ns: p.t0_ns,
+                t1_ns: p.t1_ns,
+            });
+        }
+    }
+    path
+}
+
+/// Stable display order for attribution rows.
+pub const PHASE_ORDER: [SpanKind; 9] = [
+    SpanKind::Queued,
+    SpanKind::ConnSetup,
+    SpanKind::MuxWait,
+    SpanKind::RequestTx,
+    SpanKind::ServerThink,
+    SpanKind::Transfer,
+    SpanKind::RenderQueue,
+    SpanKind::Parse,
+    SpanKind::Failed,
+];
+
+/// Sum critical-path segment durations per phase kind.
+pub fn attribute(path: &[PathSeg]) -> Vec<(SpanKind, u64, usize)> {
+    let mut totals: HashMap<SpanKind, (u64, usize)> = HashMap::new();
+    for seg in path {
+        let e = totals.entry(seg.kind).or_insert((0, 0));
+        e.0 += seg.dur_ns();
+        e.1 += 1;
+    }
+    PHASE_ORDER
+        .iter()
+        .filter_map(|k| totals.get(k).map(|&(ns, n)| (*k, ns, n)))
+        .collect()
+}
+
+/// Sum *all* phase spans of the page per kind (not just the critical
+/// path), plus transport `HolWait` time — the page-wide waiting budget.
+pub fn aggregate(tree: &PageTree) -> Vec<(SpanKind, u64, usize)> {
+    let mut totals: HashMap<SpanKind, (u64, usize)> = HashMap::new();
+    for phases in tree.phases.values() {
+        for p in phases {
+            let e = totals.entry(p.kind).or_insert((0, 0));
+            e.0 += p.dur_ns();
+            e.1 += 1;
+        }
+    }
+    for h in &tree.hol_waits {
+        let e = totals.entry(SpanKind::HolWait).or_insert((0, 0));
+        e.0 += h.dur_ns();
+        e.1 += 1;
+    }
+    for t in &tree.thinks {
+        let e = totals.entry(SpanKind::ServerThink).or_insert((0, 0));
+        e.0 += t.dur_ns();
+        e.1 += 1;
+    }
+    let mut order: Vec<SpanKind> = PHASE_ORDER.to_vec();
+    order.push(SpanKind::HolWait);
+    order
+        .iter()
+        .filter_map(|k| totals.get(k).map(|&(ns, n)| (*k, ns, n)))
+        .collect()
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render one page's attribution table: critical-path and page-wide
+/// per-phase totals, with the exact-sum check on the last line.
+pub fn render_attribution(tree: &PageTree, path: &[PathSeg]) -> String {
+    let mut out = String::new();
+    let plt = tree.plt_ns();
+    out.push_str(&format!(
+        "load {}  arm {}  root {}\n",
+        tree.page.load,
+        if tree.page.detail.is_empty() {
+            "-"
+        } else {
+            &tree.page.detail
+        },
+        tree.page.url
+    ));
+    out.push_str(&format!(
+        "  PLT {:>10.3} ms   resources {}   critical-path resources {}\n",
+        ms(plt),
+        tree.resources.len(),
+        path.iter().map(|s| s.res).collect::<HashSet<_>>().len()
+    ));
+    out.push_str("  phase           critical ms      %PLT     page-wide ms  spans\n");
+    let crit = attribute(path);
+    let aggr = aggregate(tree);
+    let crit_by: HashMap<SpanKind, u64> = crit.iter().map(|&(k, ns, _)| (k, ns)).collect();
+    for (kind, total_ns, n) in &aggr {
+        let c = crit_by.get(kind).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<14} {:>12.3} {:>8.1}% {:>14.3} {:>6}\n",
+            kind.as_str(),
+            ms(c),
+            if plt > 0 {
+                c as f64 / plt as f64 * 100.0
+            } else {
+                0.0
+            },
+            ms(*total_ns),
+            n
+        ));
+    }
+    let sum: u64 = path.iter().map(|s| s.dur_ns()).sum();
+    out.push_str(&format!(
+        "  critical path sums to {:.3} ms (PLT {:.3} ms){}\n",
+        ms(sum),
+        ms(plt),
+        if sum == plt {
+            "  [exact]"
+        } else {
+            "  [MISMATCH]"
+        }
+    ));
+    out
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Diff two arms' trees, paired by root URL: per-phase medians of
+/// critical-path time, so a PLT delta decomposes into named phases.
+pub fn render_diff(a: &[PageTree], b: &[PageTree], label_a: &str, label_b: &str) -> String {
+    let mut by_url: BTreeMap<&str, (Vec<&PageTree>, Vec<&PageTree>)> = BTreeMap::new();
+    for t in a {
+        by_url.entry(&t.page.url).or_default().0.push(t);
+    }
+    for t in b {
+        by_url.entry(&t.page.url).or_default().1.push(t);
+    }
+    let mut plt_a = Vec::new();
+    let mut plt_b = Vec::new();
+    let mut phase_a: HashMap<SpanKind, Vec<f64>> = HashMap::new();
+    let mut phase_b: HashMap<SpanKind, Vec<f64>> = HashMap::new();
+    let mut pairs = 0usize;
+    for (pa, pb) in by_url.values() {
+        if pa.is_empty() || pb.is_empty() {
+            continue;
+        }
+        pairs += pa.len().min(pb.len());
+        for (side, trees, plts) in [("a", pa, &mut plt_a), ("b", pb, &mut plt_b)] {
+            for t in trees.iter() {
+                plts.push(ms(t.plt_ns()));
+                let path = critical_path(t);
+                let phases = if side == "a" {
+                    &mut phase_a
+                } else {
+                    &mut phase_b
+                };
+                let mut per: HashMap<SpanKind, u64> = HashMap::new();
+                for seg in &path {
+                    *per.entry(seg.kind).or_insert(0) += seg.dur_ns();
+                }
+                for kind in PHASE_ORDER {
+                    phases
+                        .entry(kind)
+                        .or_default()
+                        .push(ms(per.get(&kind).copied().unwrap_or(0)));
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical-path diff: {label_a} vs {label_b} ({pairs} paired loads)\n"
+    ));
+    out.push_str(&format!(
+        "  {:<14} {:>12} {:>12} {:>12}\n",
+        "phase",
+        format!("{label_a} ms"),
+        format!("{label_b} ms"),
+        "delta ms"
+    ));
+    let ma = median(plt_a);
+    let mb = median(plt_b);
+    out.push_str(&format!(
+        "  {:<14} {:>12.3} {:>12.3} {:>+12.3}\n",
+        "PLT",
+        ma,
+        mb,
+        mb - ma
+    ));
+    for kind in PHASE_ORDER {
+        let va = median(phase_a.get(&kind).cloned().unwrap_or_default());
+        let vb = median(phase_b.get(&kind).cloned().unwrap_or_default());
+        if va == 0.0 && vb == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:<14} {:>12.3} {:>12.3} {:>+12.3}\n",
+            kind.as_str(),
+            va,
+            vb,
+            vb - va
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, kind: SpanKind, t0: u64, t1: u64, res: u32) -> Span {
+        Span {
+            load: 1,
+            id,
+            parent,
+            kind,
+            t0_ns: t0,
+            t1_ns: t1,
+            res,
+            conn: 7,
+            url: format!("http://h/{res}"),
+            detail: String::new(),
+        }
+    }
+
+    /// A minimal two-resource page: root [0,100] discovered child
+    /// [100,180]; PLT 180.
+    fn sample_page() -> Vec<Span> {
+        let mut page = span(1, 0, SpanKind::Page, 0, 180, mm_trace::NO_RESOURCE);
+        page.detail = "http1".into();
+        vec![
+            page,
+            span(2, 1, SpanKind::Resource, 0, 100, 0),
+            span(3, 2, SpanKind::Queued, 0, 10, 0),
+            span(4, 2, SpanKind::RequestTx, 10, 40, 0),
+            span(5, 2, SpanKind::Transfer, 40, 80, 0),
+            span(6, 2, SpanKind::RenderQueue, 80, 90, 0),
+            span(7, 2, SpanKind::Parse, 90, 100, 0),
+            span(8, 2, SpanKind::Resource, 100, 180, 1),
+            span(9, 8, SpanKind::Queued, 100, 120, 1),
+            span(10, 8, SpanKind::RequestTx, 120, 140, 1),
+            span(11, 8, SpanKind::Transfer, 140, 160, 1),
+            span(12, 8, SpanKind::Parse, 160, 180, 1),
+        ]
+    }
+
+    #[test]
+    fn builds_validates_and_sums_to_plt() {
+        let pages = build_pages(&sample_page());
+        assert_eq!(pages.len(), 1);
+        let tree = &pages[0];
+        assert!(validate(tree).is_empty(), "{:?}", validate(tree));
+        let path = critical_path(tree);
+        let sum: u64 = path.iter().map(|s| s.dur_ns()).sum();
+        assert_eq!(sum, tree.plt_ns());
+        assert_eq!(path.first().unwrap().t0_ns, 0);
+        assert_eq!(path.last().unwrap().t1_ns, 180);
+    }
+
+    #[test]
+    fn tiling_gap_is_reported() {
+        let mut spans = sample_page();
+        spans[3].t0_ns = 12; // RequestTx no longer starts where Queued ended
+        let pages = build_pages(&spans);
+        let errs = validate(&pages[0]);
+        assert!(errs.iter().any(|e| e.contains("request_tx")), "{errs:?}");
+    }
+
+    #[test]
+    fn http1_transfer_overlap_is_reported_mux_is_not() {
+        let mut spans = sample_page();
+        // Overlap the two transfers on the shared conn id.
+        spans[10].t0_ns = 70; // child RequestTx 70..140 (breaks tiling too)
+        spans[10].t1_ns = 75;
+        let overlap = span(13, 8, SpanKind::Transfer, 75, 85, 1);
+        spans.push(overlap);
+        let errs = validate(&build_pages(&spans)[0]);
+        assert!(errs.iter().any(|e| e.contains("overlap")), "{errs:?}");
+        // Same shape under a mux arm: no overlap error.
+        spans[0].detail = "mux".into();
+        let errs = validate(&build_pages(&spans)[0]);
+        assert!(!errs.iter().any(|e| e.contains("overlap")), "{errs:?}");
+    }
+
+    #[test]
+    fn server_think_split_preserves_sum() {
+        let mut spans = sample_page();
+        let mut think = span(20, 0, SpanKind::ServerThink, 20, 30, mm_trace::NO_RESOURCE);
+        think.url = "http://h/0".into();
+        spans.push(think);
+        let pages = build_pages(&spans);
+        let path = critical_path(&pages[0]);
+        let sum: u64 = path.iter().map(|s| s.dur_ns()).sum();
+        assert_eq!(sum, pages[0].plt_ns());
+        assert!(path.iter().any(|s| s.kind == SpanKind::ServerThink));
+        // The split RequestTx halves flank the think window.
+        let txs: Vec<_> = path
+            .iter()
+            .filter(|s| s.kind == SpanKind::RequestTx && s.res == 0)
+            .collect();
+        assert_eq!(txs.len(), 2);
+        assert_eq!((txs[0].t0_ns, txs[0].t1_ns), (10, 20));
+        assert_eq!((txs[1].t0_ns, txs[1].t1_ns), (30, 40));
+    }
+
+    #[test]
+    fn diff_pairs_by_root_url() {
+        let a = build_pages(&sample_page());
+        let mut faster = sample_page();
+        for s in &mut faster {
+            s.detail = "mux".into();
+            // Same structure, 20% faster.
+            s.t0_ns = s.t0_ns * 8 / 10;
+            s.t1_ns = s.t1_ns * 8 / 10;
+        }
+        let b = build_pages(&faster);
+        let table = render_diff(&a, &b, "http1", "mux");
+        assert!(table.contains("1 paired loads"), "{table}");
+        assert!(table.contains("PLT"), "{table}");
+        assert!(table.contains("transfer"), "{table}");
+    }
+
+    #[test]
+    fn attribution_table_reports_exact() {
+        let pages = build_pages(&sample_page());
+        let path = critical_path(&pages[0]);
+        let table = render_attribution(&pages[0], &path);
+        assert!(table.contains("[exact]"), "{table}");
+        assert!(!table.contains("MISMATCH"), "{table}");
+    }
+}

@@ -23,6 +23,7 @@ use mm_net::{
     Host, Listener, Namespace, Origin, PacketIdGen, SocketAddr, SocketApp, SocketEvent, TcpHandle,
 };
 use mm_sim::{SimDuration, Simulator, Timestamp};
+use mm_trace::{Span, SpanHandle, SpanKind};
 
 use crate::matcher::Matcher;
 use crate::store_index::StoreIndex;
@@ -74,6 +75,14 @@ pub struct ReplayConfig {
     /// server has no notion of the browser's resource indices; analyzers
     /// join on URL. Taps observe only.
     pub capture: Option<TapHandle>,
+    /// Causal-span sink: every served request emits one `ServerThink`
+    /// span covering request-parsed → response-written (the think-time
+    /// window, including any CPU-serialization wait). `conn` is the
+    /// *initiator's* address id — the same id the browser-side socket
+    /// stamps — and `url` the request target, so `mmpath` splits the
+    /// browser's request→first-byte interval at the server's actual
+    /// service window. Sinks observe only.
+    pub span: Option<SpanHandle>,
 }
 
 impl Default for ReplayConfig {
@@ -84,6 +93,7 @@ impl Default for ReplayConfig {
             protocol: ServerProtocol::Http1,
             tcp: None,
             capture: None,
+            span: None,
         }
     }
 }
@@ -106,6 +116,31 @@ fn tap_http(
             url: url.to_string(),
             status,
             bytes,
+        });
+    }
+}
+
+/// The span layer's connection id for the peer at `addr` (the browser
+/// side packs its *local* address the same way, which is the join).
+fn span_conn_id(addr: SocketAddr) -> u64 {
+    ((addr.ip.0 as u64) << 16) | addr.port as u64
+}
+
+/// Emit one `ServerThink` span if a sink is attached.
+fn span_think(span: &Option<SpanHandle>, conn: u64, url: &str, t0: Timestamp, t1: Timestamp) {
+    if let Some(sp) = span {
+        let id = sp.next_id();
+        sp.record(Span {
+            load: 0, // stamped by the recording buffer
+            id,
+            parent: 0,
+            kind: SpanKind::ServerThink,
+            t0_ns: t0.as_nanos(),
+            t1_ns: t1.as_nanos(),
+            res: mm_trace::NO_RESOURCE,
+            conn,
+            url: url.to_string(),
+            detail: String::new(),
         });
     }
 }
@@ -163,6 +198,7 @@ impl ReplayShell {
                             think_time: config.think_time,
                             protocol: config.protocol.clone(),
                             tap: config.capture.clone(),
+                            span: config.span.clone(),
                             cpu,
                         }),
                     );
@@ -190,6 +226,7 @@ impl ReplayShell {
                                 think_time: config.think_time,
                                 protocol: config.protocol.clone(),
                                 tap: config.capture.clone(),
+                                span: config.span.clone(),
                                 cpu: cpu.clone(),
                             }),
                         );
@@ -232,6 +269,7 @@ struct ReplayListener {
     think_time: SimDuration,
     protocol: ServerProtocol,
     tap: Option<TapHandle>,
+    span: Option<SpanHandle>,
     /// The server machine's CPU: request matching (Apache + CGI in the
     /// real system) serializes per host. Under the single-server ablation
     /// every connection shares one CPU — the contention this models is a
@@ -247,18 +285,24 @@ impl Listener for ReplayListener {
                 think_time: self.think_time,
                 cpu: self.cpu.clone(),
                 tap: self.tap.clone(),
+                span: self.span.clone(),
                 parser: RefCell::new(RequestParser::new()),
             }),
-            ServerProtocol::Mux(config) => Rc::new(MuxServerConn::new(
-                h,
-                config.clone(),
-                Rc::new(MuxReplayHandler {
-                    matcher: self.matcher.clone(),
-                    think_time: self.think_time,
-                    cpu: self.cpu.clone(),
-                    tap: self.tap.clone(),
-                }),
-            )),
+            ServerProtocol::Mux(config) => {
+                let conn = span_conn_id(h.remote_addr());
+                Rc::new(MuxServerConn::new(
+                    h,
+                    config.clone(),
+                    Rc::new(MuxReplayHandler {
+                        matcher: self.matcher.clone(),
+                        think_time: self.think_time,
+                        cpu: self.cpu.clone(),
+                        tap: self.tap.clone(),
+                        span: self.span.clone(),
+                        conn,
+                    }),
+                ))
+            }
         }
     }
 }
@@ -271,18 +315,15 @@ struct MuxReplayHandler {
     think_time: SimDuration,
     cpu: Rc<Cell<Timestamp>>,
     tap: Option<TapHandle>,
+    span: Option<SpanHandle>,
+    /// Span-layer id of this connection's initiator.
+    conn: u64,
 }
 
 impl MuxHandler for MuxReplayHandler {
     fn handle(&self, sim: &mut Simulator, req: Request, responder: MuxResponder) {
-        tap_http(
-            &self.tap,
-            sim.now(),
-            HttpPhase::ServerRecv,
-            &req.target,
-            0,
-            0,
-        );
+        let recv_at = sim.now();
+        tap_http(&self.tap, recv_at, HttpPhase::ServerRecv, &req.target, 0, 0);
         let resp = self
             .matcher
             .lookup(&req)
@@ -296,6 +337,7 @@ impl MuxHandler for MuxReplayHandler {
                 resp.status,
                 resp.body.len() as u64,
             );
+            span_think(&self.span, self.conn, &req.target, recv_at, sim.now());
             responder.respond(sim, resp);
         } else {
             // Serialize the matching work on this server's CPU, exactly
@@ -304,6 +346,8 @@ impl MuxHandler for MuxReplayHandler {
             let done = start + self.think_time;
             self.cpu.set(done);
             let tap = self.tap.clone();
+            let span = self.span.clone();
+            let conn = self.conn;
             sim.schedule_at(done, move |sim| {
                 tap_http(
                     &tap,
@@ -313,6 +357,7 @@ impl MuxHandler for MuxReplayHandler {
                     resp.status,
                     resp.body.len() as u64,
                 );
+                span_think(&span, conn, &req.target, recv_at, sim.now());
                 responder.respond(sim, resp);
             });
         }
@@ -324,6 +369,7 @@ struct ReplayConn {
     think_time: SimDuration,
     cpu: Rc<Cell<Timestamp>>,
     tap: Option<TapHandle>,
+    span: Option<SpanHandle>,
     parser: RefCell<RequestParser>,
 }
 
@@ -341,14 +387,8 @@ impl SocketApp for ReplayConn {
                     }
                 };
                 for req in reqs {
-                    tap_http(
-                        &self.tap,
-                        sim.now(),
-                        HttpPhase::ServerRecv,
-                        &req.target,
-                        0,
-                        0,
-                    );
+                    let recv_at = sim.now();
+                    tap_http(&self.tap, recv_at, HttpPhase::ServerRecv, &req.target, 0, 0);
                     let resp = self
                         .matcher
                         .lookup(&req)
@@ -356,6 +396,7 @@ impl SocketApp for ReplayConn {
                     let status = resp.status;
                     let body_len = resp.body.len() as u64;
                     let wire = write_response(&resp);
+                    let conn = span_conn_id(h.remote_addr());
                     if self.think_time.is_zero() {
                         tap_http(
                             &self.tap,
@@ -365,6 +406,7 @@ impl SocketApp for ReplayConn {
                             status,
                             body_len,
                         );
+                        span_think(&self.span, conn, &req.target, recv_at, sim.now());
                         h.send(sim, wire);
                     } else {
                         // Serialize the matching work on this server's CPU.
@@ -373,6 +415,7 @@ impl SocketApp for ReplayConn {
                         self.cpu.set(done);
                         let h2 = h.clone();
                         let tap = self.tap.clone();
+                        let span = self.span.clone();
                         sim.schedule_at(done, move |sim| {
                             tap_http(
                                 &tap,
@@ -382,6 +425,7 @@ impl SocketApp for ReplayConn {
                                 status,
                                 body_len,
                             );
+                            span_think(&span, conn, &req.target, recv_at, sim.now());
                             h2.send(sim, wire);
                         });
                     }

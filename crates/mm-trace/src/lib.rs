@@ -1,11 +1,21 @@
-//! # mm-trace — Mahimahi packet-delivery traces
+//! # mm-trace — Mahimahi packet-delivery traces and causal spans
 //!
 //! The trace file format ([`format`]: parse, validate, serialize, wrap
 //! semantics) and synthetic generators ([`generate`]: constant-bit-rate,
 //! cellular-like Markov-modulated, on-off). LinkShell consumes these.
+//!
+//! The crate also hosts the causal span layer ([`span`]): a [`SpanSink`]
+//! observer trait plus a bounded [`TraceBuffer`] the whole stack records
+//! typed, parented wait intervals into — the raw material for `mmpath`'s
+//! critical-path PLT attribution.
 
 pub mod format;
 pub mod generate;
+pub mod span;
 
 pub use format::{Trace, TraceError, TRACE_MTU};
 pub use generate::{cellular, constant_rate, on_off, CellularParams};
+pub use span::{
+    parse_span_line, parse_spans_jsonl, span_to_jsonl_line, spans_to_jsonl, Span, SpanHandle,
+    SpanKind, SpanSink, TraceBuffer, NO_RESOURCE,
+};
