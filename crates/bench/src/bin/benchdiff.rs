@@ -102,7 +102,14 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     for name in &names {
-        let base = load(&Path::new(baseline_dir).join(name)).expect("listed file readable");
+        // A listed file can still fail to read (permissions, races);
+        // name it instead of panicking.
+        let base_path = Path::new(baseline_dir).join(name);
+        let Some(base) = load(&base_path) else {
+            println!("FAIL {name}: cannot read baseline {}", base_path.display());
+            failures += 1;
+            continue;
+        };
         let Some(cand) = load(&Path::new(candidate_dir).join(name)) else {
             println!("FAIL {name}: candidate file missing");
             failures += 1;

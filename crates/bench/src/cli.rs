@@ -53,6 +53,16 @@ impl ExperimentSpec {
     /// TCP layer) and writes `<dir>/spans.jsonl` after the run —
     /// analyze it with `mmpath <dir>/spans.jsonl`. Sinks only observe —
     /// the BENCH output is byte-identical with spans on or off.
+    ///
+    /// Finally `--audit` (optionally with `--audit-out <dir>`) turns on
+    /// the process-global conformance auditor for every page load:
+    /// packet-conservation ledgers, TCP invariants and HTTP/span
+    /// consistency are checked online, and the per-load reports plus
+    /// order-insensitive equivalence digests are written to
+    /// `<dir>/audit.jsonl` (default `.`) after the run — render or gate
+    /// with `mmaudit <dir>`, compare runs with `mmaudit --compare`.
+    /// Auditors only observe — the BENCH output is byte-identical with
+    /// auditing on or off.
     pub fn main(&self) {
         let args: Vec<String> = std::env::args().collect();
         let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
@@ -90,6 +100,20 @@ impl ExperimentSpec {
         });
         if span_out.is_some() {
             mahimahi::obs::enable_spans(mahimahi::obs::DEFAULT_SPAN_LOADS);
+        }
+        let audit_out = args.iter().position(|a| a == "--audit-out").map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("--audit-out requires a directory argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        });
+        let audit = audit_out.is_some() || args.iter().any(|a| a == "--audit");
+        let audit_out = audit.then(|| audit_out.unwrap_or_else(|| ".".to_string()));
+        if audit {
+            mahimahi::obs::enable_audit();
         }
         let n = args
             .get(1)
@@ -136,6 +160,25 @@ impl ExperimentSpec {
                     jsonl.lines().count()
                 ),
                 Err(e) => eprintln!("\n  could not write spans into {dir}: {e}"),
+            }
+        }
+        if let Some(dir) = &audit_out {
+            let jsonl = mahimahi::obs::take_audit_jsonl();
+            let violations = jsonl
+                .lines()
+                .filter(|l| l.contains("\"ev\":\"violation\""))
+                .count();
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                let path = std::path::Path::new(dir).join("audit.jsonl");
+                std::fs::write(&path, &jsonl).map(|()| path)
+            });
+            match write {
+                Ok(path) => println!(
+                    "\n  wrote {} ({violations} violation{})",
+                    path.display(),
+                    if violations == 1 { "" } else { "s" }
+                ),
+                Err(e) => eprintln!("\n  could not write audit report into {dir}: {e}"),
             }
         }
         if let Some(metrics) = metrics {

@@ -11,6 +11,10 @@
 /// Apply `f` to every item, sharded across the machine's cores, returning
 /// results in input order. `f` receives `(index, &item)` — seed anything
 /// stochastic from `index` so sharding cannot change results.
+///
+/// Setting `MM_BENCH_SERIAL=1` forces the plain serial loop, the
+/// reference point for CI's serial-vs-sharded equivalence gate
+/// (`mmaudit --compare`).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -18,10 +22,15 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let serial = std::env::var("MM_BENCH_SERIAL").is_ok_and(|v| v == "1");
+    let threads = if serial {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1))
+    };
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -65,6 +74,21 @@ mod tests {
             x * 3
         });
         assert_eq!(out, (0..101).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_env_forces_one_thread() {
+        // Safe enough in-process: parallel_map reads the var per call,
+        // and the assertion holds under any interleaving with other
+        // tests (results are order-preserving either way).
+        std::env::set_var("MM_BENCH_SERIAL", "1");
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x + 1
+        });
+        std::env::remove_var("MM_BENCH_SERIAL");
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -126,6 +126,14 @@ pub struct LoadSpec<'a> {
     /// [`crate::obs::enable_spans`]). Sinks only observe: results are
     /// byte-identical with or without one.
     pub span: Option<mm_trace::SpanHandle>,
+    /// Explicit conformance auditor for this load, registered as the
+    /// world's metrics sink, packet tap and span sink at once (fanned
+    /// out alongside any other sinks). The caller keeps the auditor and
+    /// calls [`mm_audit::Auditor::finish`] after the load. `None` falls
+    /// back to the process-global `--audit` channel (see
+    /// [`crate::obs::enable_audit`]). Auditors only observe: results
+    /// are byte-identical with or without one.
+    pub audit: Option<mm_audit::Auditor>,
     /// Seed for all stochastic elements of this load.
     pub seed: u64,
 }
@@ -143,6 +151,7 @@ impl<'a> LoadSpec<'a> {
             tcp: None,
             capture: None,
             span: None,
+            audit: None,
             seed: 0,
         }
     }
@@ -202,6 +211,27 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
         .clone()
         .or_else(|| claimed.as_ref().map(mm_capture::Capture::handle));
 
+    // Conformance auditing (the experiment bins' `--audit` plumbing):
+    // an explicit auditor on the spec wins (its owner calls `finish`);
+    // otherwise, when the process-global audit channel is on, this load
+    // gets a private auditor whose report is merged on completion. The
+    // same auditor instance is fanned into the metrics, tap and span
+    // hooks below — the cross-stream checks (qdisc gauge vs packet
+    // ledger, server bytes vs browser bytes) need one shared view.
+    let audit_claimed = if spec.audit.is_none() {
+        crate::obs::claim_audit_load().map(mm_audit::Auditor::for_load)
+    } else {
+        None
+    };
+    let audit = spec.audit.clone().or_else(|| audit_claimed.clone());
+    let tap = match (&tap, &audit) {
+        (Some(t), Some(a)) => Some(mm_capture::TapHandle::new(mm_capture::FanoutTap::new(
+            vec![t.clone(), a.tap_handle()],
+        ))),
+        (None, Some(a)) => Some(a.tap_handle()),
+        _ => tap,
+    };
+
     // Causal spans (the experiment bins' `--span-out` plumbing): an
     // explicit sink on the spec wins; otherwise, when the process-global
     // span channel is on and its load budget allows, this load records
@@ -216,6 +246,15 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
         .span
         .clone()
         .or_else(|| span_claimed.as_ref().map(mm_trace::TraceBuffer::handle));
+    // The auditor's span view rides the same handle: alone, or fanned
+    // out behind a recorder (the fanout allocates the ids both see).
+    let span = match (&span, &audit) {
+        (Some(s), Some(a)) => {
+            Some(mm_trace::FanoutSpan::new(vec![s.clone(), a.span_handle()]).handle())
+        }
+        (None, Some(a)) => Some(a.span_handle()),
+        _ => span,
+    };
     // The TCP-layer spans ride the same per-load TCP config as flow
     // tracing; like the tracer substitution above, the sink field is the
     // only difference from the unspanned config.
@@ -229,6 +268,23 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
                 .build(),
         ),
         _ => spec_tcp,
+    };
+    // The auditor's TCP-conformance view: fan its metrics sink in next
+    // to whatever sink the config already carries (the flow tracer's
+    // RegistrySink, or an experimenter's own).
+    let spec_tcp = match &audit {
+        Some(a) => {
+            let base = spec_tcp.unwrap_or_default();
+            let metrics = match &base.metrics {
+                Some(m) => mm_metrics::MetricsHandle::new(mm_metrics::FanoutSink::new(vec![
+                    m.clone(),
+                    a.metrics_handle(),
+                ])),
+                None => a.metrics_handle(),
+            };
+            Some(base.to_builder().metrics(metrics).build())
+        }
+        None => spec_tcp,
     };
 
     // Outermost: ReplayShell's world. The browser's protocol choice is
@@ -290,6 +346,11 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     let mut stack = ShellStack::new(&root_ns);
     if let Some(tap) = &tap {
         stack = stack.with_tap(tap.clone());
+    }
+    // The auditor also observes the qdiscs' own depth gauges and
+    // counters, cross-checked against the packet ledger its tap builds.
+    if let Some(a) = &audit {
+        stack = stack.with_qdisc_metrics(a.metrics_handle());
     }
     if let Some(overhead) = spec.net.shell_overhead {
         stack = stack.with_shell_overhead(overhead);
@@ -358,6 +419,9 @@ pub fn run_page_load(spec: &LoadSpec<'_>) -> PageLoadResult {
     if let Some(buf) = &span_claimed {
         crate::obs::merge_spans(buf);
     }
+    if let Some(a) = &audit_claimed {
+        crate::obs::append_audit_jsonl(&a.finish().to_jsonl());
+    }
     let r = result
         .borrow_mut()
         .take()
@@ -380,6 +444,7 @@ pub fn run_loads(spec: &LoadSpec<'_>, n: usize) -> Vec<f64> {
                 tcp: spec.tcp.clone(),
                 capture: spec.capture.clone(),
                 span: spec.span.clone(),
+                audit: spec.audit.clone(),
                 seed: spec.seed.wrapping_mul(1_000_003).wrapping_add(i as u64),
             };
             run_page_load(&load_spec).plt.as_millis_f64()

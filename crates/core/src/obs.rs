@@ -94,6 +94,7 @@ impl ObsChannel {
 static TRACE: ObsChannel = ObsChannel::new();
 static CAPTURE: ObsChannel = ObsChannel::new();
 static SPAN: ObsChannel = ObsChannel::new();
+static AUDIT: ObsChannel = ObsChannel::new();
 
 /// Default number of page loads a `--capture-out` run captures. Packet
 /// captures are far denser than flow traces (every enqueue/dequeue/
@@ -214,6 +215,37 @@ pub fn merge_spans(buffer: &mm_trace::TraceBuffer) {
 /// Take everything recorded so far (the `--span-out` writer).
 pub fn take_span_jsonl() -> String {
     SPAN.take()
+}
+
+/// Turn on process-global conformance auditing: every subsequent
+/// [`run_page_load`](crate::harness::run_page_load) wires an
+/// [`mm_audit::Auditor`] into the load's metrics, tap and span hooks
+/// and merges its report into the buffer behind [`take_audit_jsonl`].
+/// Auditors validate instead of record, so their state is a bounded
+/// set of ledgers rather than a per-packet log — the budget is
+/// unbounded, matching `--trace-out`.
+pub fn enable_audit() {
+    AUDIT.enable(u64::MAX);
+}
+
+/// Whether [`enable_audit`] has been called.
+pub fn audit_enabled() -> bool {
+    AUDIT.enabled()
+}
+
+/// Claim an audit slot for one page load (see [`ObsChannel::claim_load`]).
+pub fn claim_audit_load() -> Option<u64> {
+    AUDIT.claim_load()
+}
+
+/// Append one load's audit report JSONL to the global buffer.
+pub fn append_audit_jsonl(jsonl: &str) {
+    AUDIT.append(jsonl);
+}
+
+/// Take every audit report merged so far (the `--audit-out` writer).
+pub fn take_audit_jsonl() -> String {
+    AUDIT.take()
 }
 
 /// A [`SpanSink`] that turns per-resource phase spans into labeled

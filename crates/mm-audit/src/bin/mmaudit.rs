@@ -1,0 +1,157 @@
+//! `mmaudit` — render and gate on runtime conformance audit reports.
+//!
+//! Report mode: `mmaudit <report.jsonl | dir>...` parses one or more
+//! audit reports (a directory means `<dir>/audit.jsonl`), prints a
+//! violation table grouped by code and a digest summary, and exits 1
+//! when any violation was recorded — the CI zero-violation gate.
+//!
+//! Compare mode: `mmaudit --compare <a> <b>` combines each side's
+//! per-scope equivalence digests (order-insensitively, so a serial run
+//! and a sharded run of the same loads agree) and exits 1 when any
+//! scope differs or is missing — the cross-run equivalence gate.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mm_audit::{parse_audit_jsonl, ParsedAudit};
+
+const USAGE: &str = "usage: mmaudit <report.jsonl | dir>...\n       mmaudit --compare <a> <b>";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("mmaudit: {msg}");
+    ExitCode::from(2)
+}
+
+/// A directory argument means its `audit.jsonl`.
+fn resolve(arg: &str) -> PathBuf {
+    let p = Path::new(arg);
+    if p.is_dir() {
+        p.join("audit.jsonl")
+    } else {
+        p.to_path_buf()
+    }
+}
+
+fn load(arg: &str) -> Result<ParsedAudit, String> {
+    let path = resolve(arg);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_audit_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if args[0] == "--compare" {
+        if args.len() != 3 {
+            return fail("--compare takes exactly two reports");
+        }
+        return compare(&args[1], &args[2]);
+    }
+    report(&args)
+}
+
+fn report(args: &[String]) -> ExitCode {
+    let mut combined = ParsedAudit::default();
+    for arg in args {
+        match load(arg) {
+            Ok(parsed) => {
+                combined.violations.extend(parsed.violations);
+                for (scope, hash) in parsed.digests {
+                    let d = combined.digests.entry(scope).or_insert(0);
+                    *d = d.wrapping_add(hash);
+                }
+                combined.loads += parsed.loads;
+                combined.packets += parsed.packets;
+                combined.samples += parsed.samples;
+                combined.spans += parsed.spans;
+                combined.dropped_violations += parsed.dropped_violations;
+            }
+            Err(e) => return fail(&e),
+        }
+    }
+    println!(
+        "{} load(s): {} packet event(s), {} flow sample(s), {} span(s), {} digest scope(s)",
+        combined.loads,
+        combined.packets,
+        combined.samples,
+        combined.spans,
+        combined.digests.len()
+    );
+    if combined.violations.is_empty() && combined.dropped_violations == 0 {
+        println!("no violations");
+        return ExitCode::SUCCESS;
+    }
+    // Group by code; show each code's count, one example scope/detail.
+    let mut by_code: BTreeMap<&str, (u64, &mm_audit::ParsedViolation)> = BTreeMap::new();
+    for v in &combined.violations {
+        by_code
+            .entry(&v.code)
+            .and_modify(|e| e.0 += 1)
+            .or_insert((1, v));
+    }
+    println!();
+    println!("{:<24} {:>7}  example", "violation", "count");
+    println!("{:-<24} {:->7}  {:-<40}", "", "", "");
+    for (code, (count, example)) in &by_code {
+        println!(
+            "{code:<24} {count:>7}  [load {}] {}: {}",
+            example.load, example.scope, example.detail
+        );
+    }
+    if combined.dropped_violations > 0 {
+        println!(
+            "... and {} violation(s) dropped past the per-load cap",
+            combined.dropped_violations
+        );
+    }
+    println!();
+    println!("{} violation(s) total", combined.violations.len());
+    ExitCode::FAILURE
+}
+
+fn compare(a_arg: &str, b_arg: &str) -> ExitCode {
+    let (a, b) = match (load(a_arg), load(b_arg)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    if a.digests.is_empty() || b.digests.is_empty() {
+        return fail("no digests to compare (was the run audited?)");
+    }
+    let mut bad = 0u64;
+    for (scope, ha) in &a.digests {
+        match b.digests.get(scope) {
+            None => {
+                println!("scope {scope}: only in {a_arg}");
+                bad += 1;
+            }
+            Some(hb) if hb != ha => {
+                println!("scope {scope}: {ha:016x} != {hb:016x}");
+                bad += 1;
+            }
+            Some(_) => {}
+        }
+    }
+    for scope in b.digests.keys() {
+        if !a.digests.contains_key(scope) {
+            println!("scope {scope}: only in {b_arg}");
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        println!(
+            "{bad} of {} scope(s) differ: runs are NOT equivalent",
+            a.digests.len().max(b.digests.len())
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} digest scope(s) identical: runs are equivalent",
+        a.digests.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1170 @@
+//! # mm-audit — runtime conformance auditor and equivalence digests
+//!
+//! Every observer hook in the workspace (`MetricsSink`, `PacketTap`,
+//! `SpanSink`) was built to *record* what the simulation does. This
+//! crate turns the same event streams into a *judge*: an [`Auditor`]
+//! implements all three hook traits and validates, online, the
+//! invariants the rest of the stack promises —
+//!
+//! - **packet conservation** per instrumented shell point: every
+//!   dequeue, drop and delivery must refer to a packet the ledger knows
+//!   about, sizes must agree, and at the end of the run
+//!   `enqueued == dequeued + evicted + residual backlog` in both
+//!   packets and bytes, cross-checked against the qdisc's own
+//!   `qdisc_*_backlog_now_packets` gauge and `*_total` counters;
+//! - **TCP conformance** per traced connection: window-gated transmit
+//!   bursts never leave more in flight than cwnd (or the peer's
+//!   window), the incrementally maintained SACK pipe equals the
+//!   definitional walk, SACK blocks are well-formed/disjoint/in-window,
+//!   RACK never marks a segment at-or-after its own clock, and the
+//!   pacer never releases more than one segment ahead of its token
+//!   clock;
+//! - **HTTP/span consistency**: every browser `Done` matches a server
+//!   `ServerSent` byte count for the same request path, and each resource's
+//!   phase spans tile its resource span exactly (the contract `mmpath`'s
+//!   critical-path walk stands on).
+//!
+//! Violations are *accumulated*, never panicked: an auditor in a CI
+//! smoke run or a soak must report everything it saw, not die on the
+//! first anomaly. [`Auditor::finish`] returns an [`AuditReport`] whose
+//! JSONL form the `mmaudit` binary renders and gates on.
+//!
+//! The report also carries **equivalence digests**: one 64-bit hash per
+//! link point and per connection, folded from per-packet event hashes
+//! with a commutative combine (wrapping add), so the digest of a run is
+//! *order-insensitive* — a serial site loop and a thread-sharded one
+//! (`bench::parallel_map`) must produce identical digests, and
+//! `mmaudit --compare a/ b/` exits nonzero when any scope differs.
+//! Process-global load ids are deliberately excluded from the hash:
+//! they are claim-order-dependent and would differ across shardings.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use mm_capture::{
+    Dir, HttpEvent, HttpPhase, PacketEvent, PacketEventKind, PacketTap, PointKind, TapHandle,
+    TapPoint,
+};
+use mm_metrics::{FlowSample, MetricsHandle, MetricsSink};
+use mm_trace::{Span, SpanHandle, SpanKind, SpanSink, NO_RESOURCE};
+
+/// One invariant breach. `code` is a stable machine-readable slug
+/// (`cwnd-overfill`, `untracked-dequeue`, ...), `scope` names the
+/// entity (a tap-point label, a flow description, `res:<n>`), and
+/// `detail` carries the expected/actual values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub code: &'static str,
+    pub scope: String,
+    pub detail: String,
+}
+
+/// Everything one audited load produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Process-unique load id (claim-order-dependent; excluded from
+    /// digests).
+    pub load: u64,
+    pub violations: Vec<Violation>,
+    /// Violations discarded past the in-memory cap.
+    pub dropped_violations: u64,
+    /// Order-insensitive per-scope equivalence digests: tap-point
+    /// labels (`link1-down`) and connections (`conn:<flow key>`).
+    pub digests: BTreeMap<String, u64>,
+    pub packets: u64,
+    pub http_events: u64,
+    pub samples: u64,
+    pub spans: u64,
+}
+
+impl AuditReport {
+    /// True when the run satisfied every audited invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped_violations == 0
+    }
+
+    /// Serialize as the flat JSONL `mmaudit` consumes: one line per
+    /// violation, one per digest scope, and a trailing summary.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{{\"ev\":\"violation\",\"load\":{},\"code\":\"{}\",\"scope\":\"{}\",\"detail\":\"{}\"}}\n",
+                self.load,
+                escape_json(v.code),
+                escape_json(&v.scope),
+                escape_json(&v.detail),
+            ));
+        }
+        for (scope, hash) in &self.digests {
+            out.push_str(&format!(
+                "{{\"ev\":\"digest\",\"load\":{},\"scope\":\"{}\",\"hash\":{}}}\n",
+                self.load,
+                escape_json(scope),
+                hash,
+            ));
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"ev\":\"audit_summary\",\"load\":{},\"violations\":{},",
+                "\"dropped_violations\":{},\"packets\":{},\"http_events\":{},",
+                "\"samples\":{},\"spans\":{}}}\n"
+            ),
+            self.load,
+            self.violations.len(),
+            self.dropped_violations,
+            self.packets,
+            self.http_events,
+            self.samples,
+            self.spans,
+        ));
+        out
+    }
+}
+
+/// FNV-1a over a byte string; the workspace's standard cheap stable hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of one packet event for the equivalence digest. Everything
+/// deterministic about the event participates; the process-global load
+/// id does not (it depends on claim order across threads).
+fn packet_digest(ev: &PacketEvent) -> u64 {
+    let mut buf = [0u8; 41];
+    buf[0] = match ev.kind {
+        PacketEventKind::Enqueue => 0,
+        PacketEventKind::Dequeue => 1,
+        PacketEventKind::Drop => 2,
+        PacketEventKind::Deliver => 3,
+    };
+    buf[1..9].copy_from_slice(&ev.pkt_id.to_le_bytes());
+    buf[9..17].copy_from_slice(&(ev.size_bytes as u64).to_le_bytes());
+    buf[17..25].copy_from_slice(&ev.sojourn_ns.to_le_bytes());
+    buf[25..33].copy_from_slice(&ev.t_ns.to_le_bytes());
+    buf[33..41].copy_from_slice(&ev.flow.to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// Per-tap-point packet ledger.
+struct Ledger {
+    point: TapPoint,
+    enq: u64,
+    enq_bytes: u64,
+    deq: u64,
+    deq_bytes: u64,
+    refused: u64,
+    evicted: u64,
+    evicted_bytes: u64,
+    delivered: u64,
+    /// pkt id → wire size, for packets currently inside the queue.
+    outstanding: BTreeMap<u64, u32>,
+    /// Dequeued but not yet delivered (queue points only).
+    in_transit: BTreeMap<u64, u32>,
+    digest: u64,
+}
+
+impl Ledger {
+    fn new(point: TapPoint) -> Ledger {
+        Ledger {
+            point,
+            enq: 0,
+            enq_bytes: 0,
+            deq: 0,
+            deq_bytes: 0,
+            refused: 0,
+            evicted: 0,
+            evicted_bytes: 0,
+            delivered: 0,
+            outstanding: BTreeMap::new(),
+            in_transit: BTreeMap::new(),
+            digest: 0,
+        }
+    }
+
+    fn backlog_packets(&self) -> u64 {
+        self.outstanding.len() as u64
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.outstanding.values().map(|&s| s as u64).sum()
+    }
+}
+
+/// Gauge cross-check state for one direction's instrumented qdisc.
+#[derive(Default)]
+struct GaugeTrack {
+    last: Option<f64>,
+    /// Deferred gauge-vs-ledger mismatches (dropped wholesale if the
+    /// direction turns out to have several links — the per-direction
+    /// gauge names cannot be attributed then).
+    bad: Vec<Violation>,
+    /// Set when a second distinct link point appears in this direction.
+    ambiguous: bool,
+}
+
+/// Per-traced-connection state.
+struct FlowState {
+    desc: String,
+    samples: u64,
+}
+
+type PointKey = (u8, u32, u8);
+
+fn point_key(p: TapPoint) -> PointKey {
+    let kind = match p.kind {
+        PointKind::Link => 0,
+        PointKind::Delay => 1,
+        PointKind::Loss => 2,
+    };
+    let dir = match p.dir {
+        Dir::Up => 0,
+        Dir::Down => 1,
+    };
+    (kind, p.index, dir)
+}
+
+fn dir_index(d: Dir) -> usize {
+    match d {
+        Dir::Up => 0,
+        Dir::Down => 1,
+    }
+}
+
+struct State {
+    load: u64,
+    violations: Vec<Violation>,
+    dropped_violations: u64,
+    points: BTreeMap<PointKey, Ledger>,
+    /// Per-connection digests keyed by the packet flow fingerprint.
+    conn_digests: BTreeMap<u64, u64>,
+    /// The single instrumented link point per direction, if unique.
+    link_point: [Option<u32>; 2],
+    gauges: [GaugeTrack; 2],
+    counters: BTreeMap<&'static str, u64>,
+    flows: Vec<FlowState>,
+    /// Request path → body sizes the servers reported sending for it.
+    /// Keyed by path because the two sides name resources differently:
+    /// servers see the request target (`/asset/1.css`), browsers the
+    /// absolute URL — and distinct origins may serve the same path.
+    srv_sent: BTreeMap<String, Vec<u64>>,
+    http_events: u64,
+    packets: u64,
+    spans: u64,
+    /// Per-resource phase intervals and resource envelopes for the
+    /// finish-time tiling check.
+    phase_spans: BTreeMap<u32, Vec<(u64, u64)>>,
+    resource_spans: BTreeMap<u32, (u64, u64)>,
+    span_overflow: bool,
+}
+
+/// Hard cap on retained violations; a systematically broken run should
+/// produce a bounded report, not an unbounded allocation.
+const MAX_VIOLATIONS: usize = 1024;
+/// Hard cap on retained span intervals (matches `TraceBuffer`'s bound).
+const MAX_SPANS: u64 = 64 * 1024;
+/// Gauge mismatches retained per direction — one is diagnostic, a
+/// thousand is noise.
+const MAX_GAUGE_VIOLATIONS: usize = 8;
+
+impl State {
+    fn push(&mut self, code: &'static str, scope: String, detail: String) {
+        if self.violations.len() >= MAX_VIOLATIONS {
+            self.dropped_violations += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            code,
+            scope,
+            detail,
+        });
+    }
+}
+
+/// The conformance auditor: one per audited page load. Clones share
+/// state, so one auditor can be registered as the metrics sink, the
+/// packet tap and the span sink of the same world at once.
+///
+/// Auditors only observe (they implement the same contracts as every
+/// other sink) and never panic on bad input — anomalies become
+/// [`Violation`]s in the final report.
+#[derive(Clone)]
+pub struct Auditor {
+    inner: Rc<RefCell<State>>,
+    next_span_id: Rc<Cell<u64>>,
+}
+
+impl Auditor {
+    /// An auditor for one page load (the id tags report lines only; it
+    /// never enters the digests).
+    pub fn for_load(load: u64) -> Auditor {
+        Auditor {
+            inner: Rc::new(RefCell::new(State {
+                load,
+                violations: Vec::new(),
+                dropped_violations: 0,
+                points: BTreeMap::new(),
+                conn_digests: BTreeMap::new(),
+                link_point: [None, None],
+                gauges: [GaugeTrack::default(), GaugeTrack::default()],
+                counters: BTreeMap::new(),
+                flows: Vec::new(),
+                srv_sent: BTreeMap::new(),
+                http_events: 0,
+                packets: 0,
+                spans: 0,
+                phase_spans: BTreeMap::new(),
+                resource_spans: BTreeMap::new(),
+                span_overflow: false,
+            })),
+            next_span_id: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// This auditor as a TCP/qdisc metrics sink.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle::new(self.clone())
+    }
+
+    /// This auditor as a per-packet tap.
+    pub fn tap_handle(&self) -> TapHandle {
+        TapHandle::new(self.clone())
+    }
+
+    /// This auditor as a causal-span sink.
+    pub fn span_handle(&self) -> SpanHandle {
+        SpanHandle::new(Rc::new(self.clone()))
+    }
+
+    /// Violations recorded so far (finish-time checks not included).
+    pub fn violation_count(&self) -> usize {
+        self.inner.borrow().violations.len()
+    }
+
+    /// Run the end-of-load checks (conservation, counter and gauge
+    /// cross-checks, span tiling) and assemble the report.
+    pub fn finish(&self) -> AuditReport {
+        let mut st = self.inner.borrow_mut();
+        self.finish_ledgers(&mut st);
+        self.finish_spans(&mut st);
+        let mut digests = BTreeMap::new();
+        for led in st.points.values() {
+            digests.insert(led.point.label(), led.digest);
+        }
+        for (flow, hash) in &st.conn_digests {
+            digests.insert(format!("conn:{flow:016x}"), *hash);
+        }
+        AuditReport {
+            load: st.load,
+            violations: st.violations.clone(),
+            dropped_violations: st.dropped_violations,
+            digests,
+            packets: st.packets,
+            http_events: st.http_events,
+            samples: st.flows.iter().map(|f| f.samples).sum(),
+            spans: st.spans,
+        }
+    }
+
+    fn finish_ledgers(&self, st: &mut State) {
+        let mut pending: Vec<(&'static str, String, String)> = Vec::new();
+        for led in st.points.values() {
+            let scope = led.point.label();
+            // Packet/byte conservation. With a consistent event stream
+            // these hold by construction; they fail exactly when the
+            // per-event checks saw untracked or duplicated ids, and
+            // state the imbalance in one line.
+            let accounted = led.deq + led.evicted + led.backlog_packets();
+            if led.enq != accounted {
+                pending.push((
+                    "conservation",
+                    scope.clone(),
+                    format!(
+                        "enqueued {} != dequeued {} + evicted {} + backlog {}",
+                        led.enq,
+                        led.deq,
+                        led.evicted,
+                        led.backlog_packets()
+                    ),
+                ));
+            }
+            let accounted_bytes = led.deq_bytes + led.evicted_bytes + led.backlog_bytes();
+            if led.enq_bytes != accounted_bytes {
+                pending.push((
+                    "conservation-bytes",
+                    scope.clone(),
+                    format!(
+                        "enqueued {} B != dequeued {} B + evicted {} B + backlog {} B",
+                        led.enq_bytes,
+                        led.deq_bytes,
+                        led.evicted_bytes,
+                        led.backlog_bytes()
+                    ),
+                ));
+            }
+        }
+        // Qdisc cross-checks, per direction, only when exactly one link
+        // point exists there (the qdisc metric names carry no index).
+        for di in 0..2 {
+            let track = std::mem::take(&mut st.gauges[di]);
+            if track.ambiguous {
+                continue;
+            }
+            let Some(index) = st.link_point[di] else {
+                continue;
+            };
+            let dir = if di == 0 { Dir::Up } else { Dir::Down };
+            let key = point_key(TapPoint {
+                kind: PointKind::Link,
+                index,
+                dir,
+            });
+            let Some(led) = st.points.get(&key) else {
+                continue;
+            };
+            let scope = led.point.label();
+            for v in track.bad {
+                pending.push((v.code, v.scope, v.detail));
+            }
+            if let Some(last) = track.last {
+                if last != led.backlog_packets() as f64 {
+                    pending.push((
+                        "gauge-final-mismatch",
+                        scope.clone(),
+                        format!(
+                            "final backlog gauge {last} != ledger backlog {}",
+                            led.backlog_packets()
+                        ),
+                    ));
+                }
+            }
+            let (enq_name, drop_name) = if di == 0 {
+                ("qdisc_up_enqueues_total", "qdisc_up_drops_total")
+            } else {
+                ("qdisc_down_enqueues_total", "qdisc_down_drops_total")
+            };
+            // An instrumented qdisc always counts enqueues; only check
+            // when one reported (the tap can run without instruments).
+            if let Some(&enq_total) = st.counters.get(enq_name) {
+                // The instrument counts every offer; refusals included.
+                let offered = led.enq + led.refused;
+                if enq_total != offered {
+                    pending.push((
+                        "counter-enqueues-mismatch",
+                        scope.clone(),
+                        format!("{enq_name} {enq_total} != tap enqueue+refused {offered}"),
+                    ));
+                }
+                let drops_total = st.counters.get(drop_name).copied().unwrap_or(0);
+                let dropped = led.refused + led.evicted;
+                if drops_total != dropped {
+                    pending.push((
+                        "counter-drops-mismatch",
+                        scope.clone(),
+                        format!("{drop_name} {drops_total} != tap drops {dropped}"),
+                    ));
+                }
+            }
+        }
+        for (code, scope, detail) in pending {
+            st.push(code, scope, detail);
+        }
+    }
+
+    fn finish_spans(&self, st: &mut State) {
+        if st.span_overflow {
+            st.push(
+                "span-overflow",
+                "spans".to_string(),
+                format!("more than {MAX_SPANS} spans; tiling not checked"),
+            );
+            return;
+        }
+        let phase_spans = std::mem::take(&mut st.phase_spans);
+        for (res, mut phases) in phase_spans {
+            let scope = format!("res:{res}");
+            phases.sort_unstable();
+            let mut broken = None;
+            for w in phases.windows(2) {
+                if w[0].1 != w[1].0 {
+                    broken = Some(format!(
+                        "phase gap/overlap: [{},{}] then [{},{}]",
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    ));
+                    break;
+                }
+            }
+            if broken.is_none() {
+                if let Some(&(t0, t1)) = st.resource_spans.get(&res) {
+                    let first = phases.first().map(|p| p.0).unwrap_or(t0);
+                    let last = phases.last().map(|p| p.1).unwrap_or(t1);
+                    if first != t0 || last != t1 {
+                        broken = Some(format!(
+                            "phases cover [{first},{last}], resource span is [{t0},{t1}]"
+                        ));
+                    }
+                }
+            }
+            if let Some(detail) = broken {
+                st.push("span-tiling", scope, detail);
+            }
+        }
+    }
+}
+
+impl PacketTap for Auditor {
+    fn on_packet(&self, ev: &PacketEvent) {
+        let mut st = self.inner.borrow_mut();
+        st.packets += 1;
+        let h = packet_digest(ev);
+        if ev.flow != 0 {
+            let d = st.conn_digests.entry(ev.flow).or_insert(0);
+            *d = d.wrapping_add(h);
+        }
+        if ev.point.kind == PointKind::Link {
+            let di = dir_index(ev.point.dir);
+            match st.link_point[di] {
+                None => st.link_point[di] = Some(ev.point.index),
+                Some(i) if i == ev.point.index => {}
+                Some(_) => {
+                    // Two links in one direction: the per-direction
+                    // qdisc gauges/counters cannot be attributed.
+                    st.gauges[di].ambiguous = true;
+                    st.gauges[di].bad.clear();
+                }
+            }
+        }
+        let led = st
+            .points
+            .entry(point_key(ev.point))
+            .or_insert_with(|| Ledger::new(ev.point));
+        led.digest = led.digest.wrapping_add(h);
+        let mut bad: Option<(&'static str, String)> = None;
+        match ev.kind {
+            PacketEventKind::Enqueue => {
+                led.enq += 1;
+                led.enq_bytes += ev.size_bytes as u64;
+                if led.outstanding.insert(ev.pkt_id, ev.size_bytes).is_some() {
+                    bad = Some((
+                        "dup-enqueue",
+                        format!("pkt {} enqueued while already queued", ev.pkt_id),
+                    ));
+                }
+            }
+            PacketEventKind::Dequeue => {
+                led.deq += 1;
+                led.deq_bytes += ev.size_bytes as u64;
+                match led.outstanding.remove(&ev.pkt_id) {
+                    None => {
+                        bad = Some((
+                            "untracked-dequeue",
+                            format!("pkt {} dequeued but never enqueued", ev.pkt_id),
+                        ));
+                    }
+                    Some(size) if size != ev.size_bytes => {
+                        bad = Some((
+                            "size-mismatch",
+                            format!(
+                                "pkt {} enqueued at {size} B, dequeued at {} B",
+                                ev.pkt_id, ev.size_bytes
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                led.in_transit.insert(ev.pkt_id, ev.size_bytes);
+            }
+            PacketEventKind::Drop => {
+                match led.outstanding.remove(&ev.pkt_id) {
+                    // In-queue victim (drop-head eviction, AQM).
+                    Some(size) => {
+                        led.evicted += 1;
+                        led.evicted_bytes += size as u64;
+                    }
+                    // Refused at the door (tail drop, loss shell).
+                    None => led.refused += 1,
+                }
+            }
+            PacketEventKind::Deliver => {
+                led.delivered += 1;
+                // Only queue points (those that enqueue) promise the
+                // dequeue→deliver pairing; delay/loss shells deliver
+                // directly.
+                if led.enq > 0 && led.in_transit.remove(&ev.pkt_id).is_none() {
+                    bad = Some((
+                        "unmatched-deliver",
+                        format!("pkt {} delivered but never dequeued", ev.pkt_id),
+                    ));
+                }
+            }
+        }
+        if let Some((code, detail)) = bad {
+            let scope = ev.point.label();
+            st.push(code, scope, detail);
+        }
+    }
+
+    fn on_http(&self, ev: &HttpEvent) {
+        let mut st = self.inner.borrow_mut();
+        st.http_events += 1;
+        match ev.phase {
+            HttpPhase::ServerSent => {
+                let path = url_path(&ev.url).to_string();
+                st.srv_sent.entry(path).or_default().push(ev.bytes);
+            }
+            HttpPhase::Done => match st.srv_sent.get(url_path(&ev.url)) {
+                None => {
+                    let scope = ev.url.clone();
+                    st.push(
+                        "http-done-unmatched",
+                        scope,
+                        format!("browser finished {} B but no server send seen", ev.bytes),
+                    );
+                }
+                // Any origin having sent this exact size for this path
+                // satisfies the check; a browser byte count no server
+                // produced is the defect (truncated or padded body).
+                Some(sent) if !sent.contains(&ev.bytes) => {
+                    let detail = format!("browser finished {} B, server sent {sent:?} B", ev.bytes);
+                    let scope = ev.url.clone();
+                    st.push("http-bytes-mismatch", scope, detail);
+                }
+                Some(_) => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+impl MetricsSink for Auditor {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut st = self.inner.borrow_mut();
+        *st.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        let di = match name {
+            "qdisc_up_backlog_now_packets" => 0,
+            "qdisc_down_backlog_now_packets" => 1,
+            _ => return,
+        };
+        let mut st = self.inner.borrow_mut();
+        if st.gauges[di].ambiguous {
+            return;
+        }
+        // Event order within one qdisc operation: the instrumented
+        // qdisc (inner) publishes its new depth *before* the tap
+        // (outer) emits the operation's packet events. So at each
+        // gauge update, the ledger has digested everything up to the
+        // *previous* operation — whose closing gauge value it must
+        // match exactly.
+        let ledger_backlog = st.link_point[di].and_then(|index| {
+            let dir = if di == 0 { Dir::Up } else { Dir::Down };
+            let key = point_key(TapPoint {
+                kind: PointKind::Link,
+                index,
+                dir,
+            });
+            st.points.get(&key).map(Ledger::backlog_packets)
+        });
+        let track = &mut st.gauges[di];
+        if let (Some(prev), Some(backlog)) = (track.last, ledger_backlog) {
+            if prev != backlog as f64 && track.bad.len() < MAX_GAUGE_VIOLATIONS {
+                track.bad.push(Violation {
+                    code: "gauge-ledger-mismatch",
+                    scope: name.to_string(),
+                    detail: format!("qdisc reported depth {prev}, packet ledger holds {backlog}"),
+                });
+            }
+        }
+        track.last = Some(value);
+    }
+
+    fn flow_open(&self, desc: &str) -> Option<u64> {
+        let mut st = self.inner.borrow_mut();
+        st.flows.push(FlowState {
+            desc: desc.to_string(),
+            samples: 0,
+        });
+        Some((st.flows.len() - 1) as u64)
+    }
+
+    fn flow_sample(&self, flow: u64, sample: &FlowSample) {
+        let mut st = self.inner.borrow_mut();
+        let Some(fs) = st.flows.get_mut(flow as usize) else {
+            return;
+        };
+        fs.samples += 1;
+        let scope = fs.desc.clone();
+        let mut bad: Vec<(&'static str, String)> = Vec::new();
+        if sample.snd_una > sample.snd_nxt {
+            bad.push((
+                "seq-order",
+                format!("snd_una {} > snd_nxt {}", sample.snd_una, sample.snd_nxt),
+            ));
+        }
+        if sample.pipe != sample.pipe_walk {
+            bad.push((
+                "pipe-divergence",
+                format!(
+                    "incremental pipe {} != retransmission-queue walk {}",
+                    sample.pipe, sample.pipe_walk
+                ),
+            ));
+        }
+        // RACK's loss clock: a mark records the (sent-time, end-seq) of
+        // a segment declared lost, which must predate the most recently
+        // delivered segment that drives the clock.
+        let mark = (sample.rack_mark_ns, sample.rack_mark_end);
+        if mark != (0, 0) && mark >= (sample.rack_clock_ns, sample.rack_clock_end) {
+            bad.push((
+                "rack-mark-order",
+                format!(
+                    "mark ({},{}) at-or-after clock ({},{})",
+                    sample.rack_mark_ns,
+                    sample.rack_mark_end,
+                    sample.rack_clock_ns,
+                    sample.rack_clock_end
+                ),
+            ));
+        }
+        if sample.event == "tx" {
+            // Samples tagged "tx" come only from window-gated new-data
+            // bursts; loss-recovery paths with their own budgets
+            // (limited transmit, TLP, PRR) are deliberately untagged.
+            if sample.bytes_in_flight > sample.cwnd {
+                bad.push((
+                    "cwnd-overfill",
+                    format!(
+                        "{} B in flight after transmit, cwnd {} B",
+                        sample.bytes_in_flight, sample.cwnd
+                    ),
+                ));
+            }
+            if sample.bytes_in_flight > sample.rwnd {
+                bad.push((
+                    "rwnd-overfill",
+                    format!(
+                        "{} B in flight after transmit, peer window {} B",
+                        sample.bytes_in_flight, sample.rwnd
+                    ),
+                ));
+            }
+            if sample.pacing_excess > sample.mss {
+                bad.push((
+                    "pacing-excess",
+                    format!(
+                        "released {} B ahead of the pacer clock (> 1 MSS = {} B)",
+                        sample.pacing_excess, sample.mss
+                    ),
+                ));
+            }
+        }
+        if sample.event == "sack" {
+            check_sack_blocks(&sample.sack_blocks, sample.rcv_nxt, sample.rwnd, &mut bad);
+        }
+        for (code, detail) in bad {
+            st.push(code, scope.clone(), detail);
+        }
+    }
+}
+
+/// Validate one ack's SACK blocks. The receiver reports blocks in
+/// RFC 2018 most-recent-first order, so the auditor sort-normalizes
+/// before the disjointness walk.
+fn check_sack_blocks(
+    blocks: &[(u64, u64)],
+    rcv_nxt: u64,
+    window: u64,
+    bad: &mut Vec<(&'static str, String)>,
+) {
+    if blocks.len() > 3 {
+        bad.push((
+            "sack-count",
+            format!("{} SACK blocks on one ack (max 3)", blocks.len()),
+        ));
+    }
+    let mut sorted = blocks.to_vec();
+    sorted.sort_unstable();
+    for &(start, end) in &sorted {
+        if start >= end {
+            bad.push((
+                "sack-empty-block",
+                format!("block [{start},{end}) is empty"),
+            ));
+        }
+        if start < rcv_nxt {
+            bad.push((
+                "sack-below-ack",
+                format!("block [{start},{end}) starts below rcv_nxt {rcv_nxt}"),
+            ));
+        }
+        if end > rcv_nxt.saturating_add(window) {
+            bad.push((
+                "sack-beyond-window",
+                format!(
+                    "block [{start},{end}) ends beyond window edge {}",
+                    rcv_nxt.saturating_add(window)
+                ),
+            ));
+        }
+    }
+    for w in sorted.windows(2) {
+        if w[1].0 < w[0].1 {
+            bad.push((
+                "sack-overlap",
+                format!(
+                    "blocks [{},{}) and [{},{}) overlap",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ),
+            ));
+        }
+    }
+}
+
+/// The path component a server request target and a browser's absolute
+/// URL share: `http://host:80/asset/1.css` and `/asset/1.css` both map
+/// to `/asset/1.css`. A string without a scheme is already a target; an
+/// authority with no path means the root.
+fn url_path(url: &str) -> &str {
+    match url.find("://") {
+        Some(i) => {
+            let rest = &url[i + 3..];
+            match rest.find('/') {
+                Some(j) => &rest[j..],
+                None => "/",
+            }
+        }
+        None => url,
+    }
+}
+
+impl SpanSink for Auditor {
+    fn next_id(&self) -> u64 {
+        let id = self.next_span_id.get() + 1;
+        self.next_span_id.set(id);
+        id
+    }
+
+    fn record(&self, span: Span) {
+        let mut st = self.inner.borrow_mut();
+        st.spans += 1;
+        if span.res == NO_RESOURCE {
+            return;
+        }
+        if st.spans > MAX_SPANS {
+            st.span_overflow = true;
+            return;
+        }
+        if span.kind == SpanKind::Resource {
+            st.resource_spans.insert(span.res, (span.t0_ns, span.t1_ns));
+        } else if span.kind.is_phase() {
+            st.phase_spans
+                .entry(span.res)
+                .or_default()
+                .push((span.t0_ns, span.t1_ns));
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Report parsing (the `mmaudit` side).
+
+/// One violation parsed back from report JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedViolation {
+    pub load: u64,
+    pub code: String,
+    pub scope: String,
+    pub detail: String,
+}
+
+/// An audit file parsed and aggregated across its loads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedAudit {
+    pub violations: Vec<ParsedViolation>,
+    /// Per-scope digests combined across loads with the same
+    /// commutative fold the auditor uses, so file order is irrelevant.
+    pub digests: BTreeMap<String, u64>,
+    pub loads: u64,
+    pub packets: u64,
+    pub samples: u64,
+    pub spans: u64,
+    pub dropped_violations: u64,
+}
+
+fn find_key(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(rel) = line[start..].find(&pat) {
+        let pos = start + rel;
+        if pos == 0 || bytes[pos - 1] != b'\\' {
+            return Some(pos + pat.len());
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+fn get_u64(line: &str, key: &str) -> Result<u64, String> {
+    let at = find_key(line, key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let digits = &line[at..];
+    let end = digits
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return Err(format!("field {key:?} is not a number"));
+    }
+    digits[..end]
+        .parse()
+        .map_err(|e| format!("field {key:?}: {e}"))
+}
+
+fn get_str(line: &str, key: &str) -> Result<String, String> {
+    let at = find_key(line, key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let rest = &line[at..];
+    if !rest.starts_with('"') {
+        return Err(format!("field {key:?} is not a string"));
+    }
+    let mut out = String::new();
+    let mut chars = rest[1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("field {key:?}: bad \\u escape: {e}"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("field {key:?}: bad codepoint {code}"))?,
+                    );
+                }
+                other => return Err(format!("field {key:?}: bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("field {key:?}: unterminated string"))
+}
+
+/// Parse audit-report JSONL (any concatenation of per-load reports).
+pub fn parse_audit_jsonl(text: &str) -> Result<ParsedAudit, String> {
+    let mut out = ParsedAudit::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |e: String| format!("line {}: {e}", idx + 1);
+        match get_str(line, "ev").map_err(&fail)?.as_str() {
+            "violation" => out.violations.push(ParsedViolation {
+                load: get_u64(line, "load").map_err(&fail)?,
+                code: get_str(line, "code").map_err(&fail)?,
+                scope: get_str(line, "scope").map_err(&fail)?,
+                detail: get_str(line, "detail").map_err(&fail)?,
+            }),
+            "digest" => {
+                let scope = get_str(line, "scope").map_err(&fail)?;
+                let hash = get_u64(line, "hash").map_err(&fail)?;
+                let d = out.digests.entry(scope).or_insert(0);
+                *d = d.wrapping_add(hash);
+            }
+            "audit_summary" => {
+                out.loads += 1;
+                out.packets += get_u64(line, "packets").map_err(&fail)?;
+                out.samples += get_u64(line, "samples").map_err(&fail)?;
+                out.spans += get_u64(line, "spans").map_err(&fail)?;
+                out.dropped_violations += get_u64(line, "dropped_violations").map_err(&fail)?;
+            }
+            other => return Err(fail(format!("unknown event type {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> TapPoint {
+        TapPoint {
+            kind: PointKind::Link,
+            index: 1,
+            dir: Dir::Down,
+        }
+    }
+
+    fn ev(kind: PacketEventKind, pkt_id: u64, t_ns: u64) -> PacketEvent {
+        PacketEvent {
+            t_ns,
+            kind,
+            point: point(),
+            pkt_id,
+            size_bytes: 1500,
+            sojourn_ns: 0,
+            flow: 0xabcd,
+        }
+    }
+
+    #[test]
+    fn clean_packet_lifecycle_produces_no_violations() {
+        let a = Auditor::for_load(0);
+        for id in 0..10 {
+            a.on_packet(&ev(PacketEventKind::Enqueue, id, id * 10));
+            a.on_packet(&ev(PacketEventKind::Dequeue, id, id * 10 + 5));
+            a.on_packet(&ev(PacketEventKind::Deliver, id, id * 10 + 5));
+        }
+        let report = a.finish();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.packets, 30);
+        assert!(report.digests.contains_key("link1-down"));
+        assert!(report
+            .digests
+            .contains_key(&format!("conn:{:016x}", 0xabcd_u64)));
+    }
+
+    #[test]
+    fn digests_are_order_insensitive() {
+        let forward = Auditor::for_load(0);
+        let backward = Auditor::for_load(7); // load id must not matter
+        let events: Vec<PacketEvent> = (0..20)
+            .flat_map(|id| {
+                [
+                    ev(PacketEventKind::Enqueue, id, id * 10),
+                    ev(PacketEventKind::Dequeue, id, id * 10 + 3),
+                ]
+            })
+            .collect();
+        for e in &events {
+            forward.on_packet(e);
+        }
+        for e in events.iter().rev() {
+            backward.on_packet(e);
+        }
+        assert_eq!(forward.finish().digests, backward.finish().digests);
+    }
+
+    #[test]
+    fn residual_backlog_balances_conservation() {
+        let a = Auditor::for_load(0);
+        a.on_packet(&ev(PacketEventKind::Enqueue, 1, 10));
+        a.on_packet(&ev(PacketEventKind::Enqueue, 2, 20));
+        a.on_packet(&ev(PacketEventKind::Dequeue, 1, 30));
+        // pkt 2 still queued at end of run: not a violation.
+        let report = a.finish();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn eviction_and_refusal_are_distinguished() {
+        let a = Auditor::for_load(0);
+        a.on_packet(&ev(PacketEventKind::Enqueue, 1, 10));
+        a.on_packet(&ev(PacketEventKind::Drop, 1, 20)); // eviction
+        a.on_packet(&ev(PacketEventKind::Drop, 2, 30)); // refusal
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn sack_most_recent_first_order_is_normalized() {
+        let mut bad = Vec::new();
+        // RFC 2018 receiver order: newest block first.
+        check_sack_blocks(&[(3000, 4000), (1000, 2000)], 500, 1 << 20, &mut bad);
+        assert!(bad.is_empty(), "{bad:?}");
+        check_sack_blocks(&[(1000, 2500), (2000, 3000)], 500, 1 << 20, &mut bad);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "sack-overlap");
+    }
+
+    #[test]
+    fn report_jsonl_roundtrips() {
+        let a = Auditor::for_load(3);
+        a.on_packet(&ev(PacketEventKind::Enqueue, 1, 10));
+        a.on_packet(&ev(PacketEventKind::Dequeue, 9, 20)); // untracked
+        let report = a.finish();
+        // The untracked dequeue, plus the packet and byte conservation
+        // imbalances it causes at finish time.
+        let codes: Vec<&str> = report.violations.iter().map(|v| v.code).collect();
+        assert_eq!(
+            codes,
+            ["untracked-dequeue", "conservation", "conservation-bytes"]
+        );
+        let parsed = parse_audit_jsonl(&report.to_jsonl()).unwrap();
+        assert_eq!(parsed.loads, 1);
+        assert_eq!(parsed.violations.len(), 3);
+        assert_eq!(parsed.violations[0].code, "untracked-dequeue");
+        assert_eq!(parsed.violations[0].load, 3);
+        let mut expect = BTreeMap::new();
+        for (k, v) in &report.digests {
+            expect.insert(k.clone(), *v);
+        }
+        assert_eq!(parsed.digests, expect);
+    }
+
+    #[test]
+    fn parse_combines_digests_across_loads() {
+        let a = Auditor::for_load(0);
+        let b = Auditor::for_load(1);
+        a.on_packet(&ev(PacketEventKind::Enqueue, 1, 10));
+        b.on_packet(&ev(PacketEventKind::Enqueue, 2, 20));
+        let ab = format!("{}{}", a.finish().to_jsonl(), b.finish().to_jsonl());
+        let ba = format!("{}{}", b.finish().to_jsonl(), a.finish().to_jsonl());
+        let pa = parse_audit_jsonl(&ab).unwrap();
+        let pb = parse_audit_jsonl(&ba).unwrap();
+        assert_eq!(pa.digests, pb.digests);
+        assert_eq!(pa.loads, 2);
+    }
+
+    #[test]
+    fn span_tiling_checked_per_resource() {
+        let span = |kind, res, t0, t1| Span {
+            load: 0,
+            id: 0,
+            parent: 0,
+            kind,
+            t0_ns: t0,
+            t1_ns: t1,
+            res,
+            conn: 0,
+            url: String::new(),
+            detail: String::new(),
+        };
+        let a = Auditor::for_load(0);
+        a.record(span(SpanKind::Resource, 0, 100, 400));
+        a.record(span(SpanKind::Queued, 0, 100, 150));
+        a.record(span(SpanKind::Transfer, 0, 150, 390));
+        a.record(span(SpanKind::Parse, 0, 390, 400));
+        // Resource 1 leaves a gap between phases.
+        a.record(span(SpanKind::Resource, 1, 0, 300));
+        a.record(span(SpanKind::Queued, 1, 0, 100));
+        a.record(span(SpanKind::Transfer, 1, 120, 300));
+        let report = a.finish();
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].code, "span-tiling");
+        assert_eq!(report.violations[0].scope, "res:1");
+        assert_eq!(report.spans, 7);
+    }
+}

@@ -214,7 +214,7 @@ pub fn data_to_jsonl(data: &CaptureData) -> String {
     for p in &data.packets {
         out.push_str(&format!(
             "{{\"ev\":\"pkt\",\"load\":{},\"t_ns\":{},\"kind\":\"{}\",\"at\":\"{}\",\
-             \"i\":{},\"dir\":\"{}\",\"pkt\":{},\"size\":{},\"sojourn_ns\":{}}}\n",
+             \"i\":{},\"dir\":\"{}\",\"pkt\":{},\"size\":{},\"sojourn_ns\":{},\"flow\":{}}}\n",
             load,
             p.t_ns,
             p.kind.as_str(),
@@ -224,6 +224,7 @@ pub fn data_to_jsonl(data: &CaptureData) -> String {
             p.pkt_id,
             p.size_bytes,
             p.sojourn_ns,
+            p.flow,
         ));
     }
     for h in &data.https {
@@ -259,8 +260,9 @@ fn escape_json(s: &str) -> String {
 // Binary encoding: magic, header, then fixed-width little-endian records.
 // ---------------------------------------------------------------------------
 
-/// File magic for the binary capture format (versioned in the last byte).
-pub const BINARY_MAGIC: &[u8; 6] = b"MMCAP\x01";
+/// File magic for the binary capture format (versioned in the last
+/// byte; v2 added the packet record's `flow` field).
+pub const BINARY_MAGIC: &[u8; 6] = b"MMCAP\x02";
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -340,6 +342,7 @@ pub fn encode_binary(data: &CaptureData) -> Vec<u8> {
         put_u64(&mut out, p.pkt_id);
         put_u32(&mut out, p.size_bytes);
         put_u64(&mut out, p.sojourn_ns);
+        put_u64(&mut out, p.flow);
     }
     for h in &data.https {
         put_u64(&mut out, h.t_ns);
@@ -453,6 +456,7 @@ pub fn decode_binary(buf: &[u8]) -> Result<CaptureData, String> {
         let pkt_id = r.u64()?;
         let size_bytes = r.u32()?;
         let sojourn_ns = r.u64()?;
+        let flow = r.u64()?;
         data.packets.push(PacketEvent {
             t_ns,
             kind,
@@ -460,6 +464,7 @@ pub fn decode_binary(buf: &[u8]) -> Result<CaptureData, String> {
             pkt_id,
             size_bytes,
             sojourn_ns,
+            flow,
         });
     }
     for _ in 0..n_https {
@@ -517,6 +522,7 @@ mod tests {
             } else {
                 0
             },
+            flow: 0xfeed,
         }
     }
 
@@ -668,10 +674,10 @@ mod tests {
         (
             (any::<u64>(), 0u8..4),
             (arb_point(), any::<u64>()),
-            (any::<u32>(), any::<u64>()),
+            (any::<u32>(), any::<u64>(), any::<u64>()),
         )
-            .prop_map(|((t_ns, k), (point, pkt_id), (size_bytes, sojourn_ns))| {
-                PacketEvent {
+            .prop_map(
+                |((t_ns, k), (point, pkt_id), (size_bytes, sojourn_ns, flow))| PacketEvent {
                     t_ns,
                     kind: match k {
                         0 => PacketEventKind::Enqueue,
@@ -683,8 +689,9 @@ mod tests {
                     pkt_id,
                     size_bytes,
                     sojourn_ns,
-                }
-            })
+                    flow,
+                },
+            )
     }
 
     proptest! {

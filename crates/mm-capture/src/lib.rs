@@ -123,6 +123,10 @@ pub struct PacketEvent {
     pub size_bytes: u32,
     /// Queue sojourn time for [`PacketEventKind::Dequeue`]; 0 otherwise.
     pub sojourn_ns: u64,
+    /// Direction-insensitive flow fingerprint of the packet's 4-tuple
+    /// (`mm_net::Packet::flow_key`); 0 when the producer has no flow
+    /// identity (e.g. synthetic test packets).
+    pub flow: u64,
 }
 
 /// HTTP transaction milestone at the browser/replay boundary.
@@ -238,6 +242,38 @@ impl fmt::Debug for TapHandle {
     }
 }
 
+/// Forwards every tap event to each of several taps, so one
+/// instrumented shell stack can feed e.g. a [`Capture`] and an auditor
+/// at once.
+pub struct FanoutTap(Vec<TapHandle>);
+
+impl FanoutTap {
+    /// A fanout over `taps`, in call order.
+    pub fn new(taps: Vec<TapHandle>) -> FanoutTap {
+        FanoutTap(taps)
+    }
+}
+
+impl PacketTap for FanoutTap {
+    fn on_packet(&self, ev: &PacketEvent) {
+        for t in &self.0 {
+            t.on_packet(ev);
+        }
+    }
+
+    fn on_http(&self, ev: &HttpEvent) {
+        for t in &self.0 {
+            t.on_http(ev);
+        }
+    }
+
+    fn on_link_meta(&self, meta: &LinkMeta) {
+        for t in &self.0 {
+            t.on_link_meta(meta);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +294,7 @@ mod tests {
             pkt_id: 1,
             size_bytes: 1500,
             sojourn_ns: 0,
+            flow: 0,
         });
         assert_eq!(format!("{handle:?}"), "TapHandle");
     }

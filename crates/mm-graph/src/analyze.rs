@@ -250,6 +250,7 @@ mod tests {
             pkt_id: t_ms,
             size_bytes: size,
             sojourn_ns: 0,
+            flow: 0,
         }
     }
 

@@ -112,6 +112,7 @@ mod tests {
                 pkt_id: i,
                 size_bytes: 1500,
                 sojourn_ns: (i % 7) * 1_000_000,
+                flow: 0,
             });
             packets.push(PacketEvent {
                 t_ns: i * 10_000_000,
@@ -120,6 +121,7 @@ mod tests {
                 pkt_id: i,
                 size_bytes: 1500,
                 sojourn_ns: 0,
+                flow: 0,
             });
         }
         CaptureData {
@@ -197,6 +199,7 @@ mod tests {
                     pkt_id: i as u64,
                     size_bytes: *size,
                     sojourn_ns: 0,
+                    flow: 0,
                 });
             }
             let expected: u64 = sizes.iter().map(|&s| s as u64).sum();

@@ -140,6 +140,8 @@ fn parse_line(line: &str, by_load: &mut BTreeMap<u64, CaptureData>) -> Result<()
             pkt_id: get_u64(line, "pkt")?,
             size_bytes: get_u64(line, "size")? as u32,
             sojourn_ns: get_u64(line, "sojourn_ns")?,
+            // Absent in pre-flow capture files; 0 means "no identity".
+            flow: get_u64(line, "flow").unwrap_or(0),
         }),
         "http" => data.https.push(HttpEvent {
             t_ns: get_u64(line, "t_ns")?,
@@ -210,6 +212,7 @@ mod tests {
                 index: 2,
                 dir: Dir::Down,
             },
+            flow: 7,
             pkt_id: 42,
             size_bytes: 1460,
             sojourn_ns: 320_000,

@@ -38,6 +38,7 @@ fn golden_capture() -> CaptureData {
             pkt_id: i,
             size_bytes: size,
             sojourn_ns: 0,
+            flow: 0,
         });
         packets.push(PacketEvent {
             t_ns: t_ns + sojourn,
@@ -46,6 +47,7 @@ fn golden_capture() -> CaptureData {
             pkt_id: i,
             size_bytes: size,
             sojourn_ns: sojourn,
+            flow: 0,
         });
         packets.push(PacketEvent {
             t_ns: t_ns + sojourn,
@@ -54,6 +56,7 @@ fn golden_capture() -> CaptureData {
             pkt_id: i,
             size_bytes: size,
             sojourn_ns: 0,
+            flow: 0,
         });
     }
     packets.sort_by_key(|p| p.t_ns);

@@ -27,7 +27,7 @@ mod sink;
 mod trace;
 
 pub use registry::{validate_text, Counter, Gauge, Histogram, Registry};
-pub use sink::{MetricsHandle, MetricsSink, RegistrySink};
+pub use sink::{FanoutSink, MetricsHandle, MetricsSink, RegistrySink};
 pub use trace::{FlowSample, FlowTracer};
 
 /// Default histogram buckets for latency-shaped metrics, in seconds.

@@ -190,6 +190,68 @@ impl MetricsSink for RegistrySink {
     }
 }
 
+/// Forwards every sink call to each of several sinks, so one
+/// instrumented socket can feed e.g. a [`RegistrySink`] and an auditor
+/// at once. `flow_open` returns a fanout-local id and remembers each
+/// child's own id for it, so children keep their private numbering.
+pub struct FanoutSink {
+    sinks: Vec<MetricsHandle>,
+    /// flow id handed to the caller → each child's id (if it opted in).
+    flows: RefCell<Vec<Vec<Option<u64>>>>,
+}
+
+impl FanoutSink {
+    /// A fanout over `sinks`, in call order.
+    pub fn new(sinks: Vec<MetricsHandle>) -> FanoutSink {
+        FanoutSink {
+            sinks,
+            flows: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl MetricsSink for FanoutSink {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(name, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        for s in &self.sinks {
+            s.gauge_set(name, value);
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        for s in &self.sinks {
+            s.observe(name, value);
+        }
+    }
+
+    fn flow_open(&self, desc: &str) -> Option<u64> {
+        let per_child: Vec<Option<u64>> = self.sinks.iter().map(|s| s.flow_open(desc)).collect();
+        if per_child.iter().all(Option::is_none) {
+            return None;
+        }
+        let mut flows = self.flows.borrow_mut();
+        flows.push(per_child);
+        Some((flows.len() - 1) as u64)
+    }
+
+    fn flow_sample(&self, flow: u64, sample: &FlowSample) {
+        let flows = self.flows.borrow();
+        let Some(per_child) = flows.get(flow as usize) else {
+            return;
+        };
+        for (s, id) in self.sinks.iter().zip(per_child.iter()) {
+            if let Some(id) = id {
+                s.flow_sample(*id, sample);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +286,27 @@ mod tests {
         let flow = sink.flow_open("a-b").unwrap();
         sink.flow_sample(flow, &FlowSample::default());
         assert_eq!(tracer.sample_count(), 1);
+    }
+
+    #[test]
+    fn fanout_forwards_and_maps_flow_ids() {
+        let registry = Registry::new();
+        let tracer = FlowTracer::new();
+        // Child 0 declines flows; child 1 traces them. The tracer child
+        // is seeded with a flow of its own so its ids diverge from the
+        // fanout's.
+        let traced = RegistrySink::with_tracer(Registry::new(), tracer.clone());
+        tracer.open_flow("pre-existing");
+        let fanout = FanoutSink::new(vec![
+            MetricsHandle::new(RegistrySink::new(registry.clone())),
+            MetricsHandle::new(traced),
+        ]);
+        fanout.counter_add("x_total", 2);
+        assert!(registry.encode().contains("x_total 2"));
+        let flow = fanout.flow_open("a-b").unwrap();
+        assert_eq!(flow, 0); // fanout-local numbering
+        fanout.flow_sample(flow, &FlowSample::default());
+        assert_eq!(tracer.sample_count(), 1);
+        assert_eq!(tracer.flow_count(), 2);
     }
 }

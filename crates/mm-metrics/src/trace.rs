@@ -33,11 +33,49 @@ pub struct FlowSample {
     pub retx_count: u64,
     /// Coarse connection state, e.g. `"open"`, `"recovery"`, `"loss"`.
     pub state: &'static str,
+    /// Which socket event produced this sample (`"tx"` for new-data
+    /// transmits, `"sack"` for SACK-carrying acks, `""` otherwise).
+    /// Audit-only: not serialized to JSONL.
+    pub event: &'static str,
+    /// Highest sequence sent (audit-only).
+    pub snd_nxt: u64,
+    /// Lowest unacknowledged sequence (audit-only).
+    pub snd_una: u64,
+    /// Next sequence expected by the receiver side (audit-only).
+    pub rcv_nxt: u64,
+    /// Peer-advertised receive window, bytes (audit-only).
+    pub rwnd: u64,
+    /// Sender MSS, bytes (audit-only).
+    pub mss: u64,
+    /// Incrementally maintained SACK pipe estimate (audit-only).
+    pub pipe: u64,
+    /// Definitional pipe recomputed by walking the retransmission
+    /// queue (audit-only; equals `pipe` on a correct implementation).
+    pub pipe_walk: u64,
+    /// RACK clock: latest delivered (sent-time, end-seq), audit-only.
+    pub rack_clock_ns: u64,
+    /// End sequence paired with `rack_clock_ns` (audit-only).
+    pub rack_clock_end: u64,
+    /// High-water (sent-time, end-seq) over all RACK loss marks so
+    /// far; `(0, 0)` when nothing has been marked (audit-only).
+    pub rack_mark_ns: u64,
+    /// End sequence paired with `rack_mark_ns` (audit-only).
+    pub rack_mark_end: u64,
+    /// Maximum bytes ever released ahead of the pacer's token clock
+    /// (audit-only; 0 on a conforming sender).
+    pub pacing_excess: u64,
+    /// SACK blocks carried on this ack, `(start, end)` pairs in the
+    /// receiver's most-recent-first order (audit-only).
+    pub sack_blocks: Vec<(u64, u64)>,
 }
 
 struct FlowRecord {
     desc: String,
     samples: Vec<FlowSample>,
+    /// Most recent sample rejected by downsampling or the cap. Emitted
+    /// after the kept samples at serialization time so a flow's final
+    /// cwnd/srtt are never lost, however dense its tail was.
+    pending: Option<FlowSample>,
 }
 
 struct TracerInner {
@@ -86,6 +124,7 @@ impl FlowTracer {
         inner.flows.push(FlowRecord {
             desc: desc.to_string(),
             samples: Vec::new(),
+            pending: None,
         });
         (inner.flows.len() - 1) as u64
     }
@@ -102,16 +141,19 @@ impl FlowTracer {
             return;
         };
         if record.samples.len() >= cap {
+            record.pending = Some(sample);
             inner.dropped += 1;
             return;
         }
         if let Some(last) = record.samples.last() {
             let interesting = sample.state != last.state || sample.retx_count != last.retx_count;
             if !interesting && sample.t_s - last.t_s < min_interval {
+                record.pending = Some(sample);
                 inner.dropped += 1;
                 return;
             }
         }
+        record.pending = None;
         record.samples.push(sample);
     }
 
@@ -139,7 +181,7 @@ impl FlowTracer {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for (id, record) in self.inner.borrow().flows.iter().enumerate() {
-            for s in &record.samples {
+            for s in record.samples.iter().chain(record.pending.iter()) {
                 out.push_str(&format!(
                     concat!(
                         "{{\"flow\":{},\"desc\":\"{}\",\"t\":{},\"cwnd\":{},",
@@ -200,6 +242,7 @@ mod tests {
             delivered: 0,
             retx_count: retx,
             state,
+            ..FlowSample::default()
         }
     }
 
@@ -225,6 +268,42 @@ mod tests {
         }
         assert_eq!(tracer.sample_count(), 3);
         assert_eq!(tracer.dropped(), 7);
+    }
+
+    #[test]
+    fn final_sample_survives_downsampling() {
+        let tracer = FlowTracer::with_limits(0.01, 100);
+        let flow = tracer.open_flow("a-b");
+        tracer.record(flow, sample(0.000, 0, "open"));
+        let mut last = sample(0.001, 0, "open");
+        last.cwnd = 99_999; // routine, too close: evicted from `samples`
+        tracer.record(flow, last);
+        assert_eq!(tracer.sample_count(), 1);
+        assert_eq!(tracer.dropped(), 1);
+        // ...but the terminal sample still reaches the JSONL dump.
+        let jsonl = tracer.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"cwnd\":99999"));
+        // A kept sample supersedes any pending one: no duplicates.
+        let tracer = FlowTracer::with_limits(0.01, 100);
+        let flow = tracer.open_flow("a-b");
+        tracer.record(flow, sample(0.000, 0, "open"));
+        tracer.record(flow, sample(0.001, 0, "open"));
+        tracer.record(flow, sample(0.020, 0, "open"));
+        assert_eq!(tracer.to_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn final_sample_survives_per_flow_cap() {
+        let tracer = FlowTracer::with_limits(0.0, 3);
+        let flow = tracer.open_flow("a-b");
+        for i in 0..10 {
+            tracer.record(flow, sample(i as f64, 0, "open"));
+        }
+        assert_eq!(tracer.sample_count(), 3);
+        let jsonl = tracer.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.lines().last().unwrap().contains("\"t\":9"));
     }
 
     #[test]

@@ -202,6 +202,23 @@ impl Packet {
         self.segment.payload.is_empty()
     }
 
+    /// Direction-insensitive fingerprint of the packet's 4-tuple: both
+    /// directions of one connection hash identically, so captures and
+    /// conformance audits can group a flow's packets without parsing
+    /// addresses. FNV-1a over the (min, max)-ordered endpoints; 0 is
+    /// never returned (reserved for "no flow identity").
+    pub fn flow_key(&self) -> u64 {
+        let endpoint = |a: &SocketAddr| ((a.ip.0 as u64) << 16) | a.port as u64;
+        let (a, b) = (endpoint(&self.src), endpoint(&self.dst));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in lo.to_le_bytes().iter().chain(hi.to_le_bytes().iter()) {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h.max(1)
+    }
+
     /// One-line human-readable summary for captures and debugging.
     pub fn summary(&self) -> String {
         format!(

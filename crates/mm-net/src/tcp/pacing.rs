@@ -41,13 +41,16 @@ pub const PACING_GAIN_CA: f64 = 1.2;
 #[derive(Debug, Clone, Default)]
 pub struct Pacer {
     next_release: Timestamp,
+    /// High-water mark of bytes released ahead of the token clock: if a
+    /// segment leaves at `now < next_release`, the deficit
+    /// `(next_release - now) × rate` is how far the sender outran its
+    /// own schedule. Stays 0 for a socket that honors `can_send`.
+    max_excess_bytes: u64,
 }
 
 impl Pacer {
     pub fn new() -> Pacer {
-        Pacer {
-            next_release: Timestamp::ZERO,
-        }
+        Pacer::default()
     }
 
     /// May a segment be released at `now`?
@@ -70,11 +73,24 @@ impl Pacer {
         if rate == 0 || bytes == 0 {
             return;
         }
+        if now < self.next_release {
+            let ahead_ns = (self.next_release - now).as_nanos();
+            let excess = ((ahead_ns as u128 * rate as u128) / 1_000_000_000) as u64;
+            self.max_excess_bytes = self.max_excess_bytes.max(excess);
+        }
         let gap = SimDuration::from_nanos(((bytes as u128 * 1_000_000_000) / rate as u128) as u64);
         self.next_release = self.next_release.max(now) + gap;
     }
 
-    /// Forget any pending schedule (connection teardown).
+    /// High-water mark of bytes released ahead of the token clock
+    /// (0 unless some transmission ignored [`can_send`](Self::can_send)).
+    pub fn max_excess_bytes(&self) -> u64 {
+        self.max_excess_bytes
+    }
+
+    /// Forget any pending schedule (connection teardown). The excess
+    /// high-water mark survives: it records a conformance fact, not
+    /// schedule state.
     pub fn reset(&mut self) {
         self.next_release = Timestamp::ZERO;
     }
@@ -132,6 +148,19 @@ mod tests {
         assert!(sent <= budget, "sent {sent} > budget {budget}");
         // And the pacer is not wildly conservative either.
         assert!(sent >= budget - 2 * seg, "sent {sent} « budget {budget}");
+    }
+
+    #[test]
+    fn excess_high_water_tracks_early_releases() {
+        let mut p = Pacer::new();
+        p.on_sent(ms(0), 1000, 100_000); // next release at 10 ms
+        assert_eq!(p.max_excess_bytes(), 0);
+        // A send 5 ms early at 100 kB/s is 500 bytes ahead of schedule.
+        p.on_sent(ms(5), 1000, 100_000);
+        assert_eq!(p.max_excess_bytes(), 500);
+        // On-schedule sends never raise the mark.
+        p.on_sent(ms(30), 1000, 100_000);
+        assert_eq!(p.max_excess_bytes(), 500);
     }
 
     #[test]

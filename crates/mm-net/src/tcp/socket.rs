@@ -399,6 +399,11 @@ pub struct TcpInner {
     /// `manage_timers` (timer arming needs the simulator, which segment
     /// processing does not hold).
     reo_deadline: Option<Timestamp>,
+    /// Lexicographic high-water (last-sent time, end seq) over every
+    /// RACK loss mark, reported in flow samples so a conformance audit
+    /// can check marks stay behind the delivery clock. `None` until the
+    /// first mark.
+    rack_mark_high: Option<(Timestamp, u64)>,
     /// Set when the delivery clock advanced since the last detection
     /// pass; RACK verdicts can only change when it does (or a recorded
     /// `reo_deadline` passes), so detection is skipped otherwise.
@@ -585,6 +590,7 @@ impl TcpInner {
             rack: RackState::new(),
             rack_lost: BTreeSet::new(),
             reo_deadline: None,
+            rack_mark_high: None,
             rack_dirty: false,
             tlp_fired: false,
             tlp_deadline: None,
@@ -662,14 +668,30 @@ impl TcpInner {
     /// bypass the throttle (`force`) — they are exactly the samples the
     /// flow tracer must never drop.
     fn metric_sample(&self, now: Timestamp) {
-        self.metric_sample_inner(now, true)
+        self.metric_sample_inner(now, true, "", &[])
     }
 
     fn metric_sample_routine(&self, now: Timestamp) {
-        self.metric_sample_inner(now, false)
+        self.metric_sample_inner(now, false, "", &[])
     }
 
-    fn metric_sample_inner(&self, now: Timestamp, force: bool) {
+    /// Event-tagged sample for conformance auditing (`"tx"` after a
+    /// new-data burst, `"sack"` on a SACK-carrying ack). Only emitted
+    /// when a flow tracer/auditor is attached, so plain gauge-only
+    /// metrics runs keep their seed sampling cadence.
+    fn metric_sample_event(&self, now: Timestamp, event: &'static str, sack: &[SackBlock]) {
+        if self.trace_flow.is_some() {
+            self.metric_sample_inner(now, true, event, sack);
+        }
+    }
+
+    fn metric_sample_inner(
+        &self,
+        now: Timestamp,
+        force: bool,
+        event: &'static str,
+        sack: &[SackBlock],
+    ) {
         let Some(m) = &self.config.metrics else {
             return;
         };
@@ -690,6 +712,15 @@ impl TcpInner {
             m.gauge_set("tcp_srtt_seconds", srtt_s);
         }
         if let Some(flow) = self.trace_flow {
+            let (rack_clock_ns, rack_clock_end) = self
+                .rack
+                .clock()
+                .map(|(t, end)| (t.as_nanos(), end))
+                .unwrap_or((0, 0));
+            let (rack_mark_ns, rack_mark_end) = self
+                .rack_mark_high
+                .map(|(t, end)| (t.as_nanos(), end))
+                .unwrap_or((0, 0));
             m.flow_sample(
                 flow,
                 &FlowSample {
@@ -708,6 +739,21 @@ impl TcpInner {
                     } else {
                         "recovery"
                     },
+                    event,
+                    snd_nxt: self.snd_nxt,
+                    snd_una: self.snd_una,
+                    rcv_nxt: self.rcv_nxt,
+                    rwnd: self.snd_wnd,
+                    mss: crate::packet::MSS as u64,
+                    pipe: self.pipe_count,
+                    // O(n), but only taken on the traced/audited path.
+                    pipe_walk: self.pipe_walk(),
+                    rack_clock_ns,
+                    rack_clock_end,
+                    rack_mark_ns,
+                    rack_mark_end,
+                    pacing_excess: self.pacer.max_excess_bytes(),
+                    sack_blocks: sack.iter().map(|b| (b.start, b.end)).collect(),
                 },
             );
         }
@@ -759,13 +805,16 @@ impl TcpInner {
     /// Build a pure ACK, attaching SACK blocks while the reassembly queue
     /// holds out-of-order data (RFC 2018: every ACK sent during a hole
     /// reports the blocks).
-    fn make_ack_packet(&mut self) -> Packet {
+    fn make_ack_packet(&mut self, now: Timestamp) -> Packet {
         let mut pkt = self.make_packet(TcpFlags::ACK, self.snd_nxt, Bytes::new());
         if self.sack_enabled && !self.ooo.is_empty() {
             let blocks = self.rcv_sack.blocks(
                 self.ooo.iter().map(|(&seq, data)| (seq, data.len() as u64)),
                 self.rcv_nxt,
             );
+            if !blocks.is_empty() {
+                self.metric_sample_event(now, "sack", &blocks);
+            }
             pkt.segment.sack.blocks = blocks;
         }
         pkt
@@ -805,6 +854,7 @@ impl TcpInner {
     fn transmit_new(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         use crate::packet::MSS;
         let had_backlog = self.send_queued_bytes > 0;
+        let out_before = out.len();
         // One rate lookup per transmission opportunity; `None` means
         // unpaced (pacing off, or no bandwidth estimate yet to pace
         // against) and the loop below is byte-identical to its
@@ -894,6 +944,12 @@ impl TcpInner {
         if had_backlog && self.send_queued_bytes == 0 {
             self.pending_events.push(SocketEvent::SendQueueDrained);
         }
+        if out.len() > out_before {
+            // Window-gated sends only: limited transmit, PRR and TLP
+            // have their own budgets and may legitimately pass cwnd, so
+            // the flight≤cwnd conformance check keys off this tag.
+            self.metric_sample_event(now, "tx", &[]);
+        }
     }
 
     fn enter_fin_state(&mut self) {
@@ -928,7 +984,6 @@ impl TcpInner {
         let seq_len = seg.seq_len();
         self.stats.retransmissions += 1;
         self.metric_count("tcp_retransmits_total");
-        self.metric_sample(now);
         let mut flags = seg.flags;
         flags.ack = self.state != TcpState::SynSent;
         let pkt = Packet {
@@ -960,8 +1015,11 @@ impl TcpInner {
         self.stats.segments_sent += 1;
         out.push(pkt);
         // A retransmission re-enters the network: it counts toward pipe
-        // regardless of any loss presumption about the original.
+        // regardless of any loss presumption about the original. The
+        // refresh must precede the sample, or observers see the
+        // retransmitted flag flipped with the pipe counter still stale.
         self.refresh_pipe_entry(seq);
+        self.metric_sample(now);
         seq_len
     }
 
@@ -1306,7 +1364,7 @@ impl TcpInner {
         let Some((clock_ts, clock_end)) = self.rack.clock() else {
             return;
         };
-        let mut marks: Vec<u64> = Vec::new();
+        let mut marks: Vec<(u64, Timestamp, u64)> = Vec::new();
         let mut next: Option<Timestamp> = None;
         for (&seq, e) in &self.retx {
             let end = e.segment.seq_end();
@@ -1329,7 +1387,7 @@ impl TcpInner {
             }
             let deadline = self.rack.lost_deadline(e.sent_at);
             if deadline <= now {
-                marks.push(seq);
+                marks.push((seq, e.sent_at, end));
             } else {
                 next = Some(match next {
                     Some(d) => d.min(deadline),
@@ -1337,9 +1395,12 @@ impl TcpInner {
                 });
             }
         }
-        for seq in marks {
+        for (seq, sent_at, end) in marks {
             self.rack_lost.insert(seq);
             self.stats.rack_loss_marks += 1;
+            if self.rack_mark_high.is_none_or(|high| high < (sent_at, end)) {
+                self.rack_mark_high = Some((sent_at, end));
+            }
             self.refresh_pipe_entry(seq);
         }
         self.reo_deadline = next;
@@ -2003,21 +2064,21 @@ impl TcpInner {
 
     /// Send or schedule an ACK. `force` bypasses delayed-ACK batching
     /// (used for out-of-order arrivals, which must dup-ack immediately).
-    fn queue_ack(&mut self, _now: Timestamp, out: &mut Vec<Packet>, force: bool) {
+    fn queue_ack(&mut self, now: Timestamp, out: &mut Vec<Packet>, force: bool) {
         match self.config.delayed_ack {
             Some(_) if !force => {
                 self.unacked_segments += 1;
                 if self.unacked_segments >= 2 {
                     self.unacked_segments = 0;
                     self.ack_timer.cancel();
-                    let pkt = self.make_ack_packet();
+                    let pkt = self.make_ack_packet(now);
                     out.push(pkt);
                 }
                 // else: the host arms the delayed-ack timer after `drive`.
             }
             _ => {
                 self.unacked_segments = 0;
-                let pkt = self.make_ack_packet();
+                let pkt = self.make_ack_packet(now);
                 out.push(pkt);
             }
         }
@@ -2353,7 +2414,8 @@ impl TcpHandle {
                         None
                     } else {
                         inner.unacked_segments = 0;
-                        Some(inner.make_ack_packet())
+                        let now = sim.now();
+                        Some(inner.make_ack_packet(now))
                     }
                 };
                 if let Some(pkt) = pkt {

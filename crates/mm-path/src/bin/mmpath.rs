@@ -104,6 +104,15 @@ fn main() -> ExitCode {
             let (a, b): (Vec<_>, Vec<_>) = pages.into_iter().partition(|t| t.page.detail == la);
             (a, b, la, lb)
         };
+        if mm_path::paired_loads(&a, &b) == 0 {
+            eprintln!(
+                "--diff: no pairs matched: {la} ({} load(s)) and {lb} ({} load(s)) \
+                 share no root URLs",
+                a.len(),
+                b.len()
+            );
+            return ExitCode::FAILURE;
+        }
         let table = render_diff(&a, &b, &la, &lb);
         print!("{table}");
         if !write_out("diff.txt", &table) {

@@ -440,6 +440,25 @@ fn median(mut v: Vec<f64>) -> f64 {
     }
 }
 
+/// Number of load pairs [`render_diff`] will match: loads sharing a
+/// root URL across the two arms, counted min-wise per URL. Zero means
+/// the diff would be vacuous (disjoint corpora, or a mislabeled arm) —
+/// `mmpath --diff` refuses to print a table in that case.
+pub fn paired_loads(a: &[PageTree], b: &[PageTree]) -> usize {
+    let mut count_a: BTreeMap<&str, usize> = BTreeMap::new();
+    for t in a {
+        *count_a.entry(&t.page.url).or_default() += 1;
+    }
+    let mut count_b: BTreeMap<&str, usize> = BTreeMap::new();
+    for t in b {
+        *count_b.entry(&t.page.url).or_default() += 1;
+    }
+    count_a
+        .iter()
+        .map(|(url, &na)| na.min(count_b.get(url).copied().unwrap_or(0)))
+        .sum()
+}
+
 /// Diff two arms' trees, paired by root URL: per-phase medians of
 /// critical-path time, so a PLT delta decomposes into named phases.
 pub fn render_diff(a: &[PageTree], b: &[PageTree], label_a: &str, label_b: &str) -> String {
@@ -633,6 +652,22 @@ mod tests {
         assert!(table.contains("1 paired loads"), "{table}");
         assert!(table.contains("PLT"), "{table}");
         assert!(table.contains("transfer"), "{table}");
+    }
+
+    #[test]
+    fn paired_loads_counts_shared_root_urls() {
+        let a = build_pages(&sample_page());
+        assert_eq!(paired_loads(&a, &a), 1);
+        // Disjoint root URLs pair nothing.
+        let mut other = sample_page();
+        for s in &mut other {
+            if s.kind == SpanKind::Page {
+                s.url = "http://elsewhere/".into();
+            }
+        }
+        let b = build_pages(&other);
+        assert_eq!(paired_loads(&a, &b), 0);
+        assert_eq!(paired_loads(&a, &[]), 0);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub struct ShellStack {
     counter: usize,
     /// Per-packet tap attached to subsequently added shells.
     tap: Option<TapHandle>,
+    /// Metrics sink wired into subsequently added links' qdiscs.
+    qdisc_metrics: Option<mm_metrics::MetricsHandle>,
 }
 
 impl ShellStack {
@@ -53,6 +55,7 @@ impl ShellStack {
             overhead: DEFAULT_SHELL_OVERHEAD,
             counter: 0,
             tap: None,
+            qdisc_metrics: None,
         }
     }
 
@@ -70,6 +73,15 @@ impl ShellStack {
     /// tap produces the byte-identical simulation of one built without.
     pub fn with_tap(mut self, tap: TapHandle) -> Self {
         self.tap = Some(tap);
+        self
+    }
+
+    /// Wrap the qdisc of every link added *after* this call in an
+    /// [`crate::queue::InstrumentedQdisc`] reporting into `sink` (the
+    /// `qdisc_up_*`/`qdisc_down_*` metric families). Like taps,
+    /// instrumentation observes only.
+    pub fn with_qdisc_metrics(mut self, sink: mm_metrics::MetricsHandle) -> Self {
+        self.qdisc_metrics = Some(sink);
         self
     }
 
@@ -126,6 +138,13 @@ impl ShellStack {
             },
             make_qdisc,
         );
+        // Instrumentation goes innermost so a tap added below wraps it:
+        // the tap's per-packet events then describe exactly the qdisc
+        // the instruments aggregate.
+        if let Some(sink) = &self.qdisc_metrics {
+            shell.uplink.set_qdisc_metrics(sink.clone(), "up");
+            shell.downlink.set_qdisc_metrics(sink.clone(), "down");
+        }
         if let Some(tap) = &self.tap {
             shell
                 .uplink

@@ -109,6 +109,7 @@ impl DelayLink {
             pkt_id: pkt.id,
             size_bytes: pkt.wire_size() as u32,
             sojourn_ns: 0,
+            flow: pkt.flow_key(),
         });
     }
 }

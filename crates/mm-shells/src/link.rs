@@ -105,6 +105,16 @@ impl TraceLink {
         inner.tap = Some((tap, point));
     }
 
+    /// Wrap the qdisc in an [`crate::queue::InstrumentedQdisc`]
+    /// reporting into `sink` under `dir` (`"up"`/`"down"`). Call before
+    /// [`TraceLink::set_tap`] so a tap's events stay outermost; like
+    /// taps, instrumentation observes only and never changes behavior.
+    pub fn set_qdisc_metrics(&self, sink: mm_metrics::MetricsHandle, dir: &'static str) {
+        let mut inner = self.inner.borrow_mut();
+        let old = std::mem::replace(&mut inner.qdisc, Box::new(DropTail::infinite()));
+        inner.qdisc = Box::new(crate::queue::InstrumentedQdisc::new(old, sink, dir));
+    }
+
     /// Counters snapshot.
     pub fn stats(&self) -> LinkStats {
         self.inner.borrow().stats
@@ -134,6 +144,7 @@ impl TraceLink {
                 pkt_id: pkt.id,
                 size_bytes: pkt.wire_size() as u32,
                 sojourn_ns: 0,
+                flow: pkt.flow_key(),
             });
         }
     }

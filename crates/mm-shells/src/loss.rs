@@ -71,6 +71,7 @@ impl PacketSink for LossLink {
                     pkt_id: pkt.id,
                     size_bytes: pkt.wire_size() as u32,
                     sojourn_ns: 0,
+                    flow: pkt.flow_key(),
                 });
             }
         } else {

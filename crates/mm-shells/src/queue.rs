@@ -586,13 +586,15 @@ impl InstrumentedQdisc {
         InstrumentedQdisc { inner, sink, dir }
     }
 
-    fn names(&self) -> (&'static str, &'static str, &'static str, &'static str) {
+    #[rustfmt::skip]
+    fn names(&self) -> (&'static str, &'static str, &'static str, &'static str, &'static str) {
         if self.dir == "up" {
             (
                 "qdisc_up_backlog_packets",
                 "qdisc_up_sojourn_seconds",
                 "qdisc_up_drops_total",
                 "qdisc_up_enqueues_total",
+                "qdisc_up_backlog_now_packets",
             )
         } else {
             (
@@ -600,6 +602,7 @@ impl InstrumentedQdisc {
                 "qdisc_down_sojourn_seconds",
                 "qdisc_down_drops_total",
                 "qdisc_down_enqueues_total",
+                "qdisc_down_backlog_now_packets",
             )
         }
     }
@@ -609,8 +612,13 @@ impl Qdisc for InstrumentedQdisc {
     fn enqueue(&mut self, now: Timestamp, pkt: Packet) -> EnqueueResult {
         let drops_before = self.inner.stats().dropped;
         let result = self.inner.enqueue(now, pkt);
-        let (backlog, _, drops, enqueues) = self.names();
+        let (backlog, _, drops, enqueues, backlog_now) = self.names();
         self.sink.observe(backlog, self.inner.len_packets() as f64);
+        // The instantaneous backlog as a gauge, so conformance audits
+        // can cross-check a tap's packet ledger against the qdisc's own
+        // view of its depth.
+        self.sink
+            .gauge_set(backlog_now, self.inner.len_packets() as f64);
         self.sink.counter_add(enqueues, 1);
         // Count via the stats delta, not the enqueue result: AQMs can
         // accept this packet while dropping another (DropHead evicts
@@ -623,7 +631,7 @@ impl Qdisc for InstrumentedQdisc {
     }
 
     fn dequeue(&mut self, now: Timestamp) -> Option<Packet> {
-        let (_, sojourn, drops, _) = self.names();
+        let (_, sojourn, drops, _, backlog_now) = self.names();
         let before = self.inner.stats();
         let pkt = self.inner.dequeue(now);
         let after = self.inner.stats();
@@ -637,6 +645,8 @@ impl Qdisc for InstrumentedQdisc {
         if after.dropped > before.dropped {
             self.sink.counter_add(drops, after.dropped - before.dropped);
         }
+        self.sink
+            .gauge_set(backlog_now, self.inner.len_packets() as f64);
         pkt
     }
 

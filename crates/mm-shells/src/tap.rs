@@ -26,6 +26,7 @@ struct Shadow {
     pkt_id: u64,
     size_bytes: u32,
     enqueued_at: Timestamp,
+    flow: u64,
 }
 
 /// A [`Qdisc`] decorator reporting per-packet events to a tap.
@@ -61,7 +62,15 @@ impl TappedQdisc {
         delta
     }
 
-    fn emit(&self, t: Timestamp, kind: PacketEventKind, pkt_id: u64, size: u32, sojourn_ns: u64) {
+    fn emit(
+        &self,
+        t: Timestamp,
+        kind: PacketEventKind,
+        pkt_id: u64,
+        size: u32,
+        sojourn_ns: u64,
+        flow: u64,
+    ) {
         self.tap.on_packet(&PacketEvent {
             t_ns: t.as_nanos(),
             kind,
@@ -69,6 +78,7 @@ impl TappedQdisc {
             pkt_id,
             size_bytes: size,
             sojourn_ns,
+            flow,
         });
     }
 
@@ -84,6 +94,7 @@ impl TappedQdisc {
                 victim.pkt_id,
                 victim.size_bytes,
                 0,
+                victim.flow,
             );
         }
     }
@@ -93,20 +104,22 @@ impl Qdisc for TappedQdisc {
     fn enqueue(&mut self, now: Timestamp, pkt: Packet) -> EnqueueResult {
         let pkt_id = pkt.id;
         let size = pkt.wire_size() as u32;
+        let flow = pkt.flow_key();
         let result = self.inner.enqueue(now, pkt);
         let drop_delta = self.drop_delta();
         match result {
             EnqueueResult::Dropped => {
                 // The offered packet itself was refused (droptail/PIE).
-                self.emit(now, PacketEventKind::Drop, pkt_id, size, 0);
+                self.emit(now, PacketEventKind::Drop, pkt_id, size, 0, flow);
                 debug_assert!(drop_delta >= 1);
             }
             EnqueueResult::Accepted => {
-                self.emit(now, PacketEventKind::Enqueue, pkt_id, size, 0);
+                self.emit(now, PacketEventKind::Enqueue, pkt_id, size, 0, flow);
                 self.shadow.push_back(Shadow {
                     pkt_id,
                     size_bytes: size,
                     enqueued_at: now,
+                    flow,
                 });
                 // Accepted-yet-drops-counted means the discipline evicted
                 // from the head to make room (DropHead).
@@ -132,10 +145,18 @@ impl Qdisc for TappedQdisc {
                             head.pkt_id,
                             head.size_bytes,
                             sojourn.as_nanos(),
+                            head.flow,
                         );
                         break;
                     }
-                    self.emit(now, PacketEventKind::Drop, head.pkt_id, head.size_bytes, 0);
+                    self.emit(
+                        now,
+                        PacketEventKind::Drop,
+                        head.pkt_id,
+                        head.size_bytes,
+                        0,
+                        head.flow,
+                    );
                 }
             }
             // Nothing returned but drops counted: the discipline dropped

@@ -16,6 +16,6 @@ pub mod span;
 pub use format::{Trace, TraceError, TRACE_MTU};
 pub use generate::{cellular, constant_rate, on_off, CellularParams};
 pub use span::{
-    parse_span_line, parse_spans_jsonl, span_to_jsonl_line, spans_to_jsonl, Span, SpanHandle,
-    SpanKind, SpanSink, TraceBuffer, NO_RESOURCE,
+    parse_span_line, parse_spans_jsonl, span_to_jsonl_line, spans_to_jsonl, FanoutSpan, Span,
+    SpanHandle, SpanKind, SpanSink, TraceBuffer, NO_RESOURCE,
 };

@@ -284,6 +284,45 @@ impl SpanSink for TraceBuffer {
     }
 }
 
+/// A [`SpanSink`] that forwards every span to several child sinks.
+///
+/// Allocates its own monotonic ids (children may disagree on theirs),
+/// so emitters see one consistent id space; each child receives the
+/// span with the fanout's id. Lets a harness feed both a recording
+/// [`TraceBuffer`] and an online auditor from one instrumented world.
+pub struct FanoutSpan {
+    sinks: Vec<SpanHandle>,
+    next: Cell<u64>,
+}
+
+impl FanoutSpan {
+    pub fn new(sinks: Vec<SpanHandle>) -> Rc<FanoutSpan> {
+        Rc::new(FanoutSpan {
+            sinks,
+            next: Cell::new(0),
+        })
+    }
+
+    /// A [`SpanHandle`] feeding this fanout.
+    pub fn handle(self: &Rc<Self>) -> SpanHandle {
+        SpanHandle(self.clone() as Rc<dyn SpanSink>)
+    }
+}
+
+impl SpanSink for FanoutSpan {
+    fn next_id(&self) -> u64 {
+        let id = self.next.get() + 1;
+        self.next.set(id);
+        id
+    }
+
+    fn record(&self, span: Span) {
+        for sink in &self.sinks {
+            sink.record(span.clone());
+        }
+    }
+}
+
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
